@@ -1,0 +1,45 @@
+// Ablation: tree arity — why SAP's setup deploys a *binary* tree.
+//
+// Higher arity shrinks the depth (fewer hops for chal/report) but grows
+// per-node degree, which TCA-Efficiency bounds, and concentrates
+// aggregation fan-in. The sweep shows the trade-off is nearly flat in
+// time (the constant measurement dominates) while degree grows linearly
+// in the arity — so binary keeps the strongest degree guarantee at no
+// meaningful runtime cost, which is exactly Lemma 1's point.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sap/swarm.hpp"
+
+int main() {
+  using namespace cra;
+
+  constexpr std::uint32_t kDevices = 100'000;
+  Table table({"arity", "depth", "max degree", "total (s)", "T_CA (s)",
+               "U_CA (bytes)"});
+
+  for (std::uint32_t arity : {2u, 3u, 4u, 8u, 16u}) {
+    sap::SapConfig cfg;
+    cfg.tree_arity = arity;
+    auto sim = sap::SapSimulation::balanced(cfg, kDevices);
+    const auto r = sim.run_round();
+    if (!r.verified) {
+      std::fprintf(stderr, "arity=%u failed to verify\n", arity);
+      return 1;
+    }
+    table.add_row({std::to_string(arity),
+                   std::to_string(sim.tree().max_depth()),
+                   std::to_string(sim.tree().max_degree()),
+                   Table::num(r.total().sec()), Table::num(r.t_ca().sec()),
+                   Table::count(r.u_ca_bytes)});
+  }
+
+  std::printf("Ablation - tree arity at N = %s\n\n",
+              Table::count(kDevices).c_str());
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nU_CA is arity-independent (one chal + one token per "
+              "link, N links); depth gains\nshave only milliseconds "
+              "because the measurement phase dominates — while degree\n"
+              "(the TCA-Efficiency guarantee) degrades linearly.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: what the TCA model's no-contention assumption hides.
+//
+// Equation 5 prices every link independently; a real mote has one
+// radio. Turning sender-side serialization on shows which protocol
+// designs were silently depending on the assumption: SAP sends one
+// token per node per round (nothing to serialize — its runtime barely
+// moves, which *validates* using the paper's model for Figure 3), while
+// LISAα relays every descendant's report individually through each
+// ancestor's radio, so its near-root transmitters saturate.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "lisa/lisa.hpp"
+#include "sap/swarm.hpp"
+
+namespace {
+
+using namespace cra;
+
+double sap_time(std::uint32_t n, bool contention) {
+  sap::SapConfig cfg;
+  cfg.pmem_size = 8 * 1024;
+  cfg.link.serialize_tx = contention;
+  auto sim = sap::SapSimulation::balanced(cfg, n);
+  const auto r = sim.run_round();
+  if (!r.verified) std::abort();
+  return r.total().sec();
+}
+
+double lisa_alpha_time(std::uint32_t n, bool contention) {
+  lisa::LisaConfig cfg;
+  cfg.pmem_size = 8 * 1024;
+  cfg.link.serialize_tx = contention;
+  auto sim = lisa::LisaSimulation::balanced(cfg, n);
+  const auto r = sim.run_round();
+  if (!r.verified) std::abort();
+  return r.total_time().sec();
+}
+
+}  // namespace
+
+int main() {
+  Table table({"N", "SAP ideal (s)", "SAP radio (s)", "LISA-a ideal (s)",
+               "LISA-a radio (s)", "LISA-a slowdown"});
+  for (std::uint32_t n : {62u, 254u, 1022u, 4094u}) {
+    const double sap_ideal = sap_time(n, false);
+    const double sap_radio = sap_time(n, true);
+    const double la_ideal = lisa_alpha_time(n, false);
+    const double la_radio = lisa_alpha_time(n, true);
+    table.add_row({Table::count(n), Table::num(sap_ideal),
+                   Table::num(sap_radio), Table::num(la_ideal),
+                   Table::num(la_radio),
+                   Table::num(la_radio / la_ideal, 2) + "x"});
+  }
+  std::printf("Ablation - per-node radio serialization (Equation 5's "
+              "no-contention assumption)\n\n");
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nSAP is contention-insensitive (one aggregate per radio "
+              "per round), so the\npaper's model is a safe basis for its "
+              "Figure 3 claims; relay-per-report designs\nare not so "
+              "lucky — their near-root radios serialize Theta(subtree) "
+              "transmissions.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: heterogeneous hardware classes (§II / §VIII).
+//
+// TCA-Model assumes homogeneous devices; real fleets mix generations.
+// SAP's synchronous design makes the measurement phase a barrier: the
+// whole swarm waits for the slowest class. The sweep quantifies how one
+// legacy class drags the round — the "estimating timeouts and
+// vulnerability windows" concern §II raises — and what upgrading it
+// buys.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sap/analysis.hpp"
+#include "sap/swarm.hpp"
+
+int main() {
+  using namespace cra;
+
+  constexpr std::uint32_t kDevices = 10'000;
+
+  struct Mix {
+    const char* label;
+    std::uint64_t slow_hz;   // the legacy class
+    std::uint32_t slow_pct;  // share of the fleet
+  };
+  const Mix mixes[] = {
+      {"all modern (24 MHz)", 24'000'000, 0},
+      {"10% legacy 8 MHz", 8'000'000, 10},
+      {"50% legacy 8 MHz", 8'000'000, 50},
+      {"10% legacy 4 MHz", 4'000'000, 10},
+      {"1% legacy 4 MHz", 4'000'000, 1},
+  };
+
+  Table table({"fleet mix", "slow T_att (s)", "measurement (s)",
+               "round total (s)", "verified"});
+
+  for (const Mix& mix : mixes) {
+    sap::SapConfig cfg;  // class 0: the paper's 24 MHz / 50 KB device
+    if (mix.slow_pct > 0) {
+      cfg.extra_classes.push_back(
+          {"legacy", mix.slow_hz, cfg.pmem_size, cfg.cycles_per_block});
+    }
+    auto sim = sap::SapSimulation::balanced(cfg, kDevices);
+    Rng rng(99);
+    std::uint32_t slow_count = 0;
+    if (mix.slow_pct > 0) {
+      for (net::NodeId id = 1; id <= kDevices; ++id) {
+        if (rng.next_below(100) < mix.slow_pct) {
+          sim.assign_device_class(id, 1);
+          ++slow_count;
+        }
+      }
+    }
+    const auto r = sim.run_round();
+    const std::uint64_t blocks =
+        crypto::hmac_compression_calls(cfg.alg, cfg.pmem_size + 4);
+    const sim::Duration slow_t_att = sim::cycles_to_time(
+        cfg.attest_overhead_cycles + blocks * cfg.cycles_per_block,
+        mix.slow_pct > 0 ? mix.slow_hz : cfg.device_hz);
+    (void)slow_count;
+    table.add_row({mix.label, Table::num(slow_t_att.sec(), 3),
+                   Table::num(r.measurement().sec(), 3),
+                   Table::num(r.total().sec(), 3),
+                   r.verified ? "yes" : "NO"});
+  }
+
+  std::printf("Ablation - heterogeneous fleets at N = %s\n\n",
+              Table::count(kDevices).c_str());
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\na single legacy class sets the whole swarm's measurement "
+              "barrier (its share\ndoesn't matter — 1%% hurts as much as "
+              "50%%): upgrade the slowest class first,\nor give it a "
+              "smaller attested region.\n");
+  return 0;
+}

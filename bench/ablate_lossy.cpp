@@ -1,0 +1,58 @@
+// Ablation: lossy networks (§VIII) — how fast TCA-Soundness erodes with
+// packet loss, with and without the repoll extension.
+//
+// Every failure below is a false alarm on a perfectly healthy swarm.
+// SAP's synchronous design makes chal-path loss unrecoverable within a
+// round (a device that misses t_att cannot attest late), so repoll only
+// claws back report-path losses — quantifying the paper's remark that
+// lossy networks need a relaxed soundness notion.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sap/swarm.hpp"
+
+namespace {
+
+using namespace cra;
+
+double false_alarm_rate(double loss, bool retransmit, std::uint32_t devices,
+                        int rounds) {
+  sap::SapConfig cfg;
+  cfg.pmem_size = 8 * 1024;
+  cfg.retransmit = retransmit;
+  cfg.max_retries = 3;
+  auto swarm = sap::SapSimulation::balanced(cfg, devices, /*seed=*/17);
+  swarm.network().set_loss_rate(loss, /*seed=*/17);
+  int failures = 0;
+  for (int i = 0; i < rounds; ++i) {
+    if (!swarm.run_round().verified) ++failures;
+    swarm.advance_time(sim::Duration::from_ms(100));
+  }
+  return static_cast<double>(failures) / rounds;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kDevices = 254;
+  constexpr int kRounds = 40;
+
+  Table table({"loss rate", "plain false-alarm rate",
+               "repoll false-alarm rate"});
+  for (double loss : {0.0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02}) {
+    table.add_row({Table::num(loss, 4),
+                   Table::num(false_alarm_rate(loss, false, kDevices,
+                                               kRounds), 2),
+                   Table::num(false_alarm_rate(loss, true, kDevices,
+                                               kRounds), 2)});
+  }
+
+  std::printf("Ablation - packet loss vs soundness (N=%u, %d rounds per "
+              "cell, healthy swarm)\n\n", kDevices, kRounds);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nwith ~2N messages per round, even 0.1%% loss hits ~40%% "
+              "of rounds; repoll recovers\nthe report-path share. A "
+              "deployment-grade fix needs chal-side redundancy or the\n"
+              "relaxed soundness notion the paper sketches.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The protocol zoo: SAP vs SEDA vs LISAα vs LISAs on identical hardware
+// and network models.
+//
+// This is the comparison the paper's related-work section implies but
+// never runs: all four cRA designs, same 24 MHz devices, same 50 KB
+// PMEM, same 250 kbit/s tree. Columns show the three axes a deployment
+// trades between: runtime, network utilization, and quality of
+// attestation.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "lisa/lisa.hpp"
+#include "sap/swarm.hpp"
+#include "seda/seda.hpp"
+
+int main() {
+  using namespace cra;
+
+  Table table({"protocol", "N", "time (s)", "U_CA (bytes)", "B/device",
+               "QoA", "clock needed"});
+
+  for (std::uint32_t n : {1'000u, 10'000u, 100'000u}) {
+    {
+      sap::SapConfig cfg;
+      auto sim = sap::SapSimulation::balanced(cfg, n);
+      const auto r = sim.run_round();
+      if (!r.verified) return 1;
+      table.add_row({"SAP", Table::count(n), Table::num(r.total().sec()),
+                     Table::count(r.u_ca_bytes),
+                     Table::num(static_cast<double>(r.u_ca_bytes) / n, 1),
+                     "binary", "secure sync"});
+    }
+    {
+      seda::SedaConfig cfg;
+      auto sim = seda::SedaSimulation::balanced(cfg, n);
+      const auto r = sim.run_round();
+      if (!r.verified) return 1;
+      table.add_row({"SEDA", Table::count(n),
+                     Table::num(r.total_time().sec()),
+                     Table::count(r.u_ca_bytes),
+                     Table::num(static_cast<double>(r.u_ca_bytes) / n, 1),
+                     "counts", "none"});
+    }
+    {
+      lisa::LisaConfig cfg;
+      cfg.variant = lisa::LisaVariant::kAlpha;
+      auto sim = lisa::LisaSimulation::balanced(cfg, n);
+      const auto r = sim.run_round();
+      if (!r.verified) return 1;
+      table.add_row({"LISA-alpha", Table::count(n),
+                     Table::num(r.total_time().sec()),
+                     Table::count(r.u_ca_bytes),
+                     Table::num(static_cast<double>(r.u_ca_bytes) / n, 1),
+                     "per-device", "none"});
+    }
+    {
+      lisa::LisaConfig cfg;
+      cfg.variant = lisa::LisaVariant::kS;
+      auto sim = lisa::LisaSimulation::balanced(cfg, n);
+      const auto r = sim.run_round();
+      if (!r.verified) return 1;
+      table.add_row({"LISA-s", Table::count(n),
+                     Table::num(r.total_time().sec()),
+                     Table::count(r.u_ca_bytes),
+                     Table::num(static_cast<double>(r.u_ca_bytes) / n, 1),
+                     "per-device", "none"});
+    }
+  }
+
+  std::printf("Protocol comparison - identical device/network models\n\n");
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nreading guide: SAP buys constant-size reports and one "
+      "synchronized measurement\ninstant (needs the secure clock); SEDA "
+      "pays public-key verification per device;\nthe LISAs buy full "
+      "per-device QoA with Theta(N*depth) transport, and their\n"
+      "unsynchronized measurements leave the roaming-malware window "
+      "SAP closes.\n"
+      "caveat: the TCA link model has no contention, which flatters "
+      "LISA-alpha's runtime\n(its per-device reports would queue on real "
+      "radios near the root); its 7-9x\nbandwidth is the honest cost "
+      "signal. LISA-s's runtime IS contention-honest: its\nbundles "
+      "serialize on the root links (2.4 MB at N=100k over 250 kbit/s).\n");
+  return 0;
+}

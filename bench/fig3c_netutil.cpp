@@ -1,0 +1,42 @@
+// Figure 3(c): network utilization U_CA vs swarm size.
+//
+// Paper: linear in N — 40 bytes per device for SAP (|chal| + |token| =
+// 2·l bits per link), ≈ 40 MB at N = 10^6; SEDA about twice SAP.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sap/analysis.hpp"
+#include "sap/swarm.hpp"
+#include "seda/seda.hpp"
+
+int main() {
+  using namespace cra;
+
+  sap::SapConfig sap_cfg;
+  seda::SedaConfig seda_cfg;
+
+  Table table({"N", "SAP U_CA (bytes)", "B/device", "SEDA U_CA (bytes)",
+               "SEDA/SAP", "Lemma 2 prediction"});
+
+  for (std::uint32_t n : {10u, 100u, 1'000u, 10'000u, 100'000u, 1'000'000u}) {
+    auto sap_sim = sap::SapSimulation::balanced(sap_cfg, n);
+    const auto sap_round = sap_sim.run_round();
+    auto seda_sim = seda::SedaSimulation::balanced(seda_cfg, n);
+    const auto seda_round = seda_sim.run_round();
+
+    table.add_row(
+        {Table::count(n), Table::count(sap_round.u_ca_bytes),
+         Table::num(static_cast<double>(sap_round.u_ca_bytes) / n, 1),
+         Table::count(seda_round.u_ca_bytes),
+         Table::num(static_cast<double>(seda_round.u_ca_bytes) /
+                        static_cast<double>(sap_round.u_ca_bytes),
+                    2),
+         Table::count(sap::predicted_u_ca_bytes(sap_cfg, n))});
+  }
+
+  std::printf("Figure 3(c) - network utilization vs swarm size\n");
+  std::printf("(paper: linear, 40 bytes/device, ~40 MB at N=10^6; SEDA "
+              "~2x SAP)\n\n");
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

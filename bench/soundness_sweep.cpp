@@ -1,0 +1,54 @@
+// TCA-Soundness (Definition 3) and TCA-Efficiency (Definition 2) as
+// executable experiments.
+//
+// Soundness: honest rounds across sizes and topology shapes must always
+// verify. Efficiency: the measured sweep must fit Lemmas 1-3 — constant
+// degree, linear U_CA (slope = 2l bits/device), logarithmic T_CA.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "tca/efficiency.hpp"
+#include "tca/soundness.hpp"
+
+int main() {
+  using namespace cra;
+
+  sap::SapConfig cfg;  // paper parameters
+
+  std::printf("TCA-Soundness experiment (Definition 3)\n");
+  const tca::SoundnessReport sound = tca::run_soundness_experiment(
+      cfg, {1, 2, 10, 63, 500, 2047},
+      {tca::TopologyKind::kBalanced, tca::TopologyKind::kLine,
+       tca::TopologyKind::kRandom},
+      /*trials=*/10);
+  std::printf("  honest runs: %llu, verification failures: %llu -> %s\n\n",
+              static_cast<unsigned long long>(sound.runs),
+              static_cast<unsigned long long>(sound.failures),
+              sound.sound() ? "SOUND" : "NOT SOUND");
+
+  std::printf("TCA-Efficiency sweep (Definition 2, Lemmas 1-3)\n");
+  const tca::EfficiencyReport eff = tca::run_efficiency_sweep(
+      cfg, {64, 256, 1024, 4096, 16384, 65536, 262144});
+
+  Table table({"N", "depth", "max degree", "T_CA (s)", "U_CA (bytes)"});
+  for (const auto& p : eff.points) {
+    table.add_row({Table::count(p.devices), std::to_string(p.tree_depth),
+                   std::to_string(p.max_degree), Table::num(p.t_ca_sec),
+                   Table::count(p.u_ca_bytes)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("  Lemma 1 (degree = O(1)):    max degree %u%s\n",
+              eff.degree_bound, eff.degree_constant ? "  [OK]" : "  [FAIL]");
+  std::printf("  Lemma 2 (U_CA = O(N*l)):    linear fit slope %.2f B/device,"
+              " r^2 %.6f%s\n",
+              eff.utilization_fit.slope, eff.utilization_fit.r_squared,
+              eff.utilization_linear ? "  [OK]" : "  [FAIL]");
+  std::printf("  Lemma 3 (T_CA = O(log N)):  log2 fit slope %.4f s/doubling,"
+              " r^2 %.6f%s\n",
+              eff.delay_fit.slope, eff.delay_fit.r_squared,
+              eff.delay_logarithmic ? "  [OK]" : "  [FAIL]");
+  std::printf("  => SAP is %sTCA-Efficient\n",
+              eff.tca_efficient() ? "" : "NOT ");
+  return eff.tca_efficient() && sound.sound() ? 0 : 1;
+}

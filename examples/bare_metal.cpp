@@ -1,0 +1,103 @@
+// Bare metal: write firmware in assembly, run it on the TCA machine
+// model, and attest it — the full device substrate in one tour.
+//
+// The firmware is a little sensor loop: it samples a memory-mapped GPIO
+// cell, keeps a running sum in DMEM, and every 8 samples requests
+// attestation through the ROM trampoline ABI (chal mailbox + call).
+// We then play the attacker: patch the firmware's accumulator logic the
+// way real malware would, and watch the next attestation expose it.
+#include <cstdio>
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "device/assembler.hpp"
+#include "device/attest_asm.hpp"
+#include "device/device.hpp"
+#include "device/disasm.hpp"
+
+using namespace cra;
+using namespace cra::device;
+
+int main() {
+  // A device with the interpreted HMAC-SHA1 TCB: the attestation below
+  // executes ~300k real instructions inside r4, under the MPU.
+  DeviceConfig cfg = interpreted_attest_config(/*pmem_size=*/4 * 1024);
+  const Bytes key(20, 0xA7);
+  Device dev(1, cfg, key, to_bytes("platform-fuse-secret!"));
+
+  const auto mb = dev.mailboxes();
+  const Addr gpio = cfg.layout.dmem_base() + 0x80;   // "sensor" register
+  const Addr accum = cfg.layout.dmem_base() + 0x84;  // running sum
+
+  const std::string firmware_src = R"(
+  ; --- sensor loop firmware v1.0 ---
+  start:
+    ldi r1, 0              ; sample counter
+    ldi r2, 0              ; running sum
+  loop:
+    ldw r3, r10, 0         ; read the sensor (r10 = GPIO, set by boot)
+    add r2, r2, r3         ; accumulate
+    stw r2, r11, 0         ; publish to DMEM (r11 = accum)
+    addi r1, r1, 1
+    ldi r4, 8
+    bne r1, r4, loop
+    halt                   ; hand back to the host harness
+  )";
+  Program fw = assemble(firmware_src, cfg.layout.pmem_base());
+  dev.load_firmware(fw.image);
+  install_interpreted_attest(dev);  // HMAC-SHA1 as machine code in r4
+  if (!dev.boot()) return 1;
+
+  std::printf("firmware disassembly (first 8 words of PMEM):\n%s\n",
+              dump_range(dev.memory(), cfg.layout.pmem_base(), 8).c_str());
+
+  // Run the sensor loop: plant a sensor reading, point r10/r11 at the
+  // MMIO cells, execute.
+  dev.memory().write32(gpio, 5);
+  dev.cpu().set_pc(cfg.layout.pmem_base());
+  dev.cpu().set_reg(10, gpio);
+  dev.cpu().set_reg(11, accum);
+  dev.cpu().run(10'000);
+  std::printf("sensor loop ran: 8 samples of 5 -> accumulator = %u "
+              "(cycles: %llu)\n\n",
+              dev.memory().read32(accum),
+              static_cast<unsigned long long>(dev.cpu().cycles()));
+
+  // Attest (interpreted HMAC-SHA1 over all of PMEM). The verifier's VS
+  // holds cfg_i = the PMEM as provisioned — capture it now, before any
+  // attack.
+  const Bytes cfg_pmem = dev.expected_pmem();
+  auto attest_once = [&](std::uint32_t chal) {
+    dev.sync_clock(dev.clock().tick_to_time(chal));
+    const std::uint64_t cycles = dev.invoke_attest(chal);
+    std::printf("attest(chal=%u): token %s... (%llu TCB cycles)\n", chal,
+                to_hex(BytesView(dev.read_token().data(), 8)).c_str(),
+                static_cast<unsigned long long>(cycles));
+    Bytes msg = cfg_pmem;
+    append_u32le(msg, chal);
+    const Bytes expected = crypto::hmac(crypto::HashAlg::kSha1, key, msg);
+    return dev.read_token() == expected;
+  };
+
+  std::printf("clean firmware:   %s\n",
+              attest_once(3) ? "token matches the verifier's expectation"
+                             : "MISMATCH");
+
+  // The attack: malware rewrites `add r2, r2, r3` into `sub r2, r2, r3`
+  // — a one-word logic bomb in the accumulation path.
+  const Addr target = fw.labels.at("loop") + 4;
+  dev.adv_infect_pmem(target - cfg.layout.pmem_base(), [] {
+    Bytes b;
+    append_u32le(b, encode_r(Opcode::kSub, 2, 2, 3));
+    return b;
+  }());
+  std::printf("\nmalware patches one instruction at 0x%x:\n  %s\n", target,
+              disassemble(dev.memory().read32(target)).c_str());
+
+  const bool still_clean = attest_once(7);
+  std::printf("patched firmware: %s\n",
+              still_clean
+                  ? "UNDETECTED (bug!)"
+                  : "token diverges -> the verifier flags this device");
+  return still_clean ? 1 : 0;
+}

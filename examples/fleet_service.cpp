@@ -1,0 +1,53 @@
+// Fleet service: the operational monitoring loop with QoA escalation.
+//
+// Steady state runs cheap binary rounds (40 bytes/device). When a round
+// fails, the service escalates to identify mode, pays the localization
+// bandwidth exactly once per incident, names the devices, and
+// de-escalates after the fleet stays clean. This is the §VIII QoA
+// trade-off turned into policy.
+#include <cstdio>
+
+#include "sap/service.hpp"
+
+int main() {
+  using namespace cra;
+
+  sap::SapConfig config;
+  config.pmem_size = 8 * 1024;
+  auto swarm = sap::SapSimulation::balanced(config, 254, /*seed=*/8);
+
+  sap::ServicePolicy policy;
+  policy.period = sim::Duration::from_sec(2.0);
+  sap::AttestationService service(swarm, policy);
+
+  std::printf("fleet service: %u devices, binary steady-state, "
+              "identify on alarm\n\n", swarm.device_count());
+
+  for (int round = 1; round <= 9; ++round) {
+    if (round == 3) {
+      std::printf(">>> devices 101 and 202 infected\n");
+      swarm.compromise_device(101);
+      swarm.compromise_device(202);
+    }
+    const sap::ServiceEvent e = service.run_once();
+    std::printf("round %u @ %5.1fs  mode=%-8s  %-12s", e.round, e.at.sec(),
+                sap::qoa_name(e.mode),
+                sap::service_event_name(e.kind));
+    for (auto id : e.bad) std::printf(" bad=%u", id);
+    for (auto id : e.missing) std::printf(" missing=%u", id);
+    std::printf("\n");
+
+    if (e.kind == sap::ServiceEvent::Kind::kLocalized) {
+      for (auto id : e.bad) {
+        std::printf("        -> re-flashing device %u\n", id);
+        swarm.restore_device(id);
+      }
+    }
+  }
+
+  std::printf("\nflag history: device 101 flagged %u time(s), device 202 "
+              "%u time(s), device 7 %u\n",
+              service.flag_count(101), service.flag_count(202),
+              service.flag_count(7));
+  return service.escalated() ? 1 : 0;
+}

@@ -1,0 +1,106 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace cra {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex character");
+}
+
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+void xor_inplace(Bytes& lhs, BytesView rhs) {
+  if (lhs.size() != rhs.size()) {
+    throw std::invalid_argument("xor_inplace: length mismatch");
+  }
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    lhs[i] = static_cast<std::uint8_t>(lhs[i] ^ rhs[i]);
+  }
+}
+
+Bytes xor_bytes(BytesView lhs, BytesView rhs) {
+  if (lhs.size() != rhs.size()) {
+    throw std::invalid_argument("xor_bytes: length mismatch");
+  }
+  Bytes out(lhs.begin(), lhs.end());
+  xor_inplace(out, rhs);
+  return out;
+}
+
+bool all_zero(BytesView data) noexcept {
+  for (std::uint8_t b : data) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+void append_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_u64le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32le(BytesView data, std::size_t offset) {
+  if (offset + 4 > data.size()) {
+    throw std::out_of_range("read_u32le: buffer too short");
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | data[offset + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint64_t read_u64le(BytesView data, std::size_t offset) {
+  if (offset + 8 > data.size()) {
+    throw std::out_of_range("read_u64le: buffer too short");
+  }
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | data[offset + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace cra

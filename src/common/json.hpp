@@ -1,0 +1,59 @@
+// Minimal JSON writer.
+//
+// Round reports and bench outputs need a machine-readable form for
+// tooling (the CLI's --json mode, CI trend tracking). This is a small
+// streaming writer with nesting validation — not a parser, not a DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cra {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(std::uint32_t u) {
+    return value(static_cast<std::uint64_t>(u));
+  }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// Finish and return the document; throws std::logic_error if any
+  /// container is still open.
+  std::string str() const;
+
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+}  // namespace cra

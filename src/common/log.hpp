@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator and protocol agents emit trace/debug lines that are
+// invaluable when debugging a million-device run but must cost nothing
+// when disabled; the level check happens before any formatting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cra {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one formatted line to stderr (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace cra
+
+// Usage: CRA_LOG(kInfo, "sap") << "verified N=" << n;
+#define CRA_LOG(level, component)                          \
+  if (::cra::LogLevel::level < ::cra::log_level()) {       \
+  } else                                                   \
+    ::cra::detail::LogStream(::cra::LogLevel::level, (component))

@@ -1,0 +1,66 @@
+// Deterministic random number generation for reproducible simulation.
+//
+// Every stochastic component in the repository (topology generation,
+// adversary strategies, loss injection, key generation in tests) draws
+// from an explicitly seeded `Rng` so that a run is a pure function of its
+// seed. The generator is xoshiro256** seeded through SplitMix64, which is
+// the standard recommendation of the xoshiro authors; it is NOT a CSPRNG —
+// cryptographic key material in the protocol proper is produced by
+// crypto::SecureRandom (ChaCha20-based) instead.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace cra {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit-state PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// n uniformly random bytes (NOT cryptographically secure).
+  Bytes next_bytes(std::size_t n);
+
+  /// Derive an independent child generator; `label` decorrelates children
+  /// drawn from the same parent for different purposes.
+  Rng fork(std::string_view label) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cra

@@ -1,0 +1,79 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cra {
+
+void Summary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >= 2 paired samples");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < std::numeric_limits<double>::epsilon() * n * sxx) {
+    throw std::invalid_argument("fit_linear: degenerate x values");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_log2(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  std::vector<double> logs;
+  logs.reserve(xs.size());
+  for (double x : xs) {
+    if (x <= 0) throw std::invalid_argument("fit_log2: x must be positive");
+    logs.push_back(std::log2(x));
+  }
+  return fit_linear(logs, ys);
+}
+
+double linear_vs_log_preference(const std::vector<double>& xs,
+                                const std::vector<double>& ys) {
+  return fit_linear(xs, ys).r_squared - fit_log2(xs, ys).r_squared;
+}
+
+}  // namespace cra

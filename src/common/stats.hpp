@@ -1,0 +1,59 @@
+// Statistics helpers used by the TCA-Efficiency harness and the benches.
+//
+// Beyond the usual running summary, this provides least-squares fits
+// against the asymptotic shapes TCA-Model asserts: U_CA(SAP) = O(N·l)
+// (linear in N) and T_CA(SAP) = O(log N · c1 + c2) (logarithmic in N).
+// The `tca` module fits measured sweeps against both models and checks
+// which explains the data better — that is how we turn the paper's
+// Lemmas 2 and 3 into executable assertions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cra {
+
+/// Streaming summary: count / mean / variance (Welford) / min / max.
+class Summary {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Result of a least-squares fit y ≈ slope·f(x) + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+};
+
+/// Ordinary least squares of y against x. Requires xs.size() == ys.size()
+/// and at least two distinct x values; throws std::invalid_argument
+/// otherwise.
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Least squares of y against log2(x); all xs must be > 0.
+LinearFit fit_log2(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// Convenience: does a linear model in x explain the data clearly better
+/// than a logarithmic one (or vice versa)? Returns r²(linear) − r²(log).
+double linear_vs_log_preference(const std::vector<double>& xs,
+                                const std::vector<double>& ys);
+
+}  // namespace cra

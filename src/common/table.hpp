@@ -1,0 +1,41 @@
+// ASCII table printer for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figure
+// series; this renders aligned, pipe-separated rows so bench output can
+// be compared side-by-side with the paper and pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cra {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; throws std::invalid_argument if the cell count does
+  /// not match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed string/numeric rows built by the caller.
+  void add_row(std::initializer_list<std::string> cells);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with `precision` significant decimal places.
+  static std::string num(double value, int precision = 3);
+  /// Format an integer with thousands separators ("1,000,000").
+  static std::string count(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cra

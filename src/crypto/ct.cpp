@@ -1,0 +1,14 @@
+#include "crypto/ct.hpp"
+
+namespace cra::crypto {
+
+bool ct_equal(BytesView a, BytesView b) noexcept {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace cra::crypto

@@ -1,0 +1,17 @@
+// Constant-time comparison.
+//
+// verify compares H_S against the precomputed RES_S; on a real verifier
+// this comparison must not leak how many leading bytes matched. The
+// device-side attest TCB never compares secrets, but tests exercising
+// forged reports use this too.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+
+/// True iff a and b have equal length and equal contents; runs in time
+/// dependent only on the lengths.
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+}  // namespace cra::crypto

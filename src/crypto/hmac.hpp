@@ -1,0 +1,113 @@
+// HMAC (RFC 2104 / FIPS 198-1), generic over the hash function.
+//
+// attest computes h_mi = HMAC_{K_mi,Vrf}(PMEM(mi, t=chal) || chal); the
+// verifier recomputes the same value from the expected configuration
+// cfg_i. Both sides use this implementation. A runtime-tagged variant
+// (HashAlg + hmac()) exists so protocol configuration can choose the
+// security parameter l ∈ {160, 256} without templating every layer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cra::crypto {
+
+/// Streaming HMAC over hash `H` (Sha1 or Sha256).
+template <typename H>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = H::kDigestSize;
+
+  explicit Hmac(BytesView key) { init(key); }
+
+  void init(BytesView key) {
+    std::array<std::uint8_t, H::kBlockSize> block_key{};
+    if (key.size() > H::kBlockSize) {
+      const auto d = H::digest(key);
+      std::copy(d.begin(), d.end(), block_key.begin());
+    } else {
+      std::copy(key.begin(), key.end(), block_key.begin());
+    }
+    opad_ = block_key;
+    for (auto& b : block_key) b = static_cast<std::uint8_t>(b ^ 0x36);
+    for (auto& b : opad_) b = static_cast<std::uint8_t>(b ^ 0x5c);
+    inner_.reset();
+    inner_.update(BytesView(block_key.data(), block_key.size()));
+  }
+
+  void update(BytesView data) { inner_.update(data); }
+
+  typename H::Digest finalize() {
+    const auto inner_digest = inner_.finalize();
+    H outer;
+    outer.update(BytesView(opad_.data(), opad_.size()));
+    outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+    return outer.finalize();
+  }
+
+  /// One-shot HMAC.
+  static typename H::Digest mac(BytesView key, BytesView data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finalize();
+  }
+
+  /// Number of compression-function calls HMAC over `message_len` bytes
+  /// costs: inner hash over (block + message), outer hash over
+  /// (block + digest). Used by the device timing model.
+  static std::uint64_t compression_calls(std::uint64_t message_len) noexcept {
+    return H::compression_calls(H::kBlockSize + message_len) +
+           H::compression_calls(H::kBlockSize + H::kDigestSize);
+  }
+
+ private:
+  H inner_;
+  std::array<std::uint8_t, H::kBlockSize> opad_{};
+};
+
+using HmacSha1 = Hmac<Sha1>;
+using HmacSha256 = Hmac<Sha256>;
+
+/// Runtime selector for the protocol's MAC algorithm (the security
+/// parameter l is the digest size in bits).
+enum class HashAlg { kSha1, kSha256 };
+
+constexpr std::size_t digest_size(HashAlg alg) noexcept {
+  return alg == HashAlg::kSha1 ? Sha1::kDigestSize : Sha256::kDigestSize;
+}
+
+constexpr std::size_t security_param_bits(HashAlg alg) noexcept {
+  return digest_size(alg) * 8;
+}
+
+/// One-shot, runtime-dispatched HMAC returning a heap buffer of
+/// digest_size(alg) bytes.
+inline Bytes hmac(HashAlg alg, BytesView key, BytesView data) {
+  switch (alg) {
+    case HashAlg::kSha1: {
+      const auto d = HmacSha1::mac(key, data);
+      return Bytes(d.begin(), d.end());
+    }
+    case HashAlg::kSha256: {
+      const auto d = HmacSha256::mac(key, data);
+      return Bytes(d.begin(), d.end());
+    }
+  }
+  throw std::invalid_argument("hmac: unknown algorithm");
+}
+
+/// Compression calls for the runtime-dispatched variant.
+inline std::uint64_t hmac_compression_calls(HashAlg alg,
+                                            std::uint64_t message_len) {
+  switch (alg) {
+    case HashAlg::kSha1: return HmacSha1::compression_calls(message_len);
+    case HashAlg::kSha256: return HmacSha256::compression_calls(message_len);
+  }
+  throw std::invalid_argument("hmac_compression_calls: unknown algorithm");
+}
+
+}  // namespace cra::crypto

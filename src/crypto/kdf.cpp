@@ -1,0 +1,48 @@
+#include "crypto/kdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace cra::crypto {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  const auto prk = HmacSha256::mac(salt, ikm);
+  return Bytes(prk.begin(), prk.end());
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) {
+    throw std::invalid_argument("hkdf_expand: output too long");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Hmac<Sha256> h(prk);
+    h.update(previous);
+    h.update(info);
+    h.update(BytesView(&counter, 1));
+    const auto block = h.finalize();
+    previous.assign(block.begin(), block.end());
+    const std::size_t take = std::min(kHashLen, length - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView ikm, BytesView salt, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+Bytes derive_device_key(BytesView master, std::uint32_t device_id,
+                        std::size_t key_len, std::string_view label) {
+  Bytes info = to_bytes(label);
+  append_u32le(info, device_id);
+  return hkdf(master, /*salt=*/{}, info, key_len);
+}
+
+}  // namespace cra::crypto

@@ -1,0 +1,31 @@
+// HKDF (RFC 5869) over HMAC-SHA256.
+//
+// SAP's setup provisions one symmetric key per device. Rather than
+// storing N independent random keys at the verifier, our Verifier derives
+// K_{mi,Vrf} = HKDF(master, "sap-device-key", mi) — standard practice for
+// fleet key management and exactly equivalent to independent keys under
+// the PRF assumption. Devices still store only their own key.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+
+/// HKDF-Extract: PRK = HMAC-SHA256(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: `length` bytes of output keyed by `prk` and `info`.
+/// length must be <= 255 * 32; throws std::invalid_argument otherwise.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// One-shot extract+expand.
+Bytes hkdf(BytesView ikm, BytesView salt, BytesView info, std::size_t length);
+
+/// Derive the per-device attestation key K_{mi,Vrf} from a master secret.
+Bytes derive_device_key(BytesView master, std::uint32_t device_id,
+                        std::size_t key_len, std::string_view label = "sap-device-key");
+
+}  // namespace cra::crypto

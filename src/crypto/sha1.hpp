@@ -1,0 +1,49 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// SAP's security parameter is l = 160 bits because the paper's TrustLite
+// prototype builds attest's HMAC on SHA-1 ("The attest's HMAC is based on
+// SHA-1, which is already implemented by TrustLite"). SHA-1 is broken for
+// collision resistance in general, but HMAC-SHA1 remains a sound PRF for
+// the model; we also expose SHA-256 (sha256.hpp) for deployments that
+// want a modern parameter. Streaming interface plus a one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(BytesView data) noexcept;
+  /// Finalize and return the digest; the object must be reset() before
+  /// further use.
+  Digest finalize() noexcept;
+
+  /// One-shot convenience.
+  static Digest digest(BytesView data) noexcept;
+
+  /// Number of 64-byte compression-function invocations a full hash of
+  /// `message_len` bytes performs (padding included). The device timing
+  /// model charges cycles per compression call.
+  static std::uint64_t compression_calls(std::uint64_t message_len) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace cra::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Offered as the modern alternative hash for SAP deployments with
+// l = 256; also the hash under HKDF key derivation in setup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(BytesView data) noexcept;
+  Digest finalize() noexcept;
+
+  static Digest digest(BytesView data) noexcept;
+  static std::uint64_t compression_calls(std::uint64_t message_len) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace cra::crypto

@@ -1,0 +1,284 @@
+#include "crypto/x25519.hpp"
+
+#include <stdexcept>
+
+namespace cra::crypto {
+namespace {
+
+// Field arithmetic modulo p = 2^255 - 19, radix 2^51 (five limbs).
+using u64 = std::uint64_t;
+__extension__ typedef unsigned __int128 u128;
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+struct Fe {
+  u64 v[5];
+};
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return out;
+}
+
+/// a - b, with a bias of 2p added so limbs stay non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // 2p in radix-51: (2^255-19)*2 limbs.
+  static constexpr u64 two_p0 = 0xfffffffffffda;
+  static constexpr u64 two_p = 0xffffffffffffe;
+  Fe out;
+  out.v[0] = a.v[0] + two_p0 - b.v[0];
+  out.v[1] = a.v[1] + two_p - b.v[1];
+  out.v[2] = a.v[2] + two_p - b.v[2];
+  out.v[3] = a.v[3] + two_p - b.v[3];
+  out.v[4] = a.v[4] + two_p - b.v[4];
+  return out;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const u128 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+             a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+            b4 = b.v[4];
+  const u64 b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+            b4_19 = b4 * 19;
+
+  u128 t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+  u128 t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+  u128 t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+  u128 t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+  u128 t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+  Fe out;
+  u64 carry;
+  out.v[0] = static_cast<u64>(t0) & kMask51;
+  carry = static_cast<u64>(t0 >> 51);
+  t1 += carry;
+  out.v[1] = static_cast<u64>(t1) & kMask51;
+  carry = static_cast<u64>(t1 >> 51);
+  t2 += carry;
+  out.v[2] = static_cast<u64>(t2) & kMask51;
+  carry = static_cast<u64>(t2 >> 51);
+  t3 += carry;
+  out.v[3] = static_cast<u64>(t3) & kMask51;
+  carry = static_cast<u64>(t3 >> 51);
+  t4 += carry;
+  out.v[4] = static_cast<u64>(t4) & kMask51;
+  carry = static_cast<u64>(t4 >> 51);
+  out.v[0] += carry * 19;
+  carry = out.v[0] >> 51;
+  out.v[0] &= kMask51;
+  out.v[1] += carry;
+  return out;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, u64 s) {
+  u128 t0 = static_cast<u128>(a.v[0]) * s;
+  u128 t1 = static_cast<u128>(a.v[1]) * s;
+  u128 t2 = static_cast<u128>(a.v[2]) * s;
+  u128 t3 = static_cast<u128>(a.v[3]) * s;
+  u128 t4 = static_cast<u128>(a.v[4]) * s;
+  Fe out;
+  u64 carry;
+  out.v[0] = static_cast<u64>(t0) & kMask51;
+  carry = static_cast<u64>(t0 >> 51);
+  t1 += carry;
+  out.v[1] = static_cast<u64>(t1) & kMask51;
+  carry = static_cast<u64>(t1 >> 51);
+  t2 += carry;
+  out.v[2] = static_cast<u64>(t2) & kMask51;
+  carry = static_cast<u64>(t2 >> 51);
+  t3 += carry;
+  out.v[3] = static_cast<u64>(t3) & kMask51;
+  carry = static_cast<u64>(t3 >> 51);
+  t4 += carry;
+  out.v[4] = static_cast<u64>(t4) & kMask51;
+  carry = static_cast<u64>(t4 >> 51);
+  out.v[0] += carry * 19;
+  return out;
+}
+
+/// Constant-time swap of (a, b) when bit == 1.
+void fe_cswap(Fe& a, Fe& b, u64 bit) {
+  const u64 mask = 0 - bit;  // all-ones when bit == 1
+  for (int i = 0; i < 5; ++i) {
+    const u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+/// Inversion via Fermat: a^(p-2) mod p, addition-chain from curve25519-donna.
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                       // 2
+  Fe z9 = fe_mul(fe_sq(fe_sq(z2)), z);    // 9
+  Fe z11 = fe_mul(z9, z2);                // 11
+  Fe z2_5_0 = fe_mul(fe_sq(z11), z9);     // 2^5 - 2^0 = 31
+  Fe t = fe_sq(z2_5_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  Fe z2_10_0 = fe_mul(t, z2_5_0);         // 2^10 - 2^0
+  t = fe_sq(z2_10_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z2_20_0 = fe_mul(t, z2_10_0);        // 2^20 - 2^0
+  t = fe_sq(z2_20_0);
+  for (int i = 1; i < 20; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_20_0);                 // 2^40 - 2^0
+  t = fe_sq(t);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z2_50_0 = fe_mul(t, z2_10_0);        // 2^50 - 2^0
+  t = fe_sq(z2_50_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z2_100_0 = fe_mul(t, z2_50_0);       // 2^100 - 2^0
+  t = fe_sq(z2_100_0);
+  for (int i = 1; i < 100; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_100_0);                // 2^200 - 2^0
+  t = fe_sq(t);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_50_0);                 // 2^250 - 2^0
+  t = fe_sq(t);
+  t = fe_sq(t);
+  t = fe_sq(t);
+  t = fe_sq(t);
+  t = fe_sq(t);                           // 2^255 - 2^5
+  return fe_mul(t, z11);                  // 2^255 - 21 = p - 2
+}
+
+Fe fe_frombytes(const std::uint8_t* s) {
+  auto load64 = [&](int off) {
+    u64 r = 0;
+    for (int i = 7; i >= 0; --i) r = (r << 8) | s[off + i];
+    return r;
+  };
+  Fe out;
+  out.v[0] = load64(0) & kMask51;
+  out.v[1] = (load64(6) >> 3) & kMask51;
+  out.v[2] = (load64(12) >> 6) & kMask51;
+  out.v[3] = (load64(19) >> 1) & kMask51;
+  out.v[4] = (load64(24) >> 12) & kMask51;  // top bit of byte 31 masked
+  return out;
+}
+
+void fe_tobytes(std::uint8_t* out, const Fe& in) {
+  // Canonical contraction (the curve25519-donna fcontract sequence).
+  Fe h = in;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      h.v[i + 1] += h.v[i] >> 51;
+      h.v[i] &= kMask51;
+    }
+    h.v[0] += 19 * (h.v[4] >> 51);
+    h.v[4] &= kMask51;
+  }
+  // Now 0 <= h < 2^255. Add 19 (maps [p, 2^255) onto >= 2^255 + ...).
+  h.v[0] += 19;
+  for (int i = 0; i < 4; ++i) {
+    h.v[i + 1] += h.v[i] >> 51;
+    h.v[i] &= kMask51;
+  }
+  h.v[0] += 19 * (h.v[4] >> 51);
+  h.v[4] &= kMask51;
+  // Add 2^255 - 19 (as per-limb offsets); the result is offset by 2^255
+  // exactly when the original value was >= p, so discarding bit 255
+  // yields the canonical representative in both cases.
+  h.v[0] += (u64{1} << 51) - 19;
+  h.v[1] += (u64{1} << 51) - 1;
+  h.v[2] += (u64{1} << 51) - 1;
+  h.v[3] += (u64{1} << 51) - 1;
+  h.v[4] += (u64{1} << 51) - 1;
+  for (int i = 0; i < 4; ++i) {
+    h.v[i + 1] += h.v[i] >> 51;
+    h.v[i] &= kMask51;
+  }
+  h.v[4] &= kMask51;  // discard 2^255
+  std::uint64_t packed[4];
+  packed[0] = h.v[0] | (h.v[1] << 51);
+  packed[1] = (h.v[1] >> 13) | (h.v[2] << 38);
+  packed[2] = (h.v[2] >> 26) | (h.v[3] << 25);
+  packed[3] = (h.v[3] >> 39) | (h.v[4] << 12);
+  for (int w = 0; w < 4; ++w) {
+    for (int b = 0; b < 8; ++b) {
+      out[8 * w + b] = static_cast<std::uint8_t>(packed[w] >> (8 * b));
+    }
+  }
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u_bytes) {
+  // Clamp the scalar per RFC 7748.
+  X25519Key k = scalar;
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  const Fe x1 = fe_frombytes(u_bytes.data());
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  u64 swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const u64 bit = (k[static_cast<std::size_t>(t) / 8] >>
+                     (static_cast<std::size_t>(t) % 8)) & 1;
+    swap ^= bit;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = bit;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    const Fe dacb = fe_add(da, cb);
+    x3 = fe_sq(dacb);
+    const Fe da_cb = fe_sub(da, cb);
+    z3 = fe_mul(x1, fe_sq(da_cb));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e, fe_add(aa, fe_mul_small(e, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe result = fe_mul(x2, fe_invert(z2));
+  X25519Key out;
+  fe_tobytes(out.data(), result);
+  return out;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+Bytes x25519(BytesView scalar, BytesView u) {
+  if (scalar.size() != kX25519KeySize || u.size() != kX25519KeySize) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+  X25519Key s, p;
+  std::copy(scalar.begin(), scalar.end(), s.begin());
+  std::copy(u.begin(), u.end(), p.begin());
+  const X25519Key r = x25519(s, p);
+  return Bytes(r.begin(), r.end());
+}
+
+Bytes x25519_base(BytesView scalar) {
+  if (scalar.size() != kX25519KeySize) {
+    throw std::invalid_argument("x25519_base: scalar must be 32 bytes");
+  }
+  X25519Key s;
+  std::copy(scalar.begin(), scalar.end(), s.begin());
+  const X25519Key r = x25519_base(s);
+  return Bytes(r.begin(), r.end());
+}
+
+}  // namespace cra::crypto

@@ -1,0 +1,36 @@
+// X25519 Diffie-Hellman (RFC 7748), implemented from scratch.
+//
+// SEDA's join phase establishes pairwise keys between neighbors from
+// their certified static public keys. With X25519 in the substrate that
+// exchange is real cryptography: both endpoints derive the identical
+// shared secret from (their own private key, the peer's public key),
+// and the pairwise MAC key is HKDF of that secret.
+//
+// Implementation: 5×51-bit limb field arithmetic over 2^255 − 19 with
+// 128-bit intermediate products, constant-time conditional swaps, and
+// the RFC 7748 Montgomery ladder. Verified against the RFC test vectors
+// (including the 1,000-iteration vector) in tests/crypto/test_x25519.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+
+constexpr std::size_t kX25519KeySize = 32;
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// The raw function: scalar * u-coordinate point (RFC 7748 §5).
+/// The scalar is clamped internally as the RFC requires.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u);
+
+/// scalar * base point (u = 9): derive the public key for a private key.
+X25519Key x25519_base(const X25519Key& scalar);
+
+/// Convenience over Bytes (must be exactly 32 bytes; throws otherwise).
+Bytes x25519(BytesView scalar, BytesView u);
+Bytes x25519_base(BytesView scalar);
+
+}  // namespace cra::crypto

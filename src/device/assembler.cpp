@@ -1,0 +1,431 @@
+#include "device/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "device/isa.hpp"
+
+namespace cra::device {
+
+AssemblerError::AssemblerError(std::size_t line, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string strip(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Split "op a, b, c" into mnemonic + operands (commas and spaces).
+struct ParsedLine {
+  std::string label;     // without ':'
+  std::string mnemonic;  // lowercase, may be empty
+  std::vector<std::string> operands;
+  std::string string_literal;  // for .ascii
+  bool has_string = false;
+};
+
+ParsedLine parse_line(std::string_view raw, std::size_t lineno) {
+  ParsedLine out;
+  // Cut comments (';' or '#'), but not inside a string literal.
+  std::string line;
+  bool in_string = false;
+  for (char c : raw) {
+    if (c == '"') in_string = !in_string;
+    if (!in_string && (c == ';' || c == '#')) break;
+    line.push_back(c);
+  }
+  if (in_string) throw AssemblerError(lineno, "unterminated string literal");
+
+  std::string rest = strip(line);
+  if (rest.empty()) return out;
+
+  // Label?
+  if (const auto colon = rest.find(':'); colon != std::string::npos) {
+    const std::string candidate = strip(rest.substr(0, colon));
+    const bool valid = !candidate.empty() &&
+                       std::all_of(candidate.begin(), candidate.end(),
+                                   [](unsigned char c) {
+                                     return std::isalnum(c) || c == '_' ||
+                                            c == '.';
+                                   });
+    if (valid) {
+      out.label = candidate;
+      rest = strip(rest.substr(colon + 1));
+    }
+  }
+  if (rest.empty()) return out;
+
+  // String literal directive (.ascii)?
+  if (const auto quote = rest.find('"'); quote != std::string::npos) {
+    out.mnemonic = lower(strip(rest.substr(0, quote)));
+    const auto end_quote = rest.rfind('"');
+    if (end_quote == quote) {
+      throw AssemblerError(lineno, "unterminated string literal");
+    }
+    out.string_literal = rest.substr(quote + 1, end_quote - quote - 1);
+    out.has_string = true;
+    return out;
+  }
+
+  const auto space = rest.find_first_of(" \t");
+  if (space == std::string::npos) {
+    out.mnemonic = lower(rest);
+    return out;
+  }
+  out.mnemonic = lower(rest.substr(0, space));
+  std::string operand_str = strip(rest.substr(space));
+  std::string current;
+  for (char c : operand_str) {
+    if (c == ',') {
+      const std::string t = strip(current);
+      if (t.empty()) throw AssemblerError(lineno, "empty operand");
+      out.operands.push_back(t);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const std::string t = strip(current);
+  if (!t.empty()) out.operands.push_back(t);
+  return out;
+}
+
+bool parse_number(std::string_view s, std::int64_t& out) {
+  bool negative = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return false;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  std::uint64_t magnitude = 0;
+  const auto result =
+      std::from_chars(s.data(), s.data() + s.size(), magnitude, base);
+  if (result.ec != std::errc() || result.ptr != s.data() + s.size()) {
+    return false;
+  }
+  out = negative ? -static_cast<std::int64_t>(magnitude)
+                 : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+struct OperandResolver {
+  const std::map<std::string, Addr>& labels;
+  std::size_t lineno;
+
+  std::uint8_t reg(const std::string& s) const {
+    const std::string r = lower(s);
+    if (r == "lr") return kLinkReg;
+    if (r == "sp") return 13;
+    if (r.size() >= 2 && r[0] == 'r') {
+      std::int64_t idx;
+      if (parse_number(r.substr(1), idx) && idx >= 0 && idx < kNumRegs) {
+        return static_cast<std::uint8_t>(idx);
+      }
+    }
+    throw AssemblerError(lineno, "expected register, got '" + s + "'");
+  }
+
+  std::int64_t imm_or_label(const std::string& s) const {
+    std::int64_t v;
+    if (parse_number(s, v)) return v;
+    const auto it = labels.find(s);
+    if (it == labels.end()) {
+      throw AssemblerError(lineno, "undefined symbol '" + s + "'");
+    }
+    return static_cast<std::int64_t>(it->second);
+  }
+};
+
+struct Emitter {
+  Addr base;
+  Addr cursor;
+  Bytes image;  // relative to base; grown on demand
+
+  void ensure(Addr addr, std::size_t len, std::size_t lineno) {
+    if (addr < base) throw AssemblerError(lineno, ".org before base address");
+    const std::size_t offset = addr - base;
+    if (offset + len > image.size()) image.resize(offset + len, 0);
+  }
+
+  void emit_word(Addr addr, std::uint32_t word, std::size_t lineno) {
+    ensure(addr, 4, lineno);
+    const std::size_t o = addr - base;
+    image[o] = static_cast<std::uint8_t>(word);
+    image[o + 1] = static_cast<std::uint8_t>(word >> 8);
+    image[o + 2] = static_cast<std::uint8_t>(word >> 16);
+    image[o + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+
+  void emit_bytes(Addr addr, BytesView data, std::size_t lineno) {
+    ensure(addr, data.size(), lineno);
+    std::copy(data.begin(), data.end(), image.begin() + (addr - base));
+  }
+};
+
+/// Size in bytes a parsed line will occupy (pass 1).
+std::uint32_t line_size(const ParsedLine& line, std::size_t lineno) {
+  if (line.mnemonic.empty()) return 0;
+  if (line.mnemonic == ".org") return 0;  // handled by caller
+  if (line.mnemonic == ".word") {
+    if (line.operands.empty()) {
+      throw AssemblerError(lineno, ".word needs at least one value");
+    }
+    return static_cast<std::uint32_t>(4 * line.operands.size());
+  }
+  if (line.mnemonic == ".space") {
+    if (line.operands.size() != 1) {
+      throw AssemblerError(lineno, ".space needs one size operand");
+    }
+    std::int64_t n;
+    if (!parse_number(line.operands[0], n) || n < 0) {
+      throw AssemblerError(lineno, ".space: bad size");
+    }
+    return static_cast<std::uint32_t>(n);
+  }
+  if (line.mnemonic == ".ascii") {
+    if (!line.has_string) {
+      throw AssemblerError(lineno, ".ascii needs a string literal");
+    }
+    return static_cast<std::uint32_t>(line.string_literal.size());
+  }
+  if (line.mnemonic[0] == '.') {
+    throw AssemblerError(lineno, "unknown directive " + line.mnemonic);
+  }
+  return 4;  // every instruction is one word
+}
+
+struct MnemonicInfo {
+  Opcode op;
+  enum class Format { kNone, kU, kR2, kR3, kI, kMem, kB, kJ, kR1 } format;
+};
+
+const std::map<std::string, MnemonicInfo>& mnemonic_table() {
+  using F = MnemonicInfo::Format;
+  static const std::map<std::string, MnemonicInfo> table = {
+      {"nop", {Opcode::kNop, F::kNone}},
+      {"halt", {Opcode::kHalt, F::kNone}},
+      {"ei", {Opcode::kEi, F::kNone}},
+      {"di", {Opcode::kDi, F::kNone}},
+      {"iret", {Opcode::kIret, F::kNone}},
+      {"ldi", {Opcode::kLdi, F::kU}},
+      {"lui", {Opcode::kLui, F::kU}},
+      {"rdclk", {Opcode::kRdclk, F::kU}},  // rd only
+      {"mov", {Opcode::kMov, F::kR2}},
+      {"add", {Opcode::kAdd, F::kR3}},
+      {"sub", {Opcode::kSub, F::kR3}},
+      {"mul", {Opcode::kMul, F::kR3}},
+      {"and", {Opcode::kAnd, F::kR3}},
+      {"or", {Opcode::kOr, F::kR3}},
+      {"xor", {Opcode::kXor, F::kR3}},
+      {"shl", {Opcode::kShl, F::kR3}},
+      {"shr", {Opcode::kShr, F::kR3}},
+      {"addi", {Opcode::kAddi, F::kI}},
+      {"ldb", {Opcode::kLdb, F::kMem}},
+      {"ldw", {Opcode::kLdw, F::kMem}},
+      {"stb", {Opcode::kStb, F::kMem}},
+      {"stw", {Opcode::kStw, F::kMem}},
+      {"beq", {Opcode::kBeq, F::kB}},
+      {"bne", {Opcode::kBne, F::kB}},
+      {"blt", {Opcode::kBlt, F::kB}},
+      {"bge", {Opcode::kBge, F::kB}},
+      {"bltu", {Opcode::kBltu, F::kB}},
+      {"jmp", {Opcode::kJmp, F::kJ}},
+      {"call", {Opcode::kCall, F::kJ}},
+      {"jr", {Opcode::kJr, F::kR1}},
+  };
+  return table;
+}
+
+void expect_operands(const ParsedLine& line, std::size_t n,
+                     std::size_t lineno) {
+  if (line.operands.size() != n) {
+    std::ostringstream os;
+    os << line.mnemonic << " expects " << n << " operands, got "
+       << line.operands.size();
+    throw AssemblerError(lineno, os.str());
+  }
+}
+
+std::uint32_t encode_line(const ParsedLine& line, Addr addr,
+                          const OperandResolver& res, std::size_t lineno) {
+  const auto it = mnemonic_table().find(line.mnemonic);
+  if (it == mnemonic_table().end()) {
+    throw AssemblerError(lineno, "unknown mnemonic '" + line.mnemonic + "'");
+  }
+  const auto [op, format] = it->second;
+  using F = MnemonicInfo::Format;
+  try {
+    switch (format) {
+      case F::kNone:
+        expect_operands(line, 0, lineno);
+        return encode_r(op, 0, 0, 0);
+      case F::kU: {
+        if (op == Opcode::kRdclk) {
+          expect_operands(line, 1, lineno);
+          return encode_u(op, res.reg(line.operands[0]), 0);
+        }
+        expect_operands(line, 2, lineno);
+        const std::int64_t v = res.imm_or_label(line.operands[1]);
+        if (v < 0 || v > 0xffff) {
+          throw AssemblerError(lineno, "immediate out of 16-bit range");
+        }
+        return encode_u(op, res.reg(line.operands[0]),
+                        static_cast<std::uint32_t>(v));
+      }
+      case F::kR2:
+        expect_operands(line, 2, lineno);
+        return encode_r(op, res.reg(line.operands[0]),
+                        res.reg(line.operands[1]));
+      case F::kR3:
+        expect_operands(line, 3, lineno);
+        return encode_r(op, res.reg(line.operands[0]),
+                        res.reg(line.operands[1]), res.reg(line.operands[2]));
+      case F::kR1:
+        expect_operands(line, 1, lineno);
+        return encode_r(op, 0, res.reg(line.operands[0]));
+      case F::kI:
+        expect_operands(line, 3, lineno);
+        return encode_i(op, res.reg(line.operands[0]),
+                        res.reg(line.operands[1]),
+                        static_cast<std::int32_t>(
+                            res.imm_or_label(line.operands[2])));
+      case F::kMem:
+        expect_operands(line, 3, lineno);
+        return encode_i(op, res.reg(line.operands[0]),
+                        res.reg(line.operands[1]),
+                        static_cast<std::int32_t>(
+                            res.imm_or_label(line.operands[2])));
+      case F::kB: {
+        expect_operands(line, 3, lineno);
+        const std::int64_t target = res.imm_or_label(line.operands[2]);
+        const std::int64_t offset = target - static_cast<std::int64_t>(addr);
+        return encode_b(op, res.reg(line.operands[0]),
+                        res.reg(line.operands[1]),
+                        static_cast<std::int32_t>(offset));
+      }
+      case F::kJ: {
+        expect_operands(line, 1, lineno);
+        const std::int64_t target = res.imm_or_label(line.operands[0]);
+        if (target < 0) throw AssemblerError(lineno, "negative jump target");
+        return encode_j(op, static_cast<std::uint32_t>(target));
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    throw AssemblerError(lineno, e.what());
+  }
+  throw AssemblerError(lineno, "unhandled format");
+}
+
+}  // namespace
+
+Program assemble(std::string_view source, Addr base) {
+  // Split lines once, keeping line numbers.
+  std::vector<ParsedLine> lines;
+  {
+    std::size_t lineno = 1;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const auto nl = source.find('\n', start);
+      const auto end = nl == std::string_view::npos ? source.size() : nl;
+      lines.push_back(parse_line(source.substr(start, end - start), lineno));
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+      ++lineno;
+    }
+  }
+
+  // Pass 1: lay out addresses and collect labels.
+  std::map<std::string, Addr> labels;
+  {
+    Addr cursor = base;
+    std::size_t lineno = 1;
+    for (const auto& line : lines) {
+      if (!line.label.empty()) {
+        if (!labels.emplace(line.label, cursor).second) {
+          throw AssemblerError(lineno, "duplicate label '" + line.label + "'");
+        }
+      }
+      if (line.mnemonic == ".org") {
+        if (line.operands.size() != 1) {
+          throw AssemblerError(lineno, ".org needs one operand");
+        }
+        std::int64_t target;
+        if (!parse_number(line.operands[0], target) || target < cursor) {
+          throw AssemblerError(lineno, ".org must move forward");
+        }
+        cursor = static_cast<Addr>(target);
+        // Re-bind a label on the same line to the new origin.
+        if (!line.label.empty()) labels[line.label] = cursor;
+      } else {
+        cursor += line_size(line, lineno);
+      }
+      ++lineno;
+    }
+  }
+
+  // Pass 2: encode.
+  Program out;
+  out.base = base;
+  out.labels = labels;
+  Emitter em{base, base, {}};
+  std::size_t lineno = 1;
+  for (const auto& line : lines) {
+    if (line.mnemonic.empty()) {
+      ++lineno;
+      continue;
+    }
+    if (line.mnemonic == ".org") {
+      std::int64_t target;
+      parse_number(line.operands[0], target);
+      em.cursor = static_cast<Addr>(target);
+    } else if (line.mnemonic == ".word") {
+      const OperandResolver res{labels, lineno};
+      for (const auto& opnd : line.operands) {
+        const std::int64_t v = res.imm_or_label(opnd);
+        em.emit_word(em.cursor, static_cast<std::uint32_t>(v), lineno);
+        em.cursor += 4;
+      }
+    } else if (line.mnemonic == ".space") {
+      std::int64_t n;
+      parse_number(line.operands[0], n);
+      em.ensure(em.cursor, static_cast<std::size_t>(n), lineno);
+      em.cursor += static_cast<Addr>(n);
+    } else if (line.mnemonic == ".ascii") {
+      em.emit_bytes(em.cursor, to_bytes(line.string_literal), lineno);
+      em.cursor += static_cast<Addr>(line.string_literal.size());
+    } else {
+      const OperandResolver res{labels, lineno};
+      em.emit_word(em.cursor, encode_line(line, em.cursor, res, lineno),
+                   lineno);
+      em.cursor += 4;
+    }
+    ++lineno;
+  }
+  out.image = std::move(em.image);
+  return out;
+}
+
+}  // namespace cra::device

@@ -1,0 +1,55 @@
+// Two-pass assembler for the TCA machine ISA.
+//
+// Example applications and the security tests need real firmware images
+// (benign tasks, malware payloads, relocation loaders) without
+// hand-encoding words. Syntax, one instruction or directive per line:
+//
+//   ; comment                      .org  0x400   (absolute, zero-fills)
+//   start:                        .word 0xdeadbeef
+//     ldi   r1, 42                .ascii "hi"
+//     lui   r2, 0x1234            .space 16
+//     add   r1, r2, r3
+//     addi  r1, r2, -4
+//     ldw   r1, r2, 8             ; rd, base, offset
+//     stw   r1, r2, 8             ; src, base, offset
+//     beq   r1, r2, label
+//     jmp   label      /  call label  /  jr lr
+//     rdclk r5         /  ei / di / iret / nop / halt
+//
+// Registers r0..r15 with aliases lr (r14) and sp (r13). Immediates are
+// decimal or 0x-hex, optionally negative. Labels may be used before
+// definition (pass 1 collects them, pass 2 encodes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "device/memory.hpp"
+
+namespace cra::device {
+
+/// Error with line number context.
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(std::size_t line, const std::string& message);
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct Program {
+  Addr base = 0;                      // load address of image[0]
+  Bytes image;                        // contiguous bytes from base
+  std::map<std::string, Addr> labels; // absolute label addresses
+};
+
+/// Assemble `source` with the first byte at `base`. Throws
+/// AssemblerError on any syntax or range problem.
+Program assemble(std::string_view source, Addr base);
+
+}  // namespace cra::device

@@ -1,0 +1,451 @@
+#include "device/attest_asm.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "device/attest_tcb.hpp"
+
+namespace cra::device {
+namespace {
+
+/// Emits assembly with a tiny macro layer. Register conventions inside
+/// the TCB:
+///   r0        scratch for address materialization (la) and constants
+///   r1..r5    SHA-1 working registers a..e (r5 doubles as the pad byte
+///             argument of padblk outside compress)
+///   r6..r8    temporaries
+///   r9        loop counter
+///   r10..r12  pointers / temporaries
+///   r13       saved architectural return address (live for the whole
+///             TCB invocation — nothing else may touch it)
+///   r14 (lr)  link register for internal subroutine calls
+class AsmWriter {
+ public:
+  void raw(const std::string& line) { out_ << "  " << line << "\n"; }
+  void label(const std::string& name) { out_ << name << ":\n"; }
+  void comment(const std::string& text) { out_ << "  ; " << text << "\n"; }
+
+  /// Load a 32-bit literal into `reg` (clobbers r0 when reg != r0).
+  void la(const std::string& reg, std::uint32_t value) {
+    if (value <= 0xffff) {
+      raw("ldi " + reg + ", " + std::to_string(value));
+      return;
+    }
+    raw("lui " + reg + ", " + std::to_string(value >> 16));
+    raw("ldi r0, " + std::to_string(value & 0xffff));
+    raw("or " + reg + ", " + reg + ", r0");
+  }
+
+  /// Counted loop epilogue: decrement r9, loop while nonzero.
+  void loop_dec_r9(const std::string& target) {
+    raw("addi r9, r9, -1");
+    raw("ldi r6, 0");
+    raw("bne r9, r6, " + target);
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+struct Layout {
+  Addr entry;       // first(r4)
+  std::uint32_t code_size;
+  Addr key;         // r6 base (20 bytes)
+  Addr chal_mb;     // 4-byte chal mailbox
+  Addr token_mb;    // 20-byte token mailbox
+  Addr pmem_base;
+  std::uint32_t pmem_size;
+  // Scratch slots.
+  Addr state;    // 5 words
+  Addr block;    // 64 bytes
+  Addr w;        // 80 words
+  Addr idig;     // 20 bytes (inner digest, big-endian)
+  Addr cursor;   // 1 word (PMEM position across compress calls)
+};
+
+Layout make_layout(const DeviceConfig& config) {
+  if (config.attest.alg != crypto::HashAlg::kSha1) {
+    throw std::invalid_argument(
+        "interpreted attest: only HMAC-SHA1 (l=160) is implemented");
+  }
+  if (config.layout.pmem_size % 64 != 0) {
+    throw std::invalid_argument(
+        "interpreted attest: pmem_size must be a multiple of 64");
+  }
+  if (config.attest_scratch_size < 512) {
+    throw std::invalid_argument(
+        "interpreted attest: need >= 512 bytes of attest scratch");
+  }
+  const Addr promem = config.layout.promem_base();
+  const AttestMailboxes mb = attest_mailboxes(config.layout, config.attest);
+  Layout l;
+  l.entry = promem + config.attest_code_offset;
+  l.code_size = config.attest_code_size;
+  l.key = promem + config.attest_key_offset;
+  l.chal_mb = mb.chal;
+  l.token_mb = mb.token;
+  l.pmem_base = config.layout.pmem_base();
+  l.pmem_size = config.layout.pmem_size;
+  const Addr s = promem + config.attest_scratch_offset;
+  l.state = s;
+  l.block = s + 32;
+  l.w = s + 96;
+  l.idig = s + 416;
+  l.cursor = s + 440;
+  return l;
+}
+
+/// SHA-1 round constants and initial state.
+constexpr std::uint32_t kH[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                                 0x10325476u, 0xc3d2e1f0u};
+constexpr std::uint32_t kK[4] = {0x5a827999u, 0x6ed9eba1u, 0x8f1bbcdcu,
+                                 0xca62c1d6u};
+
+void emit_zero_bytes(AsmWriter& a, const std::string& base_reg,
+                     std::uint32_t offset, std::uint32_t count,
+                     const std::string& tag) {
+  a.raw("addi r12, " + base_reg + ", " + std::to_string(offset));
+  a.raw("ldi r9, " + std::to_string(count));
+  a.label(tag);
+  a.raw("ldi r6, 0");
+  a.raw("stb r6, r12, 0");
+  a.raw("addi r12, r12, 1");
+  a.loop_dec_r9(tag);
+}
+
+/// Store a 32-bit big-endian value held in r6 at [r12 + offset..+3].
+void emit_store_be32(AsmWriter& a, std::uint32_t offset) {
+  a.raw("ldi r8, 24");
+  a.raw("shr r7, r6, r8");
+  a.raw("stb r7, r12, " + std::to_string(offset));
+  a.raw("ldi r8, 16");
+  a.raw("shr r7, r6, r8");
+  a.raw("stb r7, r12, " + std::to_string(offset + 1));
+  a.raw("ldi r8, 8");
+  a.raw("shr r7, r6, r8");
+  a.raw("stb r7, r12, " + std::to_string(offset + 2));
+  a.raw("stb r6, r12, " + std::to_string(offset + 3));
+}
+
+}  // namespace
+
+DeviceConfig interpreted_attest_config(std::uint32_t pmem_size) {
+  DeviceConfig cfg;
+  cfg.layout = MemoryLayout{256, pmem_size, 1024, 8 * 1024};
+  cfg.attest_code_offset = 0;
+  cfg.attest_code_size = 4 * 1024;
+  cfg.attest_key_offset = 4 * 1024;
+  cfg.attest_scratch_offset = 4 * 1024 + 512;
+  cfg.attest_scratch_size = 1024;
+  return cfg;
+}
+
+std::string generate_attest_asm(const DeviceConfig& config) {
+  const Layout l = make_layout(config);
+  AsmWriter a;
+
+  const std::uint32_t inner_bitlen =
+      (64 + l.pmem_size + 4) * 8;            // ipad block + PMEM + chal
+  constexpr std::uint32_t kOuterBitlen = (64 + 20) * 8;  // opad + digest
+
+  // ---------------------------------------------------------------- main
+  a.label("attest_entry");
+  a.comment("controlled invocation lands here (first(r4)); save the");
+  a.comment("architectural return address for the whole invocation");
+  a.raw("mov r13, lr");
+
+  a.comment("time = readSecureClock(); compare with the chal mailbox");
+  a.raw("rdclk r1");
+  a.la("r10", l.chal_mb);
+  a.raw("ldw r2, r10, 0");
+  a.raw("beq r1, r2, attest_go");
+
+  a.comment("chal != time: h = 0^l");
+  a.la("r11", l.token_mb);
+  a.raw("ldi r9, 20");
+  a.label("zero_token");
+  a.raw("ldi r6, 0");
+  a.raw("stb r6, r11, 0");
+  a.raw("addi r11, r11, 1");
+  a.loop_dec_r9("zero_token");
+  a.raw("jmp attest_finish");
+
+  a.label("attest_go");
+  a.comment("inner hash: H(ipad-block || PMEM || chal || padding)");
+  a.raw("ldi r5, 54");  // 0x36
+  a.raw("call build_pad_block");
+  a.raw("call sha1_init");
+  a.raw("call sha1_compress");
+
+  a.comment("stream PMEM through 64-byte blocks");
+  a.la("r6", l.pmem_base);
+  a.la("r10", l.cursor);
+  a.raw("stw r6, r10, 0");
+  a.label("pmem_loop");
+  a.la("r10", l.cursor);
+  a.raw("ldw r11, r10, 0");
+  a.la("r12", l.block);
+  a.raw("ldi r9, 16");
+  a.label("pmem_copy");
+  a.raw("ldw r6, r11, 0");
+  a.raw("stw r6, r12, 0");
+  a.raw("addi r11, r11, 4");
+  a.raw("addi r12, r12, 4");
+  a.loop_dec_r9("pmem_copy");
+  a.la("r10", l.cursor);
+  a.raw("stw r11, r10, 0");
+  a.raw("call sha1_compress");
+  a.la("r10", l.cursor);
+  a.raw("ldw r11, r10, 0");
+  a.la("r12", l.pmem_base + l.pmem_size);
+  a.raw("bltu r11, r12, pmem_loop");
+
+  a.comment("final inner block: chal(LE) || 0x80 || zeros || bitlen(BE)");
+  a.la("r12", l.block);
+  a.la("r10", l.chal_mb);
+  a.raw("ldw r6, r10, 0");
+  a.raw("stw r6, r12, 0");
+  a.raw("ldi r6, 128");  // 0x80
+  a.raw("stb r6, r12, 4");
+  emit_zero_bytes(a, "r12", 5, 55, "zero_inner_pad");  // bytes 5..59
+  a.la("r12", l.block);
+  a.la("r6", inner_bitlen);
+  emit_store_be32(a, 60);
+  a.raw("call sha1_compress");
+
+  a.comment("save the inner digest (big-endian bytes)");
+  a.la("r11", l.idig);
+  a.raw("call store_state_be");
+
+  a.comment("outer hash: H(opad-block || inner-digest || padding)");
+  a.raw("ldi r5, 92");  // 0x5c
+  a.raw("call build_pad_block");
+  a.raw("call sha1_init");
+  a.raw("call sha1_compress");
+  a.comment("final outer block: idig(20) || 0x80 || zeros || 672(BE)");
+  a.la("r10", l.idig);
+  a.la("r12", l.block);
+  a.raw("ldi r9, 20");
+  a.label("copy_idig");
+  a.raw("ldb r6, r10, 0");
+  a.raw("stb r6, r12, 0");
+  a.raw("addi r10, r10, 1");
+  a.raw("addi r12, r12, 1");
+  a.loop_dec_r9("copy_idig");
+  a.la("r12", l.block);
+  a.raw("ldi r6, 128");
+  a.raw("stb r6, r12, 20");
+  emit_zero_bytes(a, "r12", 21, 39, "zero_outer_pad");  // bytes 21..59
+  a.la("r12", l.block);
+  a.la("r6", kOuterBitlen);
+  emit_store_be32(a, 60);
+  a.raw("call sha1_compress");
+
+  a.comment("write the token (big-endian) to the mailbox");
+  a.la("r11", l.token_mb);
+  a.raw("call store_state_be");
+
+  a.label("attest_finish");
+  a.comment("restore the return address and leave through last(r4)");
+  a.raw("mov lr, r13");
+  a.raw("jmp attest_exit");
+
+  // ------------------------------------------------------- subroutines
+  a.comment("---- build_pad_block: block = (key ^ r5) padded with r5");
+  a.label("build_pad_block");
+  a.la("r10", l.key);
+  a.la("r11", l.block);
+  a.raw("ldi r9, 20");
+  a.label("pad_key");
+  a.raw("ldb r6, r10, 0");
+  a.raw("xor r6, r6, r5");
+  a.raw("stb r6, r11, 0");
+  a.raw("addi r10, r10, 1");
+  a.raw("addi r11, r11, 1");
+  a.loop_dec_r9("pad_key");
+  a.raw("ldi r9, 44");
+  a.label("pad_fill");
+  a.raw("stb r5, r11, 0");
+  a.raw("addi r11, r11, 1");
+  a.loop_dec_r9("pad_fill");
+  a.raw("jr lr");
+
+  a.comment("---- sha1_init: state = FIPS initial constants");
+  a.label("sha1_init");
+  a.la("r10", l.state);
+  for (int i = 0; i < 5; ++i) {
+    a.la("r6", kH[i]);
+    a.raw("stw r6, r10, " + std::to_string(4 * i));
+  }
+  a.raw("jr lr");
+
+  a.comment("---- store_state_be: 5 state words as big-endian to [r11]");
+  a.label("store_state_be");
+  a.la("r10", l.state);
+  a.raw("ldi r9, 5");
+  a.label("ssb_loop");
+  a.raw("ldw r6, r10, 0");
+  a.raw("mov r12, r11");
+  emit_store_be32(a, 0);
+  a.raw("addi r10, r10, 4");
+  a.raw("addi r11, r11, 4");
+  a.loop_dec_r9("ssb_loop");
+  a.raw("jr lr");
+
+  a.comment("---- sha1_compress: one 64-byte block from BLOCK into STATE");
+  a.label("sha1_compress");
+  a.comment("message schedule w[0..15]: big-endian words from the block");
+  a.la("r10", l.block);
+  a.la("r11", l.w);
+  a.raw("ldi r9, 16");
+  a.label("sc_sched1");
+  a.raw("ldb r1, r10, 0");
+  a.raw("ldb r2, r10, 1");
+  a.raw("ldb r3, r10, 2");
+  a.raw("ldb r4, r10, 3");
+  a.raw("ldi r6, 24");
+  a.raw("shl r1, r1, r6");
+  a.raw("ldi r6, 16");
+  a.raw("shl r2, r2, r6");
+  a.raw("ldi r6, 8");
+  a.raw("shl r3, r3, r6");
+  a.raw("or r1, r1, r2");
+  a.raw("or r1, r1, r3");
+  a.raw("or r1, r1, r4");
+  a.raw("stw r1, r11, 0");
+  a.raw("addi r10, r10, 4");
+  a.raw("addi r11, r11, 4");
+  a.loop_dec_r9("sc_sched1");
+
+  a.comment("w[16..79] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16])");
+  a.raw("ldi r9, 64");
+  a.label("sc_sched2");
+  a.raw("ldw r1, r11, -12");
+  a.raw("ldw r2, r11, -32");
+  a.raw("ldw r3, r11, -56");
+  a.raw("ldw r4, r11, -64");
+  a.raw("xor r1, r1, r2");
+  a.raw("xor r1, r1, r3");
+  a.raw("xor r1, r1, r4");
+  a.raw("ldi r6, 1");
+  a.raw("shl r2, r1, r6");
+  a.raw("ldi r6, 31");
+  a.raw("shr r1, r1, r6");
+  a.raw("or r1, r1, r2");
+  a.raw("stw r1, r11, 0");
+  a.raw("addi r11, r11, 4");
+  a.loop_dec_r9("sc_sched2");
+
+  a.comment("80 rounds over a..e (r1..r5)");
+  a.la("r10", l.state);
+  a.raw("ldw r1, r10, 0");
+  a.raw("ldw r2, r10, 4");
+  a.raw("ldw r3, r10, 8");
+  a.raw("ldw r4, r10, 12");
+  a.raw("ldw r5, r10, 16");
+  a.la("r10", l.w);
+  a.raw("ldi r9, 0");
+  a.label("sc_round");
+  a.raw("ldi r8, 20");
+  a.raw("blt r9, r8, sc_f0");
+  a.raw("ldi r8, 40");
+  a.raw("blt r9, r8, sc_f1");
+  a.raw("ldi r8, 60");
+  a.raw("blt r9, r8, sc_f2");
+  a.comment("f3: b^c^d");
+  a.raw("xor r6, r2, r3");
+  a.raw("xor r6, r6, r4");
+  a.la("r7", kK[3]);
+  a.raw("jmp sc_body");
+  a.label("sc_f0");
+  a.comment("f0: (b&c)|(~b&d)");
+  a.raw("and r6, r2, r3");
+  a.raw("ldi r8, 0");
+  a.raw("addi r8, r8, -1");
+  a.raw("xor r8, r2, r8");
+  a.raw("and r8, r8, r4");
+  a.raw("or r6, r6, r8");
+  a.la("r7", kK[0]);
+  a.raw("jmp sc_body");
+  a.label("sc_f1");
+  a.raw("xor r6, r2, r3");
+  a.raw("xor r6, r6, r4");
+  a.la("r7", kK[1]);
+  a.raw("jmp sc_body");
+  a.label("sc_f2");
+  a.comment("f2: (b&c)|(b&d)|(c&d)");
+  a.raw("and r6, r2, r3");
+  a.raw("and r8, r2, r4");
+  a.raw("or r6, r6, r8");
+  a.raw("and r8, r3, r4");
+  a.raw("or r6, r6, r8");
+  a.la("r7", kK[2]);
+  a.label("sc_body");
+  a.comment("temp = rotl(a,5) + f + e + k + w[i]");
+  a.raw("ldi r8, 5");
+  a.raw("shl r11, r1, r8");
+  a.raw("ldi r8, 27");
+  a.raw("shr r12, r1, r8");
+  a.raw("or r11, r11, r12");
+  a.raw("add r11, r11, r6");
+  a.raw("add r11, r11, r5");
+  a.raw("add r11, r11, r7");
+  a.raw("ldi r8, 2");
+  a.raw("shl r12, r9, r8");
+  a.raw("add r12, r12, r10");
+  a.raw("ldw r12, r12, 0");
+  a.raw("add r11, r11, r12");
+  a.comment("e=d; d=c; c=rotl(b,30); b=a; a=temp");
+  a.raw("mov r5, r4");
+  a.raw("mov r4, r3");
+  a.raw("ldi r8, 30");
+  a.raw("shl r3, r2, r8");
+  a.raw("ldi r8, 2");
+  a.raw("shr r12, r2, r8");
+  a.raw("or r3, r3, r12");
+  a.raw("mov r2, r1");
+  a.raw("mov r1, r11");
+  a.raw("addi r9, r9, 1");
+  a.raw("ldi r8, 80");
+  a.raw("bne r9, r8, sc_round");
+
+  a.comment("fold the working registers back into the state");
+  a.la("r10", l.state);
+  const char* working[5] = {"r1", "r2", "r3", "r4", "r5"};
+  for (int i = 0; i < 5; ++i) {
+    a.raw("ldw r6, r10, " + std::to_string(4 * i));
+    a.raw(std::string("add r6, r6, ") + working[i]);
+    a.raw("stw r6, r10, " + std::to_string(4 * i));
+  }
+  a.raw("jr lr");
+
+  // --------------------------------------------- architectural exit
+  a.raw(".org " + std::to_string(l.entry + l.code_size - 4));
+  a.label("attest_exit");
+  a.raw("jr lr");
+
+  return a.str();
+}
+
+Program assemble_interpreted_attest(const DeviceConfig& config) {
+  const Layout l = make_layout(config);
+  Program p = assemble(generate_attest_asm(config), l.entry);
+  if (p.image.size() != l.code_size) {
+    throw std::invalid_argument(
+        "interpreted attest: attest_code_size too small (need " +
+        std::to_string(p.image.size() - 4) + "+ bytes before the exit)");
+  }
+  return p;
+}
+
+void install_interpreted_attest(Device& device) {
+  const Program p = assemble_interpreted_attest(device.config());
+  // Manufacture-time write into r4 (raw memory path, pre-lock).
+  device.memory().write_range(device.mpu().attest_code().start, p.image);
+  device.cpu().set_attest_routine(nullptr);
+  device.provision();  // Secure Boot now measures the real TCB code
+}
+
+}  // namespace cra::device

@@ -1,0 +1,56 @@
+// Interpreted attest TCB: HMAC-SHA1 written in the device's own ISA.
+//
+// The native attest routine (attest_tcb.hpp) models the TCB as an atomic
+// hardware-assisted step. This module goes further: it generates a
+// complete HMAC-SHA1 implementation in TCA machine code, installs it
+// into the r4 region, and lets the ordinary fetch-execute interpreter
+// run it — every instruction fetched from r4, every key byte read under
+// Eq. 17, every scratch access under the ProMEM policy, entry/exit
+// through first(r4)/last(r4) under Eqs. 18/19, interrupts vetoed by
+// Eq. 20 on each cycle. The produced token is bit-identical to the
+// native routine's (and hence to the verifier's expectation), and the
+// cycle cost is the *measured* instruction stream, not a model.
+//
+// Program layout inside r4 (code size fixed by config.attest_code_size;
+// the architectural exit `jr lr` sits at the region's last word):
+//
+//   entry:  save LR, read secure clock, compare with the chal mailbox
+//           -> mismatch: zero the token mailbox, exit
+//   body:   ipad block, 64-byte PMEM blocks, final block with the
+//           little-endian chal + SHA-1 padding; then the outer hash over
+//           opad || inner digest; write the 20-byte token big-endian
+//   exit:   restore LR, jump to last(r4) = `jr lr`
+//
+// Constraints (checked, throws std::invalid_argument):
+//   * config.attest.alg == HashAlg::kSha1 (l = 160)
+//   * pmem_size % 64 == 0 (blocks align; all standard sizes qualify)
+//   * attest_code_size large enough for the program (>= ~3 KB)
+//   * attest scratch >= 512 bytes (SHA-1 state + block + W + spill)
+#pragma once
+
+#include <string>
+
+#include "device/assembler.hpp"
+#include "device/device.hpp"
+
+namespace cra::device {
+
+/// A device configuration whose ProMEM geometry fits the interpreted
+/// TCB: 4 KB r4, key at +4096, 1 KB scratch at +4608 (ProMEM >= 8 KB).
+/// `pmem_size` must be a multiple of 64.
+DeviceConfig interpreted_attest_config(std::uint32_t pmem_size = 4 * 1024);
+
+/// Generate the assembly source for the given device geometry.
+/// Exposed for inspection/tests; install_interpreted_attest() is the
+/// normal entry point.
+std::string generate_attest_asm(const DeviceConfig& config);
+
+/// Assemble the TCB for `config` at its r4 base address.
+Program assemble_interpreted_attest(const DeviceConfig& config);
+
+/// Replace `device`'s native attest routine with the interpreted one:
+/// writes the program into r4 (manufacture-time raw access), clears the
+/// native hook, and re-provisions Secure Boot over the new TCB.
+void install_interpreted_attest(Device& device);
+
+}  // namespace cra::device

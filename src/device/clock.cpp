@@ -1,0 +1,55 @@
+#include "device/clock.hpp"
+
+#include <stdexcept>
+
+namespace cra::device {
+
+SecureClock::SecureClock(std::uint64_t hz, std::uint32_t divisor)
+    : hz_(hz), divisor_(divisor) {
+  if (hz == 0 || divisor == 0) {
+    throw std::invalid_argument("SecureClock: hz and divisor must be > 0");
+  }
+}
+
+sim::Duration SecureClock::tick_period() const noexcept {
+  return sim::cycles_to_time(divisor_, hz_);
+}
+
+double SecureClock::wraparound_seconds() const noexcept {
+  return static_cast<double>(divisor_) / static_cast<double>(hz_) *
+         4294967296.0;
+}
+
+std::uint32_t SecureClock::read_at_cycles(std::uint64_t cycles) const noexcept {
+  return static_cast<std::uint32_t>(cycles / divisor_);
+}
+
+std::uint32_t SecureClock::read_at_time(sim::SimTime now,
+                                        sim::Duration skew) const noexcept {
+  const std::int64_t ns = now.ns() + skew.ns();
+  if (ns <= 0) return 0;
+  // ticks = ns * hz / (divisor * 1e9), computed in 128 bits to avoid
+  // overflow over multi-year simulated spans.
+  const sim::Uint128 cycles =
+      static_cast<sim::Uint128>(ns) * hz_ / 1'000'000'000ULL;
+  return static_cast<std::uint32_t>(cycles / divisor_);
+}
+
+sim::SimTime SecureClock::tick_to_time(std::uint32_t tick) const noexcept {
+  // Round up so that reading the clock back at the returned instant
+  // already yields `tick` (the register increments at the boundary).
+  const sim::Uint128 ns = (static_cast<sim::Uint128>(tick) * divisor_ *
+                               1'000'000'000ULL + hz_ - 1) / hz_;
+  return sim::SimTime(static_cast<std::int64_t>(ns));
+}
+
+std::uint32_t SecureClock::time_to_tick_ceil(sim::SimTime t) const noexcept {
+  if (t.ns() <= 0) return 0;
+  const sim::Uint128 cycles =
+      (static_cast<sim::Uint128>(t.ns()) * hz_ + 999'999'999ULL) /
+      1'000'000'000ULL;
+  const sim::Uint128 ticks = (cycles + divisor_ - 1) / divisor_;
+  return static_cast<std::uint32_t>(ticks);
+}
+
+}  // namespace cra::device

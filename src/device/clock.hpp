@@ -1,0 +1,61 @@
+// Network-wide secure synchronized clock (paper §V-C / §VII-A).
+//
+// SAP's attest requires every device to agree on the current time and
+// requires that malware cannot spoof readSecureClock(). The paper's
+// TrustLite extension is a write-protected 32-bit register incremented
+// every 250,000 cycles of the 24 MHz core (one tick ≈ 10.42 ms), which
+// wraps around after ~2 years.
+//
+// The register is hardware-written only: software reaches it exclusively
+// through the RDCLK instruction, and this class exposes no mutating API
+// to machine code. Simulation "synchronizes" all devices by deriving the
+// tick count from the shared simulation time plus a per-device boot
+// offset (0 when perfectly synchronized; tests exercise skew).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace cra::device {
+
+class SecureClock {
+ public:
+  /// `hz` is the core frequency driving the counter; `divisor` is the
+  /// cycle count per tick. Defaults are the paper's (24 MHz / 250,000).
+  explicit SecureClock(std::uint64_t hz = 24'000'000,
+                       std::uint32_t divisor = 250'000);
+
+  std::uint64_t hz() const noexcept { return hz_; }
+  std::uint32_t divisor() const noexcept { return divisor_; }
+
+  /// Tick period.
+  sim::Duration tick_period() const noexcept;
+
+  /// Time until the 32-bit register wraps (the paper: "almost 2 years").
+  double wraparound_seconds() const noexcept;
+
+  /// Read the register given the device's cumulative cycle count
+  /// (standalone VM runs — the counter is driven by the core clock).
+  std::uint32_t read_at_cycles(std::uint64_t cycles) const noexcept;
+
+  /// Read the register given global simulation time (networked runs —
+  /// the counter was synchronized at deployment). `skew` models residual
+  /// synchronization error.
+  std::uint32_t read_at_time(sim::SimTime now,
+                             sim::Duration skew = sim::Duration::zero())
+      const noexcept;
+
+  /// Convert a tick value back to the start of that tick (used by the
+  /// verifier to translate chal = t_att ticks into simulation time).
+  sim::SimTime tick_to_time(std::uint32_t tick) const noexcept;
+
+  /// First tick whose start time is >= `t`.
+  std::uint32_t time_to_tick_ceil(sim::SimTime t) const noexcept;
+
+ private:
+  std::uint64_t hz_;
+  std::uint32_t divisor_;
+};
+
+}  // namespace cra::device

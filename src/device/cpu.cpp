@@ -1,0 +1,255 @@
+#include "device/cpu.hpp"
+
+#include <stdexcept>
+
+namespace cra::device {
+
+Cpu::Cpu(Memory& memory, Mpu& mpu, const SecureClock& clock, std::uint64_t hz)
+    : memory_(memory), mpu_(mpu), clock_(clock), hz_(hz) {
+  if (hz_ == 0) throw std::invalid_argument("Cpu: hz must be > 0");
+}
+
+std::uint32_t Cpu::reg(std::uint8_t idx) const {
+  if (idx >= kNumRegs) throw std::out_of_range("Cpu::reg: bad index");
+  return regs_[idx];
+}
+
+void Cpu::set_reg(std::uint8_t idx, std::uint32_t value) {
+  if (idx >= kNumRegs) throw std::out_of_range("Cpu::set_reg: bad index");
+  regs_[idx] = value;
+}
+
+void Cpu::reset(Addr entry) {
+  for (auto& r : regs_) r = 0;
+  pc_ = entry;
+  epc_ = 0;
+  interrupts_enabled_ = false;
+  state_ = CpuState::kRunning;
+  fault_.reset();
+  irq_queue_.clear();
+}
+
+void Cpu::raise_interrupt(Addr handler) { irq_queue_.push_back(handler); }
+
+std::uint32_t Cpu::read_secure_clock() const noexcept {
+  return clock_.read_at_cycles(clock_base_ + cycles_);
+}
+
+void Cpu::set_attest_routine(NativeRoutine routine) {
+  attest_routine_ = std::move(routine);
+}
+
+void Cpu::trap(const Fault& f) {
+  state_ = CpuState::kFaulted;
+  fault_ = f;
+}
+
+bool Cpu::deliver_interrupt() {
+  if (irq_queue_.empty() || !interrupts_enabled_) return false;
+  if (!mpu_.interrupts_allowed(pc_)) {
+    // Eq. 20: the request stays pending until attest finishes.
+    ++deferred_irqs_;
+    return false;
+  }
+  const Addr handler = irq_queue_.front();
+  irq_queue_.pop_front();
+  // A vector that points into the middle of the attest region is itself
+  // a controlled-invocation violation (Eq. 18 applies to every control
+  // transfer, interrupt dispatch included).
+  if (const auto f = mpu_.check_transfer(pc_, handler)) {
+    trap(*f);
+    return true;
+  }
+  epc_ = pc_;
+  interrupts_enabled_ = false;
+  pc_ = handler;
+  cycles_ += 4;  // context-save latency
+  return true;
+}
+
+bool Cpu::transfer_to(Addr from, Addr target) {
+  if (const auto f = mpu_.check_transfer(from, target)) {
+    trap(*f);
+    return false;
+  }
+  // A controlled entry into the attest region runs the native TCB
+  // atomically when one is registered.
+  if (attest_routine_ && mpu_.attest_registered() &&
+      target == mpu_.attest_entry() && !mpu_.attest_code().contains(from)) {
+    cycles_ += attest_routine_(*this, memory_);
+    // The routine "executes" from first(r4) through last(r4) and returns
+    // via the link register, i.e. the exit transfer happens at last(r4)
+    // which Eq. 19 permits.
+    const Addr ret = regs_[kLinkReg];
+    if (const auto f = mpu_.check_transfer(mpu_.attest_exit(), ret)) {
+      trap(*f);
+      return false;
+    }
+    pc_ = ret;
+    return true;
+  }
+  pc_ = target;
+  return true;
+}
+
+bool Cpu::step() {
+  if (state_ != CpuState::kRunning) return false;
+  if (deliver_interrupt()) return true;
+
+  if (const auto f = mpu_.check_fetch(pc_)) {
+    trap(*f);
+    return false;
+  }
+  const std::uint32_t word = memory_.read32(pc_);
+  const auto decoded = decode(word);
+  if (!decoded) {
+    trap(Fault{FaultKind::kNoExecute, pc_, pc_});
+    return false;
+  }
+  const Instruction& ins = *decoded;
+  cycles_ += opcode_cycles(ins.op);
+
+  const Addr cur = pc_;
+  const Addr next = pc_ + 4;
+  const std::uint32_t uimm16 = static_cast<std::uint32_t>(ins.imm) & 0xffffu;
+
+  auto data_addr = [&](std::uint8_t base) {
+    return regs_[base] + static_cast<std::uint32_t>(ins.imm);
+  };
+  auto branch = [&](bool taken) {
+    if (taken) {
+      cycles_ += 1;
+      return transfer_to(cur, cur + static_cast<std::uint32_t>(ins.imm));
+    }
+    return transfer_to(cur, next);
+  };
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      return transfer_to(cur, next);
+    case Opcode::kHalt:
+      state_ = CpuState::kHalted;
+      return true;
+    case Opcode::kLdi:
+      regs_[ins.rd] = uimm16;
+      return transfer_to(cur, next);
+    case Opcode::kLui:
+      regs_[ins.rd] = uimm16 << 16;
+      return transfer_to(cur, next);
+    case Opcode::kMov:
+      regs_[ins.rd] = regs_[ins.rs1];
+      return transfer_to(cur, next);
+    case Opcode::kAdd:
+      regs_[ins.rd] = regs_[ins.rs1] + regs_[ins.rs2];
+      return transfer_to(cur, next);
+    case Opcode::kSub:
+      regs_[ins.rd] = regs_[ins.rs1] - regs_[ins.rs2];
+      return transfer_to(cur, next);
+    case Opcode::kMul:
+      regs_[ins.rd] = regs_[ins.rs1] * regs_[ins.rs2];
+      return transfer_to(cur, next);
+    case Opcode::kAnd:
+      regs_[ins.rd] = regs_[ins.rs1] & regs_[ins.rs2];
+      return transfer_to(cur, next);
+    case Opcode::kOr:
+      regs_[ins.rd] = regs_[ins.rs1] | regs_[ins.rs2];
+      return transfer_to(cur, next);
+    case Opcode::kXor:
+      regs_[ins.rd] = regs_[ins.rs1] ^ regs_[ins.rs2];
+      return transfer_to(cur, next);
+    case Opcode::kShl:
+      regs_[ins.rd] = regs_[ins.rs1] << (regs_[ins.rs2] & 31u);
+      return transfer_to(cur, next);
+    case Opcode::kShr:
+      regs_[ins.rd] = regs_[ins.rs1] >> (regs_[ins.rs2] & 31u);
+      return transfer_to(cur, next);
+    case Opcode::kAddi:
+      regs_[ins.rd] = regs_[ins.rs1] + static_cast<std::uint32_t>(ins.imm);
+      return transfer_to(cur, next);
+    case Opcode::kLdb: {
+      const Addr a = data_addr(ins.rs1);
+      if (const auto f = mpu_.check_data(Access::kRead, a, 1, cur)) {
+        trap(*f);
+        return false;
+      }
+      regs_[ins.rd] = memory_.read8(a);
+      return transfer_to(cur, next);
+    }
+    case Opcode::kLdw: {
+      const Addr a = data_addr(ins.rs1);
+      if (const auto f = mpu_.check_data(Access::kRead, a, 4, cur)) {
+        trap(*f);
+        return false;
+      }
+      regs_[ins.rd] = memory_.read32(a);
+      return transfer_to(cur, next);
+    }
+    case Opcode::kStb: {
+      const Addr a = data_addr(ins.rs1);
+      if (const auto f = mpu_.check_data(Access::kWrite, a, 1, cur)) {
+        trap(*f);
+        return false;
+      }
+      memory_.write8(a, static_cast<std::uint8_t>(regs_[ins.rd]));
+      return transfer_to(cur, next);
+    }
+    case Opcode::kStw: {
+      const Addr a = data_addr(ins.rs1);
+      if (const auto f = mpu_.check_data(Access::kWrite, a, 4, cur)) {
+        trap(*f);
+        return false;
+      }
+      memory_.write32(a, regs_[ins.rd]);
+      return transfer_to(cur, next);
+    }
+    case Opcode::kBeq:
+      return branch(regs_[ins.rd] == regs_[ins.rs1]);
+    case Opcode::kBne:
+      return branch(regs_[ins.rd] != regs_[ins.rs1]);
+    case Opcode::kBlt:
+      return branch(static_cast<std::int32_t>(regs_[ins.rd]) <
+                    static_cast<std::int32_t>(regs_[ins.rs1]));
+    case Opcode::kBge:
+      return branch(static_cast<std::int32_t>(regs_[ins.rd]) >=
+                    static_cast<std::int32_t>(regs_[ins.rs1]));
+    case Opcode::kBltu:
+      return branch(regs_[ins.rd] < regs_[ins.rs1]);
+    case Opcode::kJmp:
+      return transfer_to(cur, ins.target);
+    case Opcode::kCall:
+      regs_[kLinkReg] = next;
+      return transfer_to(cur, ins.target);
+    case Opcode::kJr:
+      return transfer_to(cur, regs_[ins.rs1]);
+    case Opcode::kRdclk:
+      regs_[ins.rd] = read_secure_clock();
+      return transfer_to(cur, next);
+    case Opcode::kEi:
+      interrupts_enabled_ = true;
+      return transfer_to(cur, next);
+    case Opcode::kDi:
+      interrupts_enabled_ = false;
+      return transfer_to(cur, next);
+    case Opcode::kIret:
+      interrupts_enabled_ = true;
+      return transfer_to(cur, epc_);
+    case Opcode::kMaxOpcode:
+      break;
+  }
+  trap(Fault{FaultKind::kNoExecute, cur, cur});
+  return false;
+}
+
+StopReason Cpu::run(std::uint64_t max_cycles) {
+  const std::uint64_t limit = cycles_ + max_cycles;
+  while (state_ == CpuState::kRunning && cycles_ < limit) {
+    const bool progressed = step();
+    if (peripheral_) peripheral_(*this);
+    if (!progressed) break;
+  }
+  if (state_ == CpuState::kHalted) return StopReason::kHalted;
+  if (state_ == CpuState::kFaulted) return StopReason::kFaulted;
+  return StopReason::kCycleBudget;
+}
+
+}  // namespace cra::device

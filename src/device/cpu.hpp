@@ -1,0 +1,131 @@
+// Cycle-counting interpreter for the TCA machine model.
+//
+// Fetch-execute rounds exactly as §IV-A describes: each round the MPU
+// vets the fetch at PC, the decoded instruction's data accesses, and the
+// resulting control transfer; any violation raises a hardware fault and
+// the machine traps (the offending access never takes effect). The CPU
+// also owns interrupt delivery, which the MPU may veto while PC is inside
+// the attest region (Eq. 20).
+//
+// Native regions: a memory region may be registered as hardware-assisted
+// trusted code (the attest TCB). A valid controlled-invocation entry into
+// such a region runs the registered routine atomically — charging its
+// cycle cost in one step, mirroring uninterruptible execution from
+// first(r4) to last(r4) — and returns through the link register.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "device/clock.hpp"
+#include "device/isa.hpp"
+#include "device/memory.hpp"
+#include "device/mpu.hpp"
+
+namespace cra::device {
+
+enum class CpuState : std::uint8_t {
+  kRunning,
+  kHalted,    // executed HALT
+  kFaulted,   // MPU violation or illegal instruction
+};
+
+/// Outcome of run(): why execution stopped.
+enum class StopReason : std::uint8_t {
+  kCycleBudget,  // budget exhausted, machine still runnable
+  kHalted,
+  kFaulted,
+};
+
+class Cpu {
+ public:
+  /// The native-routine hook: runs with full memory access (the TCB is
+  /// trusted hardware/ROM code) and returns its cycle cost.
+  using NativeRoutine = std::function<std::uint64_t(Cpu&, Memory&)>;
+
+  Cpu(Memory& memory, Mpu& mpu, const SecureClock& clock,
+      std::uint64_t hz = 24'000'000);
+
+  // --- Architectural state ---
+  std::uint32_t reg(std::uint8_t idx) const;
+  void set_reg(std::uint8_t idx, std::uint32_t value);
+  Addr pc() const noexcept { return pc_; }
+  void set_pc(Addr pc) noexcept { pc_ = pc; }
+  CpuState state() const noexcept { return state_; }
+  const std::optional<Fault>& fault() const noexcept { return fault_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  std::uint64_t hz() const noexcept { return hz_; }
+  bool interrupts_enabled() const noexcept { return interrupts_enabled_; }
+
+  /// Reset to a boot state: PC at `entry`, registers cleared, cycle
+  /// counter preserved (the secure clock must never move backwards).
+  void reset(Addr entry);
+
+  // --- Execution ---
+  /// Execute at most `max_cycles` cycles; returns why execution stopped.
+  StopReason run(std::uint64_t max_cycles);
+
+  /// Execute one instruction (or deliver one pending interrupt).
+  /// Returns false when the machine is not runnable.
+  bool step();
+
+  // --- Interrupts ---
+  /// Queue an external interrupt request. Delivery happens before the
+  /// next fetch if software has interrupts enabled AND the MPU allows
+  /// (Eq. 20: never inside attest). `handler` is the vector address.
+  void raise_interrupt(Addr handler);
+  std::size_t pending_interrupts() const noexcept { return irq_queue_.size(); }
+  /// Interrupt requests refused by the MPU while attest was executing
+  /// (they stay queued; the counter exists for the security tests).
+  std::uint64_t deferred_interrupts() const noexcept { return deferred_irqs_; }
+
+  // --- Native trusted regions ---
+  /// Register `routine` as the hardware-backed implementation of the
+  /// MPU's attest region; a controlled entry at attest_entry() executes
+  /// it atomically.
+  void set_attest_routine(NativeRoutine routine);
+
+  /// Peripheral pump, invoked after every executed instruction (DMA
+  /// engines, timers). Peripherals observe the post-instruction state
+  /// (PC, cycle counter) — a bus arbiter's view.
+  using Peripheral = std::function<void(Cpu&)>;
+  void set_peripheral(Peripheral peripheral) {
+    peripheral_ = std::move(peripheral);
+  }
+
+  /// Secure-clock read as the RDCLK instruction sees it (derived from
+  /// the cycle counter plus the boot offset set by the Device facade).
+  std::uint32_t read_secure_clock() const noexcept;
+
+  /// The Device facade sets this so RDCLK agrees with network time: the
+  /// cycle count the core had executed at simulation time zero.
+  void set_clock_base_cycles(std::uint64_t base) noexcept { clock_base_ = base; }
+  std::uint64_t clock_base_cycles() const noexcept { return clock_base_; }
+
+ private:
+  bool deliver_interrupt();
+  void trap(const Fault& fault);
+  bool transfer_to(Addr from, Addr target);
+
+  Memory& memory_;
+  Mpu& mpu_;
+  const SecureClock& clock_;
+  std::uint64_t hz_;
+
+  std::uint32_t regs_[kNumRegs] = {};
+  Addr pc_ = 0;
+  Addr epc_ = 0;
+  bool interrupts_enabled_ = false;
+  CpuState state_ = CpuState::kRunning;
+  std::optional<Fault> fault_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t clock_base_ = 0;
+  std::deque<Addr> irq_queue_;
+  std::uint64_t deferred_irqs_ = 0;
+  NativeRoutine attest_routine_;
+  Peripheral peripheral_;
+};
+
+}  // namespace cra::device

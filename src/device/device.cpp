@@ -1,0 +1,200 @@
+#include "device/device.hpp"
+
+#include <stdexcept>
+
+#include "device/isa.hpp"
+
+namespace cra::device {
+namespace {
+
+/// ROM offsets of the built-in boot image.
+constexpr Addr kBootEntryOffset = 0x00;
+constexpr Addr kAttestTrampolineOffset = 0x40;
+
+}  // namespace
+
+Device::Device(std::uint32_t id, DeviceConfig config, BytesView key,
+               BytesView k_plat)
+    : id_(id),
+      config_(config),
+      memory_(config.layout),
+      mpu_(memory_, config.mpu),
+      clock_(config.hz, config.clock_divisor),
+      cpu_(memory_, mpu_, clock_, config.hz),
+      boot_(Bytes(k_plat.begin(), k_plat.end()), config.attest.alg) {
+  const std::size_t key_len = crypto::digest_size(config.attest.alg);
+  if (key.size() != key_len) {
+    throw std::invalid_argument("Device: key length must equal digest size");
+  }
+
+  const Addr promem = config.layout.promem_base();
+  const Region code{promem + config.attest_code_offset,
+                    promem + config.attest_code_offset +
+                        config.attest_code_size};
+  const Region key_region{
+      promem + config.attest_key_offset,
+      promem + config.attest_key_offset +
+          static_cast<std::uint32_t>(key_len)};
+  mpu_.set_attest_regions(code, key_region);
+  mpu_.set_attest_scratch(
+      Region{promem + config.attest_scratch_offset,
+             promem + config.attest_scratch_offset +
+                 config.attest_scratch_size});
+
+  // Hardware provisioning path: the key is written into r6 before the
+  // MPU locks (constructor = manufacture time), so we use raw access.
+  memory_.write_range(key_region.start, key);
+
+  // r4 contents: a measured, immutable placeholder body whose final word
+  // is the architectural exit (`jr lr`). The semantics run natively via
+  // the registered routine; the bytes exist so Secure Boot has something
+  // real to measure and Eq. 15 something real to protect.
+  for (Addr a = code.start; a < code.end - 4; a += 4) {
+    memory_.write32(a, encode_r(Opcode::kNop, 0, 0, 0));
+  }
+  memory_.write32(code.end - 4, encode_r(Opcode::kJr, 0, kLinkReg));
+  cpu_.set_attest_routine(
+      make_attest_routine(config.attest, key_region));
+
+  // Built-in boot ROM: reset vector jumps to the firmware in PMEM; a
+  // trampoline lets the (untrusted) OS request attestation and park.
+  memory_.write32(config.layout.rom_base() + kBootEntryOffset,
+                  encode_j(Opcode::kJmp, config.layout.pmem_base()));
+  memory_.write32(config.layout.rom_base() + kAttestTrampolineOffset,
+                  encode_j(Opcode::kCall, mpu_.attest_entry()));
+  memory_.write32(config.layout.rom_base() + kAttestTrampolineOffset + 4,
+                  encode_r(Opcode::kHalt, 0, 0, 0));
+}
+
+void Device::load_firmware(BytesView image) {
+  memory_.load(Section::kPmem, image);
+}
+
+void Device::load_rom(BytesView image) {
+  memory_.load(Section::kRom, image);
+}
+
+void Device::provision() { boot_.provision(memory_, mpu_); }
+
+bool Device::boot() {
+  if (!boot_.verify(memory_, mpu_)) return false;
+  cpu_.reset(config_.layout.rom_base() + kBootEntryOffset);
+  return true;
+}
+
+AttestMailboxes Device::mailboxes() const {
+  return attest_mailboxes(config_.layout, config_.attest);
+}
+
+void Device::write_chal(std::uint32_t chal) {
+  memory_.write32(mailboxes().chal, chal);
+}
+
+Bytes Device::read_token() const {
+  return memory_.read_range(
+      mailboxes().token,
+      static_cast<std::uint32_t>(crypto::digest_size(config_.attest.alg)));
+}
+
+std::uint64_t Device::invoke_attest(std::uint32_t chal) {
+  write_chal(chal);
+  const std::uint64_t before = cpu_.cycles();
+  cpu_.set_pc(config_.layout.rom_base() + kAttestTrampolineOffset);
+  cpu_.set_reg(kLinkReg, 0);
+  // `state` may be halted/faulted from a previous run; a fresh dispatch
+  // through the trampoline needs a running CPU.
+  if (cpu_.state() != CpuState::kRunning) {
+    const std::uint64_t base = cpu_.clock_base_cycles();
+    cpu_.reset(config_.layout.rom_base() + kAttestTrampolineOffset);
+    cpu_.set_clock_base_cycles(base);
+  }
+  const std::uint64_t budget = attest_cost_cycles() + 1'000;
+  const StopReason reason = cpu_.run(budget);
+  if (reason == StopReason::kFaulted) {
+    throw std::runtime_error("Device::invoke_attest: unexpected fault");
+  }
+  return cpu_.cycles() - before;
+}
+
+std::uint64_t Device::attest_cost_cycles() const {
+  return attest_cycles(config_.attest, config_.layout.pmem_size);
+}
+
+sim::Duration Device::attest_cost_time() const {
+  return sim::cycles_to_time(attest_cost_cycles(), config_.hz);
+}
+
+void Device::sync_clock(sim::SimTime now, sim::Duration skew) {
+  const std::int64_t ns = now.ns() + skew.ns();
+  const std::uint64_t cycles_at_now =
+      ns <= 0 ? 0
+              : static_cast<std::uint64_t>(
+                    static_cast<sim::Uint128>(ns) * config_.hz /
+                    1'000'000'000ULL);
+  // After syncing, read_secure_clock() == clock ticks at global `now`.
+  cpu_.set_clock_base_cycles(cycles_at_now >= cpu_.cycles()
+                                 ? cycles_at_now - cpu_.cycles()
+                                 : 0);
+}
+
+void Device::adv_infect_pmem(std::uint32_t offset, BytesView payload) {
+  const Addr target = config_.layout.pmem_base() + offset;
+  // Remote malware runs as software from PMEM; the MPU allows the write
+  // (PMEM is writable) unless the platform locks it down.
+  const Addr malware_pc = config_.layout.pmem_base();
+  if (const auto fault = mpu_.check_data(
+          Access::kWrite, target, static_cast<std::uint32_t>(payload.size()),
+          malware_pc)) {
+    throw std::runtime_error(std::string("adv_infect_pmem blocked: ") +
+                             fault_name(fault->kind));
+  }
+  memory_.write_range(target, payload);
+}
+
+void Device::adv_relocate_to_dmem(std::uint32_t pmem_offset, std::uint32_t len,
+                                  std::uint32_t dmem_offset) {
+  const Addr src = config_.layout.pmem_base() + pmem_offset;
+  const Addr dst = config_.layout.dmem_base() + dmem_offset;
+  const Bytes chunk = memory_.read_range(src, len);
+  memory_.write_range(dst, chunk);
+  memory_.write_range(src, Bytes(len, 0));
+}
+
+std::optional<Fault> Device::adv_try_read_key(Bytes* leaked) {
+  const Region key = mpu_.attest_key();
+  const Addr malware_pc = config_.layout.pmem_base();  // outside r4
+  if (const auto fault =
+          mpu_.check_data(Access::kRead, key.start, key.size(), malware_pc)) {
+    return fault;
+  }
+  if (leaked != nullptr) {
+    *leaked = memory_.read_range(key.start, key.size());
+  }
+  return std::nullopt;
+}
+
+std::optional<Fault> Device::adv_try_patch_attest(BytesView patch) {
+  const Region code = mpu_.attest_code();
+  const Addr malware_pc = config_.layout.pmem_base();
+  const auto len = static_cast<std::uint32_t>(
+      std::min<std::size_t>(patch.size(), code.size()));
+  if (const auto fault =
+          mpu_.check_data(Access::kWrite, code.start, len, malware_pc)) {
+    return fault;
+  }
+  memory_.write_range(code.start, patch.subspan(0, len));
+  return std::nullopt;
+}
+
+bool Device::adv_try_set_clock(std::uint32_t ticks) {
+  if (!config_.clock_writable) {
+    return false;  // the register is read-only hardware; write ignored
+  }
+  const std::uint64_t target_cycles =
+      static_cast<std::uint64_t>(ticks) * config_.clock_divisor;
+  cpu_.set_clock_base_cycles(
+      target_cycles >= cpu_.cycles() ? target_cycles - cpu_.cycles() : 0);
+  return true;
+}
+
+}  // namespace cra::device

@@ -1,0 +1,142 @@
+// Device facade: one TCA-Model machine, fully assembled.
+//
+// Wires together Memory, Mpu, SecureClock, Cpu, SecureBoot and the
+// attest TCB into the machine the paper's §IV-A + §V describe, and
+// exposes the three interfaces the rest of the repository needs:
+//
+//   * the software interface — load firmware, boot, run cycles, request
+//     attestation the way benign firmware would (mailbox + call);
+//   * the hardware/deployment interface — key provisioning, clock
+//     synchronization against simulation time;
+//   * the adversary interface — the remote-attacker actions the
+//     TCA-Security game grants Adv: rewriting any writable memory,
+//     attempting key reads, clock tampering, interrupt injection.
+//     These are deliberately explicit methods so security tests read as
+//     attack scripts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/hmac.hpp"
+#include "device/attest_tcb.hpp"
+#include "device/clock.hpp"
+#include "device/cpu.hpp"
+#include "device/memory.hpp"
+#include "device/mpu.hpp"
+#include "device/secure_boot.hpp"
+
+namespace cra::device {
+
+struct DeviceConfig {
+  MemoryLayout layout{};
+  MpuConfig mpu{};
+  AttestTcbConfig attest{};
+  std::uint64_t hz = 24'000'000;       // paper's 24 MHz TrustLite
+  std::uint32_t clock_divisor = 250'000;
+  /// r4/r6/scratch geometry inside ProMEM (offsets from promem_base).
+  std::uint32_t attest_code_offset = 0;
+  std::uint32_t attest_code_size = 512;
+  std::uint32_t attest_key_offset = 512;
+  std::uint32_t attest_scratch_offset = 1024;
+  std::uint32_t attest_scratch_size = 1024;
+  /// Ablation: a (deliberately broken) platform whose clock register is
+  /// software-writable — adversary strategy (c) wins against it.
+  bool clock_writable = false;
+};
+
+class Device {
+ public:
+  /// `id` is the network identity m_i; `key` is K_{mi,Vrf} provisioned
+  /// at deployment; `k_plat` seeds Secure Boot.
+  Device(std::uint32_t id, DeviceConfig config, BytesView key,
+         BytesView k_plat);
+
+  // Internal components hold references to each other (Mpu -> Memory,
+  // Cpu -> Mpu); the object is pinned to its address.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  std::uint32_t id() const noexcept { return id_; }
+  const DeviceConfig& config() const noexcept { return config_; }
+
+  Memory& memory() noexcept { return memory_; }
+  const Memory& memory() const noexcept { return memory_; }
+  Mpu& mpu() noexcept { return mpu_; }
+  Cpu& cpu() noexcept { return cpu_; }
+  const Cpu& cpu() const noexcept { return cpu_; }
+  const SecureClock& clock() const noexcept { return clock_; }
+  SecureBoot& secure_boot() noexcept { return boot_; }
+
+  // --- Deployment-time operations ---
+  /// Load the application firmware image into PMEM at offset 0.
+  void load_firmware(BytesView image);
+  /// Load boot/OS code into ROM at offset 0.
+  void load_rom(BytesView image);
+  /// Record the Secure Boot reference measurement (after loading ROM and
+  /// provisioning the TCB).
+  void provision();
+  /// Run Secure Boot and reset the CPU to the ROM entry point. Returns
+  /// false (device refuses to start) when the measurement mismatches.
+  bool boot();
+
+  /// Expected PMEM configuration cfg_i — what Vrf stores in VS.
+  Bytes expected_pmem() const { return memory_.snapshot(Section::kPmem); }
+
+  // --- Attestation (software path) ---
+  AttestMailboxes mailboxes() const;
+  Addr attest_entry() const { return mpu_.attest_entry(); }
+  void write_chal(std::uint32_t chal);
+  Bytes read_token() const;
+  /// Invoke attest the way firmware does: LR <- resume point, jump to
+  /// first(r4), let the TCB run. Returns the cycle cost charged.
+  std::uint64_t invoke_attest(std::uint32_t chal);
+  /// Analytic attest duration (T_att).
+  std::uint64_t attest_cost_cycles() const;
+  sim::Duration attest_cost_time() const;
+
+  // --- Clock synchronization (hardware path) ---
+  /// Align the secure clock with global simulation time `now` (network-
+  /// wide synchronized clock). Optionally with residual skew.
+  void sync_clock(sim::SimTime now, sim::Duration skew = sim::Duration::zero());
+  std::uint32_t clock_ticks() const noexcept { return cpu_.read_secure_clock(); }
+  std::uint32_t tick_at(sim::SimTime t) const noexcept {
+    return clock_.read_at_time(t);
+  }
+
+  // --- Adversary interface (remote software attacker, §IV-D) ---
+  /// Overwrite PMEM at `offset` — remote malware infestation. Goes
+  /// through the MPU as a software write (PMEM is writable), so it
+  /// succeeds; that is the attack SAP must *detect*, not prevent.
+  void adv_infect_pmem(std::uint32_t offset, BytesView payload);
+  /// Copy a PMEM range into DMEM and zero the original — the
+  /// malware-relocation evasion the paper mentions.
+  void adv_relocate_to_dmem(std::uint32_t pmem_offset, std::uint32_t len,
+                            std::uint32_t dmem_offset);
+  /// Attempt to read K_{mi,Vrf} as software running outside r4; returns
+  /// the Fault raised by the MPU (nullopt means the read succeeded —
+  /// only possible with enforce_key_access = false).
+  std::optional<Fault> adv_try_read_key(Bytes* leaked = nullptr);
+  /// Attempt to overwrite attest's code region; returns the Fault.
+  std::optional<Fault> adv_try_patch_attest(BytesView patch);
+  /// Attempt to set the secure clock forward/backward. Returns false on
+  /// a correct platform (register is read-only); true (attack succeeded)
+  /// when config.clock_writable.
+  bool adv_try_set_clock(std::uint32_t ticks);
+  /// Inject an interrupt request aimed at `handler`.
+  void adv_raise_interrupt(Addr handler) { cpu_.raise_interrupt(handler); }
+
+  /// The key region r6 (tests compare leaked bytes against it).
+  Region key_region() const noexcept { return mpu_.attest_key(); }
+
+ private:
+  std::uint32_t id_;
+  DeviceConfig config_;
+  Memory memory_;
+  Mpu mpu_;
+  SecureClock clock_;
+  Cpu cpu_;
+  SecureBoot boot_;
+};
+
+}  // namespace cra::device

@@ -1,0 +1,112 @@
+#include "device/disasm.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cra::device {
+namespace {
+
+std::string reg_name(std::uint8_t r) {
+  if (r == kLinkReg) return "lr";
+  return "r" + std::to_string(r);
+}
+
+std::string hex_word(std::uint32_t word) {
+  std::ostringstream os;
+  os << ".word 0x" << std::hex << word;
+  return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(std::uint32_t word) {
+  const auto decoded = decode(word);
+  if (!decoded) return hex_word(word);
+  const Instruction& ins = *decoded;
+  const char* name = opcode_name(ins.op);
+  std::ostringstream os;
+  os << name;
+  switch (ins.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kEi:
+    case Opcode::kDi:
+    case Opcode::kIret:
+      break;
+    case Opcode::kLdi:
+    case Opcode::kLui:
+      os << ' ' << reg_name(ins.rd) << ", "
+         << (static_cast<std::uint32_t>(ins.imm) & 0xffffu);
+      break;
+    case Opcode::kRdclk:
+      os << ' ' << reg_name(ins.rd);
+      break;
+    case Opcode::kMov:
+      os << ' ' << reg_name(ins.rd) << ", " << reg_name(ins.rs1);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+      os << ' ' << reg_name(ins.rd) << ", " << reg_name(ins.rs1) << ", "
+         << reg_name(ins.rs2);
+      break;
+    case Opcode::kAddi:
+    case Opcode::kLdb:
+    case Opcode::kLdw:
+    case Opcode::kStb:
+    case Opcode::kStw:
+      os << ' ' << reg_name(ins.rd) << ", " << reg_name(ins.rs1) << ", "
+         << ins.imm;
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+      // B-format fields live in (rd, rs1) after decode.
+      os << ' ' << reg_name(ins.rd) << ", " << reg_name(ins.rs1) << ", "
+         << ins.imm;
+      break;
+    case Opcode::kJmp:
+    case Opcode::kCall:
+      os << ' ' << ins.target;
+      break;
+    case Opcode::kJr:
+      os << ' ' << reg_name(ins.rs1);
+      break;
+    case Opcode::kMaxOpcode:
+      return hex_word(word);
+  }
+  return os.str();
+}
+
+std::vector<DisasmLine> disassemble_range(const Memory& memory, Addr addr,
+                                          std::uint32_t count) {
+  if (addr % 4 != 0) {
+    throw std::invalid_argument("disassemble_range: unaligned address");
+  }
+  std::vector<DisasmLine> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Addr a = addr + 4 * i;
+    const std::uint32_t word = memory.read32(a);
+    out.push_back({a, word, disassemble(word)});
+  }
+  return out;
+}
+
+std::string dump_range(const Memory& memory, Addr addr,
+                       std::uint32_t count) {
+  std::ostringstream os;
+  for (const DisasmLine& line : disassemble_range(memory, addr, count)) {
+    os << "0x" << std::hex << line.addr << ": " << line.text << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cra::device

@@ -1,0 +1,36 @@
+// Disassembler for the TCA machine ISA.
+//
+// Inverse of the assembler at instruction granularity: the text it
+// produces re-assembles to the identical word (the round-trip property
+// the tests enforce). Used by debugging helpers and the firmware dump
+// tooling in the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/isa.hpp"
+#include "device/memory.hpp"
+
+namespace cra::device {
+
+/// Render one instruction word as assembler text ("add r1, r2, r3").
+/// Unknown opcodes render as ".word 0x<hex>". Branch targets are
+/// rendered as numeric offsets relative to `pc` when `pc` is provided
+/// (and as raw offsets otherwise); jump targets are absolute.
+std::string disassemble(std::uint32_t word);
+
+struct DisasmLine {
+  Addr addr = 0;
+  std::uint32_t word = 0;
+  std::string text;
+};
+
+/// Disassemble `count` words starting at `addr` (must be word-aligned).
+std::vector<DisasmLine> disassemble_range(const Memory& memory, Addr addr,
+                                          std::uint32_t count);
+
+/// Multi-line dump ("0x0400: ldi r1, 42").
+std::string dump_range(const Memory& memory, Addr addr, std::uint32_t count);
+
+}  // namespace cra::device

@@ -1,0 +1,40 @@
+#include "device/dma.hpp"
+
+#include <algorithm>
+
+namespace cra::device {
+
+DmaController::DmaController(Memory& memory, const Mpu& mpu,
+                             bool guard_attest)
+    : memory_(memory), mpu_(mpu), guard_attest_(guard_attest) {}
+
+void DmaController::queue_write(Addr dst, Bytes data,
+                                std::uint64_t due_cycle) {
+  queue_.push_back(Transfer{dst, std::move(data), due_cycle});
+}
+
+void DmaController::tick(Cpu& cpu) {
+  if (queue_.empty()) return;
+  const std::uint64_t now = cpu.cycles();
+  const bool in_attest =
+      mpu_.attest_registered() && mpu_.attest_code().contains(cpu.pc());
+
+  auto it = queue_.begin();
+  while (it != queue_.end()) {
+    if (it->due_cycle > now) {
+      ++it;
+      continue;
+    }
+    if (guard_attest_ && in_attest) {
+      // The memory arbiter holds the transfer until the TCB exits.
+      ++stalled_;
+      ++it;
+      continue;
+    }
+    memory_.write_range(it->dst, it->data);
+    ++completed_;
+    it = queue_.erase(it);
+  }
+}
+
+}  // namespace cra::device

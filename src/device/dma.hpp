@@ -1,0 +1,72 @@
+// DMA controller — the §IV-A assumption made explicit, then violated.
+//
+// The TCA machine model assumes "there is no Direct Memory Access;
+// thus, modifications to M and R occur through CPU instructions". That
+// assumption is load-bearing: attest's temporal consistency (§V-C
+// guarantee (b)) holds because nothing can write PMEM while the
+// uninterruptible TCB is hashing it. Real microcontrollers have DMA, so
+// a production EA-MPU must arbitrate it.
+//
+// This controller lets experiments have it both ways:
+//   * guarded (default): a transfer that becomes due while the CPU is
+//     executing inside r4 is stalled by the memory arbiter until the
+//     TCB exits — the hardware rule a DMA-capable TrustLite needs;
+//   * unguarded (`guard_attest = false`): the transfer lands mid-attest,
+//     enabling the classic TOCTOU evasion — malware wipes itself from
+//     the not-yet-hashed tail (or re-lands in the already-hashed head)
+//     while attest runs, so the token reports a state the device never
+//     coherently had. tests/device/test_dma.cpp demonstrates the attack
+//     succeeding exactly and only on the unguarded platform.
+//
+// Transfers fire at an absolute CPU cycle count and complete as a burst
+// (peripheral-speed modelling isn't needed for the security argument).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "device/cpu.hpp"
+#include "device/memory.hpp"
+#include "device/mpu.hpp"
+
+namespace cra::device {
+
+class DmaController {
+ public:
+  /// `guard_attest`: enforce the "no DMA writes while PC is in r4" rule.
+  DmaController(Memory& memory, const Mpu& mpu, bool guard_attest = true);
+
+  /// Queue a burst write of `data` to `dst`, due once the CPU's cycle
+  /// counter reaches `due_cycle`.
+  void queue_write(Addr dst, Bytes data, std::uint64_t due_cycle);
+
+  /// Pump the controller: called by the CPU after every instruction (see
+  /// Cpu::set_peripheral). Performs all due transfers permitted by the
+  /// guard; stalled transfers stay queued.
+  void tick(Cpu& cpu);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Transfers that were due but stalled by the attest guard at least
+  /// once (observability for the tests).
+  std::uint64_t stalled() const noexcept { return stalled_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+
+  bool guard_enabled() const noexcept { return guard_attest_; }
+
+ private:
+  struct Transfer {
+    Addr dst;
+    Bytes data;
+    std::uint64_t due_cycle;
+  };
+
+  Memory& memory_;
+  const Mpu& mpu_;
+  bool guard_attest_;
+  std::vector<Transfer> queue_;
+  std::uint64_t stalled_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace cra::device

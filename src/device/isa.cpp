@@ -1,0 +1,147 @@
+#include "device/isa.hpp"
+
+#include <stdexcept>
+
+namespace cra::device {
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLdi: return "ldi";
+    case Opcode::kLui: return "lui";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLdb: return "ldb";
+    case Opcode::kLdw: return "ldw";
+    case Opcode::kStb: return "stb";
+    case Opcode::kStw: return "stw";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kCall: return "call";
+    case Opcode::kJr: return "jr";
+    case Opcode::kRdclk: return "rdclk";
+    case Opcode::kEi: return "ei";
+    case Opcode::kDi: return "di";
+    case Opcode::kIret: return "iret";
+    case Opcode::kMaxOpcode: break;
+  }
+  return "?";
+}
+
+std::uint32_t opcode_cycles(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLdb:
+    case Opcode::kLdw:
+    case Opcode::kStb:
+    case Opcode::kStw:
+      return 2;
+    case Opcode::kJmp:
+    case Opcode::kCall:
+    case Opcode::kJr:
+    case Opcode::kIret:
+      return 2;
+    case Opcode::kMul:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+namespace {
+
+void check_reg(std::uint8_t r) {
+  if (r >= kNumRegs) throw std::invalid_argument("isa: bad register index");
+}
+
+std::uint32_t op_byte(Opcode op) {
+  return static_cast<std::uint32_t>(op) << 24;
+}
+
+}  // namespace
+
+std::uint32_t encode_r(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                       std::uint8_t rs2) {
+  check_reg(rd);
+  check_reg(rs1);
+  check_reg(rs2);
+  return op_byte(op) | (static_cast<std::uint32_t>(rd) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 16) |
+         (static_cast<std::uint32_t>(rs2) << 12);
+}
+
+std::uint32_t encode_i(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                       std::int32_t imm16) {
+  check_reg(rd);
+  check_reg(rs1);
+  if (imm16 < -32768 || imm16 > 32767) {
+    throw std::invalid_argument("isa: imm16 out of range");
+  }
+  return op_byte(op) | (static_cast<std::uint32_t>(rd) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 16) |
+         (static_cast<std::uint32_t>(imm16) & 0xffffu);
+}
+
+std::uint32_t encode_u(Opcode op, std::uint8_t rd, std::uint32_t imm16) {
+  check_reg(rd);
+  if (imm16 > 0xffffu) {
+    throw std::invalid_argument("isa: imm16 out of range");
+  }
+  return op_byte(op) | (static_cast<std::uint32_t>(rd) << 20) | imm16;
+}
+
+std::uint32_t encode_b(Opcode op, std::uint8_t rs1, std::uint8_t rs2,
+                       std::int32_t offset_bytes) {
+  check_reg(rs1);
+  check_reg(rs2);
+  if (offset_bytes % 4 != 0) {
+    throw std::invalid_argument("isa: branch offset must be word-aligned");
+  }
+  if (offset_bytes < -32768 || offset_bytes > 32767) {
+    throw std::invalid_argument("isa: branch offset out of range");
+  }
+  return op_byte(op) | (static_cast<std::uint32_t>(rs1) << 20) |
+         (static_cast<std::uint32_t>(rs2) << 16) |
+         (static_cast<std::uint32_t>(offset_bytes) & 0xffffu);
+}
+
+std::uint32_t encode_j(Opcode op, std::uint32_t target_addr) {
+  if (target_addr > 0xffffffu) {
+    throw std::invalid_argument("isa: jump target beyond 24-bit range");
+  }
+  if (target_addr % 4 != 0) {
+    throw std::invalid_argument("isa: jump target must be word-aligned");
+  }
+  return op_byte(op) | target_addr;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) noexcept {
+  const auto op_raw = static_cast<std::uint8_t>(word >> 24);
+  if (op_raw >= static_cast<std::uint8_t>(Opcode::kMaxOpcode)) {
+    return std::nullopt;
+  }
+  Instruction ins;
+  ins.op = static_cast<Opcode>(op_raw);
+  ins.rd = static_cast<std::uint8_t>((word >> 20) & 0xf);
+  ins.rs1 = static_cast<std::uint8_t>((word >> 16) & 0xf);
+  ins.rs2 = static_cast<std::uint8_t>((word >> 12) & 0xf);
+  // Sign-extend the 16-bit immediate for I/B formats; U formats reread
+  // it unsigned from `imm & 0xffff`.
+  ins.imm = static_cast<std::int16_t>(word & 0xffffu);
+  ins.target = word & 0xffffffu;
+  return ins;
+}
+
+}  // namespace cra::device

@@ -1,0 +1,97 @@
+// Instruction set of the TCA machine model.
+//
+// The paper models devices as RAMs whose instructions are Reads (memory
+// -> registers), Writes (registers -> memory) and Executes (register
+// -> register, including branches that modify PC). This ISA realizes
+// that taxonomy as a small 32-bit-word load/store machine: 16 general
+// registers, fixed 4-byte encodings, little-endian memory. It is rich
+// enough to run real firmware images (the assembler in assembler.hpp
+// produces them) and the malware used by the security tests, yet small
+// enough to interpret at cycle granularity.
+//
+// Encoding (one 32-bit word, fields from the most significant byte):
+//   [31:24] opcode
+//   R-type : [23:20] rd  [19:16] rs1 [15:12] rs2
+//   I-type : [23:20] rd  [19:16] rs1 [15:0]  imm16 (sign-extended)
+//   U-type : [23:20] rd  [15:0] imm16 (LDI zero-extends, LUI shifts <<16)
+//   B-type : [23:20] rs1 [19:16] rs2 [15:0]  imm16 (signed PC-relative,
+//                                                    byte offset, ×4)
+//   J-type : [23:0] imm24 (absolute byte address, word-aligned)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cra::device {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,
+  kLdi,    // U: rd = zext(imm16)
+  kLui,    // U: rd = imm16 << 16
+  kMov,    // R: rd = rs1
+  kAdd,    // R: rd = rs1 + rs2
+  kSub,    // R: rd = rs1 - rs2
+  kMul,    // R: rd = low32(rs1 * rs2)
+  kAnd,    // R
+  kOr,     // R
+  kXor,    // R
+  kShl,    // R: rd = rs1 << (rs2 & 31)
+  kShr,    // R: rd = rs1 >> (rs2 & 31) (logical)
+  kAddi,   // I: rd = rs1 + sext(imm16)
+  kLdb,    // I: rd = zext(M8[rs1 + sext(imm16)])
+  kLdw,    // I: rd = M32[rs1 + sext(imm16)]
+  kStb,    // I: M8[rs1 + sext(imm16)] = rd & 0xff
+  kStw,    // I: M32[rs1 + sext(imm16)] = rd
+  kBeq,    // B: if rs1 == rs2 then PC += sext(imm16)
+  kBne,    // B
+  kBlt,    // B: signed <
+  kBge,    // B: signed >=
+  kBltu,   // B: unsigned <
+  kJmp,    // J: PC = imm24
+  kCall,   // J: LR = PC + 4; PC = imm24
+  kJr,     // R: PC = rs1
+  kRdclk,  // U(rd only): rd = secure clock ticks (read-only hardware)
+  kEi,     // enable interrupts
+  kDi,     // disable interrupts
+  kIret,   // PC = EPC; enable interrupts
+  kMaxOpcode,
+};
+
+/// Register indices; R14 doubles as the link register for kCall/kJr.
+constexpr std::uint8_t kNumRegs = 16;
+constexpr std::uint8_t kLinkReg = 14;
+
+const char* opcode_name(Opcode op) noexcept;
+
+/// Base cycle cost of an opcode (memory ops pay an extra cycle; taken
+/// branches pay one more — the interpreter adds those).
+std::uint32_t opcode_cycles(Opcode op) noexcept;
+
+// --- Encoders (used by the assembler and tests) ---
+
+std::uint32_t encode_r(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                       std::uint8_t rs2 = 0);
+std::uint32_t encode_i(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                       std::int32_t imm16);
+std::uint32_t encode_u(Opcode op, std::uint8_t rd, std::uint32_t imm16);
+std::uint32_t encode_b(Opcode op, std::uint8_t rs1, std::uint8_t rs2,
+                       std::int32_t offset_bytes);
+std::uint32_t encode_j(Opcode op, std::uint32_t target_addr);
+
+/// Decoded instruction fields (union of all formats).
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;        // sign-extended imm16 (I/B) or imm16 (U)
+  std::uint32_t target = 0;    // imm24 (J)
+};
+
+/// Decode a word; returns nullopt for an unknown opcode (illegal
+/// instruction — the CPU treats it as a fault-halt).
+std::optional<Instruction> decode(std::uint32_t word) noexcept;
+
+}  // namespace cra::device

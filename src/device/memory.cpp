@@ -1,0 +1,105 @@
+#include "device/memory.hpp"
+
+#include <stdexcept>
+
+namespace cra::device {
+
+const char* section_name(Section s) noexcept {
+  switch (s) {
+    case Section::kRom: return "ROM";
+    case Section::kPmem: return "PMEM";
+    case Section::kDmem: return "DMEM";
+    case Section::kPromem: return "ProMEM";
+  }
+  return "?";
+}
+
+Memory::Memory(MemoryLayout layout) : layout_(layout) {
+  if (layout_.rom_size % 4 != 0 || layout_.pmem_size % 4 != 0 ||
+      layout_.dmem_size % 4 != 0 || layout_.promem_size % 4 != 0) {
+    throw std::invalid_argument("Memory: section sizes must be word-aligned");
+  }
+  if (layout_.total() == 0) {
+    throw std::invalid_argument("Memory: empty layout");
+  }
+  data_.assign(layout_.total(), 0);
+}
+
+Section Memory::section_of(Addr a) const {
+  if (a < layout_.pmem_base()) return Section::kRom;
+  if (a < layout_.dmem_base()) return Section::kPmem;
+  if (a < layout_.promem_base()) return Section::kDmem;
+  if (a < layout_.total()) return Section::kPromem;
+  throw std::out_of_range("Memory::section_of: address beyond memory");
+}
+
+Region Memory::section_region(Section s) const noexcept {
+  switch (s) {
+    case Section::kRom:
+      return {layout_.rom_base(), layout_.pmem_base()};
+    case Section::kPmem:
+      return {layout_.pmem_base(), layout_.dmem_base()};
+    case Section::kDmem:
+      return {layout_.dmem_base(), layout_.promem_base()};
+    case Section::kPromem:
+      return {layout_.promem_base(), layout_.total()};
+  }
+  return {};
+}
+
+void Memory::bounds_check(Addr a, std::uint32_t len) const {
+  if (a >= data_.size() || len > data_.size() - a) {
+    throw std::out_of_range("Memory: access beyond address space");
+  }
+}
+
+std::uint8_t Memory::read8(Addr a) const {
+  bounds_check(a, 1);
+  return data_[a];
+}
+
+std::uint32_t Memory::read32(Addr a) const {
+  bounds_check(a, 4);
+  return static_cast<std::uint32_t>(data_[a]) |
+         (static_cast<std::uint32_t>(data_[a + 1]) << 8) |
+         (static_cast<std::uint32_t>(data_[a + 2]) << 16) |
+         (static_cast<std::uint32_t>(data_[a + 3]) << 24);
+}
+
+void Memory::write8(Addr a, std::uint8_t v) {
+  bounds_check(a, 1);
+  data_[a] = v;
+}
+
+void Memory::write32(Addr a, std::uint32_t v) {
+  bounds_check(a, 4);
+  data_[a] = static_cast<std::uint8_t>(v);
+  data_[a + 1] = static_cast<std::uint8_t>(v >> 8);
+  data_[a + 2] = static_cast<std::uint8_t>(v >> 16);
+  data_[a + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+Bytes Memory::read_range(Addr a, std::uint32_t len) const {
+  bounds_check(a, len);
+  return Bytes(data_.begin() + a, data_.begin() + a + len);
+}
+
+void Memory::write_range(Addr a, BytesView data) {
+  bounds_check(a, static_cast<std::uint32_t>(data.size()));
+  std::copy(data.begin(), data.end(), data_.begin() + a);
+}
+
+Bytes Memory::snapshot(Section s) const {
+  const Region r = section_region(s);
+  return read_range(r.start, r.size());
+}
+
+void Memory::load(Section s, BytesView image) {
+  const Region r = section_region(s);
+  if (image.size() > r.size()) {
+    throw std::invalid_argument("Memory::load: image larger than section");
+  }
+  write_range(r.start, image);
+}
+
+}  // namespace cra::device

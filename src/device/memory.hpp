@@ -1,0 +1,100 @@
+// Memory of the TCA machine model (paper §IV-A).
+//
+// M consists of four sections, laid out contiguously in one 32-bit
+// byte-addressable space:
+//
+//   ROM     — read-only memory (boot code, interrupt vectors)
+//   PMEM    — executable program memory; this is what attest measures
+//   DMEM    — standard RAM incl. memory-mapped GPIO
+//   ProMEM  — protected memory readable/writable only per MPU policy
+//             (hosts the attest implementation r4 and the key K r6)
+//
+// This class is storage + geometry only; the access-control policy that
+// makes ProMEM "protected" is enforced per execution cycle by the Mpu
+// (mpu.hpp), mirroring the paper's "trusted hardware which monitors, at
+// each execution cycle, PC and M locations accessed by CPU".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace cra::device {
+
+using Addr = std::uint32_t;
+
+enum class Section : std::uint8_t { kRom, kPmem, kDmem, kPromem };
+
+const char* section_name(Section s) noexcept;
+
+/// Sizes of the four sections in bytes; all must be word-multiples.
+struct MemoryLayout {
+  std::uint32_t rom_size = 1024;
+  std::uint32_t pmem_size = 50 * 1024;  // paper's evaluation: 50 KB PMEM
+  std::uint32_t dmem_size = 8 * 1024;
+  std::uint32_t promem_size = 4 * 1024;
+
+  std::uint32_t total() const noexcept {
+    return rom_size + pmem_size + dmem_size + promem_size;
+  }
+  Addr rom_base() const noexcept { return 0; }
+  Addr pmem_base() const noexcept { return rom_size; }
+  Addr dmem_base() const noexcept { return rom_size + pmem_size; }
+  Addr promem_base() const noexcept {
+    return rom_size + pmem_size + dmem_size;
+  }
+};
+
+/// A half-open address range [start, end).
+struct Region {
+  Addr start = 0;
+  Addr end = 0;
+
+  std::uint32_t size() const noexcept { return end - start; }
+  bool contains(Addr a) const noexcept { return a >= start && a < end; }
+  bool contains_range(Addr a, std::uint32_t len) const noexcept {
+    return a >= start && a <= end && len <= end - a;
+  }
+  bool overlaps(const Region& other) const noexcept {
+    return start < other.end && other.start < end;
+  }
+  bool operator==(const Region&) const noexcept = default;
+};
+
+class Memory {
+ public:
+  explicit Memory(MemoryLayout layout);
+
+  const MemoryLayout& layout() const noexcept { return layout_; }
+
+  /// Which section an address belongs to; throws std::out_of_range for
+  /// addresses beyond the layout.
+  Section section_of(Addr a) const;
+  Region section_region(Section s) const noexcept;
+
+  /// Raw (policy-free) accessors. The CPU never calls these directly —
+  /// it goes through the MPU; tests, loaders, the attest TCB (which by
+  /// construction may read all of M), and the adversary harness do.
+  std::uint8_t read8(Addr a) const;
+  std::uint32_t read32(Addr a) const;  // little-endian
+  void write8(Addr a, std::uint8_t v);
+  void write32(Addr a, std::uint32_t v);
+
+  /// Bulk access; throws std::out_of_range when the range leaves the
+  /// address space.
+  Bytes read_range(Addr a, std::uint32_t len) const;
+  void write_range(Addr a, BytesView data);
+
+  /// Entire-section snapshot/load (firmware loading, PMEM measurement).
+  Bytes snapshot(Section s) const;
+  void load(Section s, BytesView image);
+
+ private:
+  void bounds_check(Addr a, std::uint32_t len) const;
+
+  MemoryLayout layout_;
+  Bytes data_;
+};
+
+}  // namespace cra::device

@@ -1,0 +1,152 @@
+#include "device/mpu.hpp"
+
+#include <stdexcept>
+
+namespace cra::device {
+
+const char* fault_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kWriteToRom: return "write-to-ROM";
+    case FaultKind::kWriteToAttestCode: return "write-to-attest-code";
+    case FaultKind::kWriteToKey: return "write-to-key";
+    case FaultKind::kKeyReadOutsideAttest: return "key-read-outside-attest";
+    case FaultKind::kBadAttestEntry: return "bad-attest-entry";
+    case FaultKind::kBadAttestExit: return "bad-attest-exit";
+    case FaultKind::kProtectedAccess: return "protected-access";
+    case FaultKind::kNoExecute: return "no-execute";
+    case FaultKind::kOutOfBounds: return "out-of-bounds";
+  }
+  return "?";
+}
+
+Mpu::Mpu(const Memory& memory, MpuConfig config)
+    : memory_(memory), config_(config) {}
+
+void Mpu::set_attest_regions(Region code, Region key) {
+  const Region promem = memory_.section_region(Section::kPromem);
+  if (!promem.contains_range(code.start, code.size()) ||
+      !promem.contains_range(key.start, key.size())) {
+    throw std::invalid_argument("Mpu: attest regions must lie in ProMEM");
+  }
+  if (code.size() < 8 || code.size() % 4 != 0 || code.start % 4 != 0) {
+    throw std::invalid_argument("Mpu: attest code region malformed");
+  }
+  if (key.size() == 0 || code.overlaps(key)) {
+    throw std::invalid_argument("Mpu: attest key region malformed");
+  }
+  attest_code_ = code;
+  attest_key_ = key;
+}
+
+void Mpu::set_attest_scratch(Region scratch) {
+  const Region promem = memory_.section_region(Section::kPromem);
+  if (!promem.contains_range(scratch.start, scratch.size()) ||
+      scratch.overlaps(attest_code_) || scratch.overlaps(attest_key_)) {
+    throw std::invalid_argument("Mpu: attest scratch region malformed");
+  }
+  attest_scratch_ = scratch;
+}
+
+std::optional<Fault> Mpu::check_data(Access access, Addr target,
+                                     std::uint32_t len, Addr pc) const {
+  if (target >= memory_.layout().total() ||
+      len > memory_.layout().total() - target) {
+    return Fault{FaultKind::kOutOfBounds, target, pc};
+  }
+  const Section sec = memory_.section_of(target);
+  const bool pc_in_attest = attest_code_.contains(pc);
+
+  if (access == Access::kWrite) {
+    if (sec == Section::kRom) {
+      return Fault{FaultKind::kWriteToRom, target, pc};
+    }
+    if (attest_code_.overlaps(Region{target, target + len})) {
+      if (config_.enforce_immutability) {
+        return Fault{FaultKind::kWriteToAttestCode, target, pc};  // Eq. 15
+      }
+      return std::nullopt;  // ablated platform: the patch goes through
+    }
+    if (attest_key_.overlaps(Region{target, target + len})) {
+      if (config_.enforce_immutability) {
+        return Fault{FaultKind::kWriteToKey, target, pc};  // Eq. 16
+      }
+      return std::nullopt;
+    }
+    if (sec == Section::kPromem) {
+      // Scratch is writable only from within attest; everything else in
+      // ProMEM is off-limits to software stores.
+      if (pc_in_attest && attest_scratch_.contains_range(target, len)) {
+        return std::nullopt;
+      }
+      return Fault{FaultKind::kProtectedAccess, target, pc};
+    }
+    if (sec == Section::kPmem && !config_.pmem_writable) {
+      return Fault{FaultKind::kProtectedAccess, target, pc};
+    }
+    return std::nullopt;
+  }
+
+  // Reads.
+  if (attest_key_.overlaps(Region{target, target + len})) {
+    if (!pc_in_attest && config_.enforce_key_access) {
+      return Fault{FaultKind::kKeyReadOutsideAttest, target, pc};  // Eq. 17
+    }
+    return std::nullopt;
+  }
+  if (sec == Section::kPromem) {
+    const Region want{target, target + len};
+    const bool in_code = attest_code_.contains_range(target, len);
+    const bool in_scratch = attest_scratch_.contains_range(target, len);
+    (void)want;
+    if (in_code) return std::nullopt;  // attest code is readable (it is
+                                       // measured by secure boot)
+    if (in_scratch) {
+      if (pc_in_attest) return std::nullopt;
+      return Fault{FaultKind::kProtectedAccess, target, pc};
+    }
+    return Fault{FaultKind::kProtectedAccess, target, pc};
+  }
+  return std::nullopt;
+}
+
+std::optional<Fault> Mpu::check_fetch(Addr pc) const {
+  if (pc >= memory_.layout().total() || pc % 4 != 0) {
+    return Fault{FaultKind::kOutOfBounds, pc, pc};
+  }
+  const Section sec = memory_.section_of(pc);
+  switch (sec) {
+    case Section::kRom:
+    case Section::kPmem:
+      return std::nullopt;
+    case Section::kDmem:
+      if (config_.dmem_executable) return std::nullopt;
+      return Fault{FaultKind::kNoExecute, pc, pc};
+    case Section::kPromem:
+      if (attest_code_.contains(pc)) return std::nullopt;
+      return Fault{FaultKind::kNoExecute, pc, pc};
+  }
+  return Fault{FaultKind::kNoExecute, pc, pc};
+}
+
+std::optional<Fault> Mpu::check_transfer(Addr from_pc, Addr to_pc) const {
+  if (!attest_registered() || !config_.enforce_controlled_invocation) {
+    return std::nullopt;
+  }
+  const bool from_inside = attest_code_.contains(from_pc);
+  const bool to_inside = attest_code_.contains(to_pc);
+  if (!from_inside && to_inside && to_pc != attest_entry()) {
+    return Fault{FaultKind::kBadAttestEntry, to_pc, from_pc};  // Eq. 18
+  }
+  if (from_inside && !to_inside && from_pc != attest_exit()) {
+    return Fault{FaultKind::kBadAttestExit, to_pc, from_pc};  // Eq. 19
+  }
+  return std::nullopt;
+}
+
+bool Mpu::interrupts_allowed(Addr pc) const noexcept {
+  if (!config_.enforce_no_interrupt) return true;
+  return !attest_code_.contains(pc);  // Eq. 20
+}
+
+}  // namespace cra::device

@@ -1,0 +1,113 @@
+// Execution-aware memory protection (paper Equations 15–20).
+//
+// TrustLite's EA-MPU decides data-access permissions based on *where the
+// program counter currently is*, not just on the target address. That is
+// exactly what makes the attest TCB implementable without a hypervisor:
+//
+//   (15) ∀t: r4 = attest            — attest's code region is immutable
+//   (16) ∀t: r6 = K                 — the key region is immutable
+//   (17) Read(r6) → PC ∈ r4         — only attest may read the key
+//   (18) entering r4 only at first(r4)   (controlled invocation: entry)
+//   (19) leaving r4 only from last(r4)   (controlled invocation: exit)
+//   (20) PC ∈ r4 → ¬interrupt       — attest is uninterruptible
+//
+// The Mpu is consulted by the CPU on every fetch, data access, control
+// transfer, and interrupt request; any violation yields a Fault and the
+// machine traps (the access never happens). Section defaults are also
+// enforced here: ROM is never writable, ProMEM outside registered
+// regions is inaccessible to software, and execute permission is
+// per-section configurable (execution from DMEM models
+// malware-relocation attacks and is allowed by default).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/memory.hpp"
+
+namespace cra::device {
+
+enum class Access : std::uint8_t { kRead, kWrite, kExecute };
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kWriteToRom,
+  kWriteToAttestCode,    // violates Eq. 15
+  kWriteToKey,           // violates Eq. 16
+  kKeyReadOutsideAttest, // violates Eq. 17
+  kBadAttestEntry,       // violates Eq. 18
+  kBadAttestExit,        // violates Eq. 19
+  kProtectedAccess,      // unregistered ProMEM access
+  kNoExecute,            // execute from a non-executable section
+  kOutOfBounds,
+};
+
+const char* fault_name(FaultKind kind) noexcept;
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  Addr address = 0;  // offending target address
+  Addr pc = 0;       // PC at the time of the violation
+};
+
+/// Per-section execute permission (read/write defaults are fixed by the
+/// model: ROM R/X, PMEM R/W/X, DMEM R/W, ProMEM policy-only).
+struct MpuConfig {
+  bool dmem_executable = true;   // malware-relocation experiments need it
+  bool pmem_writable = true;     // remote adversary can modify binaries
+
+  // Per-rule enforcement switches. All default on; the security-game
+  // ablation tests switch individual rules off to demonstrate that each
+  // one is necessary (the corresponding adversary strategy then wins).
+  bool enforce_immutability = true;          // Eqs. 15 & 16
+  bool enforce_key_access = true;            // Eq. 17
+  bool enforce_controlled_invocation = true; // Eqs. 18 & 19
+  bool enforce_no_interrupt = true;          // Eq. 20
+};
+
+class Mpu {
+ public:
+  Mpu(const Memory& memory, MpuConfig config);
+
+  /// Register the attest TCB regions (r4 = code, r6 = key). Both must lie
+  /// inside ProMEM and not overlap; throws std::invalid_argument
+  /// otherwise.
+  void set_attest_regions(Region code, Region key);
+
+  /// Additional ProMEM scratch readable/writable only while PC ∈ r4
+  /// (attest's stack — keeps intermediate HMAC state out of Adv's reach).
+  void set_attest_scratch(Region scratch);
+
+  const Region& attest_code() const noexcept { return attest_code_; }
+  const Region& attest_key() const noexcept { return attest_key_; }
+  bool attest_registered() const noexcept { return attest_code_.size() > 0; }
+
+  /// Check a data access performed while the PC is at `pc`.
+  std::optional<Fault> check_data(Access access, Addr target,
+                                  std::uint32_t len, Addr pc) const;
+
+  /// Check an instruction fetch at `pc` (execute permission only).
+  std::optional<Fault> check_fetch(Addr pc) const;
+
+  /// Check a control transfer from `from_pc` to `to_pc` — enforces the
+  /// controlled-invocation rules (18)/(19). `from_pc == to_pc` never
+  /// occurs (every instruction advances or jumps).
+  std::optional<Fault> check_transfer(Addr from_pc, Addr to_pc) const;
+
+  /// Eq. 20: may an interrupt be taken while executing at `pc`?
+  bool interrupts_allowed(Addr pc) const noexcept;
+
+  /// First / last instruction addresses of r4 (entry and exit points).
+  Addr attest_entry() const noexcept { return attest_code_.start; }
+  Addr attest_exit() const noexcept { return attest_code_.end - 4; }
+
+ private:
+  const Memory& memory_;
+  MpuConfig config_;
+  Region attest_code_{};
+  Region attest_key_{};
+  Region attest_scratch_{};
+};
+
+}  // namespace cra::device

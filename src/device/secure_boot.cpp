@@ -1,0 +1,40 @@
+#include "device/secure_boot.hpp"
+
+#include <stdexcept>
+
+#include "crypto/ct.hpp"
+
+namespace cra::device {
+
+SecureBoot::SecureBoot(Bytes k_plat, crypto::HashAlg alg)
+    : k_plat_(std::move(k_plat)), alg_(alg) {
+  if (k_plat_.empty()) {
+    throw std::invalid_argument("SecureBoot: empty platform key");
+  }
+}
+
+Bytes SecureBoot::measure(const Memory& memory, const Mpu& mpu) const {
+  Bytes message = memory.snapshot(Section::kRom);
+  if (mpu.attest_registered()) {
+    const Region code = mpu.attest_code();
+    const Region key = mpu.attest_key();
+    const Bytes code_bytes = memory.read_range(code.start, code.size());
+    const Bytes key_bytes = memory.read_range(key.start, key.size());
+    message.insert(message.end(), code_bytes.begin(), code_bytes.end());
+    message.insert(message.end(), key_bytes.begin(), key_bytes.end());
+  }
+  return crypto::hmac(alg_, k_plat_, message);
+}
+
+void SecureBoot::provision(const Memory& memory, const Mpu& mpu) {
+  reference_ = measure(memory, mpu);
+}
+
+bool SecureBoot::verify(const Memory& memory, const Mpu& mpu) const {
+  if (!provisioned()) {
+    throw std::logic_error("SecureBoot: verify before provision");
+  }
+  return crypto::ct_equal(measure(memory, mpu), reference_);
+}
+
+}  // namespace cra::device

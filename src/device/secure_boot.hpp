@@ -1,0 +1,44 @@
+// Secure Boot (paper §VII-A).
+//
+// TrustLite's Secure Boot, keyed by the platform secret k_plat, ensures
+// integrity and immutability of SAP's code and K_{mi,Vrf} before the OS
+// runs (this is what backs Equations 15 and 16 at boot time; the EA-MPU
+// backs them at run time). We model it as a keyed measurement of the
+// boot-critical memory — ROM plus the attest code region r4 plus the key
+// region r6 — compared against a reference MAC provisioned at
+// deployment. A device whose TCB was altered while powered off refuses
+// to boot.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "device/memory.hpp"
+#include "device/mpu.hpp"
+
+namespace cra::device {
+
+class SecureBoot {
+ public:
+  /// `k_plat` is the per-device platform secret fused at manufacture.
+  SecureBoot(Bytes k_plat, crypto::HashAlg alg = crypto::HashAlg::kSha1);
+
+  /// Measure the boot-critical state: ROM || r4 || r6.
+  Bytes measure(const Memory& memory, const Mpu& mpu) const;
+
+  /// Record the current measurement as the reference (done once at
+  /// deployment, after provisioning firmware and keys).
+  void provision(const Memory& memory, const Mpu& mpu);
+
+  /// True iff the current measurement matches the reference. Must be
+  /// called after provision(); throws std::logic_error otherwise.
+  bool verify(const Memory& memory, const Mpu& mpu) const;
+
+  bool provisioned() const noexcept { return !reference_.empty(); }
+
+ private:
+  Bytes k_plat_;
+  crypto::HashAlg alg_;
+  Bytes reference_;
+};
+
+}  // namespace cra::device

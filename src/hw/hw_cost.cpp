@@ -1,0 +1,34 @@
+#include "hw/hw_cost.hpp"
+
+namespace cra::hw {
+
+ResourceCount trustlite_baseline() { return {6038, 6335}; }
+
+std::vector<CostItem> sap_extension_items() {
+  return {
+      {"secure read-only clock (counter + divider + bus port)", {120, 70}},
+      {"EA-MPU rule for K region (bounds + match logic)", {28, 19}},
+  };
+}
+
+ResourceCount sap_total() {
+  ResourceCount total = trustlite_baseline();
+  for (const auto& item : sap_extension_items()) {
+    total = total + item.cost;
+  }
+  return total;
+}
+
+double register_overhead() {
+  const ResourceCount base = trustlite_baseline();
+  return static_cast<double>(sap_total().registers - base.registers) /
+         static_cast<double>(base.registers);
+}
+
+double lut_overhead() {
+  const ResourceCount base = trustlite_baseline();
+  return static_cast<double>(sap_total().luts - base.luts) /
+         static_cast<double>(base.luts);
+}
+
+}  // namespace cra::hw

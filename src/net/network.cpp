@@ -1,0 +1,123 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cra::net {
+namespace {
+
+std::uint64_t link_key(NodeId src, NodeId dst) noexcept {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+Network::Network(sim::Scheduler& scheduler, LinkParams params)
+    : scheduler_(scheduler), params_(params) {
+  if (params_.rate_bps == 0) {
+    throw std::invalid_argument("Network: rate must be positive");
+  }
+}
+
+sim::Duration Network::link_delay(std::size_t payload_bytes) const noexcept {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(payload_bytes) + params_.header_bytes) * 8;
+  return sim::transmission_delay(bits, params_.rate_bps) +
+         params_.per_hop_latency;
+}
+
+void Network::deliver(Message msg, sim::Duration delay,
+                      std::uint32_t charged_hops) {
+  if (!handler_) {
+    throw std::logic_error("Network: handler not set before send");
+  }
+  const std::uint64_t wire_bytes =
+      (msg.payload.size() + params_.header_bytes) *
+      static_cast<std::uint64_t>(charged_hops);
+
+  if (tamper_) {
+    TamperResult t = tamper_(msg);
+    switch (t.action) {
+      case TamperAction::kDrop:
+        ++messages_dropped_;
+        bytes_transmitted_ += wire_bytes;  // bits still crossed the air
+        return;
+      case TamperAction::kDeliverModified:
+        msg.payload = std::move(t.modified_payload);
+        break;
+      case TamperAction::kDeliver:
+        break;
+    }
+  }
+  if (loss_rate_ > 0.0 && loss_rng_.next_bool(loss_rate_)) {
+    ++messages_dropped_;
+    bytes_transmitted_ += wire_bytes;
+    return;
+  }
+
+  ++messages_sent_;
+  bytes_transmitted_ += wire_bytes;
+  if (per_link_accounting_) {
+    per_link_bytes_[link_key(msg.src, msg.dst)] += wire_bytes;
+  }
+  scheduler_.schedule_after(
+      delay, [this, m = std::move(msg)]() mutable { handler_(m); });
+}
+
+sim::Duration Network::reserve_radio(NodeId src, sim::Duration tx_time) {
+  if (!params_.serialize_tx) return sim::Duration::zero();
+  sim::SimTime& free_at = radio_free_[src];
+  const sim::SimTime start =
+      free_at > scheduler_.now() ? free_at : scheduler_.now();
+  free_at = start + tx_time;
+  return start - scheduler_.now();
+}
+
+void Network::send(NodeId src, NodeId dst, std::uint32_t kind, Bytes payload) {
+  const std::uint64_t bits =
+      (payload.size() + params_.header_bytes) * 8;
+  const sim::Duration tx = sim::transmission_delay(bits, params_.rate_bps);
+  const sim::Duration queue = reserve_radio(src, tx);
+  deliver(Message{src, dst, kind, std::move(payload)},
+          queue + tx + params_.per_hop_latency,
+          /*charged_hops=*/1);
+}
+
+void Network::send_multihop(NodeId src, NodeId dst, std::uint32_t hops,
+                            std::uint32_t kind, Bytes payload) {
+  if (hops == 0) {
+    throw std::invalid_argument("send_multihop: zero hops");
+  }
+  const std::uint64_t bits =
+      (payload.size() + params_.header_bytes) * 8;
+  const sim::Duration tx = sim::transmission_delay(bits, params_.rate_bps);
+  // Contention is modelled at the originating radio only; intermediate
+  // relays of a routed unicast are not tracked per hop.
+  const sim::Duration queue = reserve_radio(src, tx);
+  const sim::Duration delay =
+      queue + (tx + params_.per_hop_latency) *
+                  static_cast<std::int64_t>(hops);
+  deliver(Message{src, dst, kind, std::move(payload)}, delay, hops);
+}
+
+void Network::reset_accounting() noexcept {
+  bytes_transmitted_ = 0;
+  messages_sent_ = 0;
+  messages_dropped_ = 0;
+  per_link_bytes_.clear();
+}
+
+std::uint64_t Network::bytes_on_link(NodeId src, NodeId dst) const {
+  const auto it = per_link_bytes_.find(link_key(src, dst));
+  return it == per_link_bytes_.end() ? 0 : it->second;
+}
+
+void Network::set_loss_rate(double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("set_loss_rate: p must be in [0,1]");
+  }
+  loss_rate_ = p;
+  loss_rng_ = Rng(seed ^ 0x106f5f2d1c0ffee5ULL);
+}
+
+}  // namespace cra::net

@@ -1,0 +1,124 @@
+// Message-passing network on top of the discrete-event scheduler.
+//
+// Implements the TCA network model (paper §IV-B): constant transmission
+// rate µ on every link, per-hop delay dominated by transmission
+// (propagation/queuing negligible — we optionally add the fixed 1 ms/hop
+// processing latency the paper's evaluation uses in τ(N)). The network
+// keeps per-window byte accounting so the driver can measure network
+// utilization U_CA exactly as Equation 7 defines it: total bits crossing
+// all links between t_chal and t_resp.
+//
+// Fault and adversary injection live here too: probabilistic loss
+// (the §VIII lossy-network extension) and a tamper hook that lets the
+// TCA-Security game mutate, drop, or duplicate any in-flight message
+// (Adv controls network communication).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cra::net {
+
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint32_t kind = 0;   // protocol-defined discriminator
+  Bytes payload;
+};
+
+/// Per-link parameters of the TCA network model.
+struct LinkParams {
+  std::uint64_t rate_bps = 250'000;       // µ — IEEE 802.15.4 class
+  sim::Duration per_hop_latency = sim::Duration::from_ms(1);
+  std::uint32_t header_bytes = 0;         // optional per-message framing
+
+  /// TCA-Model fidelity knob. The paper's model (Equation 5) has no
+  /// contention: every link transmits independently. Real motes have
+  /// one radio — with this on, a node's transmissions serialize on its
+  /// own transmitter (back-to-back sends queue). Off by default so the
+  /// paper's analysis holds exactly; bench/ablate_contention measures
+  /// what the assumption hides (it flatters relay-heavy protocols like
+  /// LISAα far more than aggregate-and-forward ones like SAP).
+  bool serialize_tx = false;
+};
+
+/// What the tamper hook decided to do with a message.
+enum class TamperAction { kDeliver, kDrop, kDeliverModified };
+
+struct TamperResult {
+  TamperAction action = TamperAction::kDeliver;
+  Bytes modified_payload;  // used iff action == kDeliverModified
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using TamperHook = std::function<TamperResult(const Message&)>;
+
+  Network(sim::Scheduler& scheduler, LinkParams params);
+
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  const LinkParams& params() const noexcept { return params_; }
+
+  /// Deliver callback for all nodes; the protocol driver dispatches on
+  /// Message::dst. Must be set before any send().
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Send over one direct link (src and dst adjacent). Delay is
+  /// transmission (size/µ) + per-hop latency; bytes are charged to the
+  /// accounting window.
+  void send(NodeId src, NodeId dst, std::uint32_t kind, Bytes payload);
+
+  /// Multi-hop unicast through `hops` links (used by the naive baseline
+  /// where Vrf talks to each device over the routed shortest path).
+  /// Charges `hops` × size bytes and `hops` × per-link delay.
+  void send_multihop(NodeId src, NodeId dst, std::uint32_t hops,
+                     std::uint32_t kind, Bytes payload);
+
+  /// --- Accounting (Equation 7) ---
+  void reset_accounting() noexcept;
+  std::uint64_t bytes_transmitted() const noexcept { return bytes_transmitted_; }
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+
+  /// Per-link byte counts (keyed by directed (src,dst)); only recorded
+  /// when enabled — the map is too heavy for million-node sweeps.
+  void enable_per_link_accounting(bool on) { per_link_accounting_ = on; }
+  std::uint64_t bytes_on_link(NodeId src, NodeId dst) const;
+
+  /// --- Fault / adversary injection ---
+  void set_loss_rate(double p, std::uint64_t seed = 0);
+  void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
+
+  /// Delay model exposed for analytical checks: time for one message of
+  /// `payload_bytes` to cross one link.
+  sim::Duration link_delay(std::size_t payload_bytes) const noexcept;
+
+ private:
+  void deliver(Message msg, sim::Duration delay, std::uint32_t charged_hops);
+  /// With serialize_tx: when src's radio can start this transmission
+  /// (and reserve it). Returns the extra queueing delay.
+  sim::Duration reserve_radio(NodeId src, sim::Duration tx_time);
+
+  sim::Scheduler& scheduler_;
+  LinkParams params_;
+  Handler handler_;
+  TamperHook tamper_;
+  double loss_rate_ = 0.0;
+  Rng loss_rng_{0};
+  bool per_link_accounting_ = false;
+  std::uint64_t bytes_transmitted_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> per_link_bytes_;
+  std::unordered_map<NodeId, sim::SimTime> radio_free_;  // serialize_tx
+};
+
+}  // namespace cra::net

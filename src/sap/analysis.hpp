@@ -1,0 +1,46 @@
+// Closed-form TCA-Model predictions for SAP (Lemmas 1-3, Equation 9).
+//
+// The tca module and the benches compare simulated rounds against these
+// formulas — that is what "performs as expected from its systematic
+// design" means operationally.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+#include "sap/config.hpp"
+#include "sim/time.hpp"
+
+namespace cra::sap {
+
+/// Depth of the balanced binary tree over N devices rooted on Vrf —
+/// the paper's log2(N+2) − 1 (Equation 10), computed exactly for the
+/// heap-layout tree we deploy.
+std::uint32_t predicted_depth(std::uint32_t devices, std::uint32_t arity = 2);
+
+/// T_att: attest execution time (HMAC over the whole PMEM).
+sim::Duration attest_time(const SapConfig& config);
+
+/// T_agg: per-hop aggregation time.
+sim::Duration aggregate_time(const SapConfig& config);
+
+/// Time for one chal/token message to cross one link (transmission at µ
+/// plus the per-hop processing latency).
+sim::Duration hop_time(const SapConfig& config);
+
+/// Equation 9's lower bound on t_att − t_chal for a tree of `depth`.
+sim::Duration request_lead_time(const SapConfig& config, std::uint32_t depth);
+
+/// Lemma 2: U_CA(SAP) — every link carries one chal and one token.
+std::uint64_t predicted_u_ca_bytes(const SapConfig& config,
+                                   std::uint32_t edges);
+
+/// Lemma 3: T_CA(SAP) = T_att + depth × (l/µ + T_agg) (+ per-hop
+/// processing, which the paper's τ covers).
+sim::Duration predicted_t_ca(const SapConfig& config, std::uint32_t depth);
+
+/// Whole-round prediction (inbound + slack + measurement + outbound) —
+/// what Figure 3(a) plots.
+sim::Duration predicted_total(const SapConfig& config, std::uint32_t depth);
+
+}  // namespace cra::sap

@@ -1,0 +1,62 @@
+#include "sap/energy.hpp"
+
+namespace cra::sap {
+
+SwarmEnergyEstimate estimate_swarm_energy(const net::Tree& tree,
+                                          const SapConfig& config,
+                                          const power::MoteProfile& mote) {
+  SwarmEnergyEstimate out;
+  double children_sum = 0;
+  for (net::NodeId n = 1; n < tree.size(); ++n) {
+    if (tree.is_leaf(n)) {
+      ++out.leaves;
+    } else {
+      ++out.inner;
+      children_sum += static_cast<double>(tree.children(n).size());
+    }
+  }
+
+  std::size_t token_bytes = config.token_size();
+  switch (config.qoa) {
+    case QoaMode::kBinary:
+      break;
+    case QoaMode::kCount:
+      token_bytes += 4;
+      break;
+    case QoaMode::kIdentify: {
+      // Every device's (id || token) entry crosses each link on its path
+      // to the root exactly once, so the average report size per link is
+      // total-entries x entry-size x depth / links ≈ entry x mean depth.
+      double depth_sum = 0;
+      for (net::NodeId n = 1; n < tree.size(); ++n) {
+        depth_sum += static_cast<double>(tree.depth(n));
+      }
+      const double mean_depth =
+          depth_sum / static_cast<double>(tree.device_count());
+      token_bytes = static_cast<std::size_t>(
+          static_cast<double>(4 + config.token_size()) * mean_depth);
+      break;
+    }
+  }
+
+  const power::PowerEstimate leaf_est =
+      power::estimate(mote, config.chal_size(), token_bytes, 0);
+  out.leaf_mw = leaf_est.leaf_mw;
+
+  if (out.inner > 0) {
+    const double mean_children =
+        children_sum / static_cast<double>(out.inner);
+    const power::PowerEstimate inner_est = power::estimate(
+        mote, config.chal_size(), token_bytes,
+        static_cast<std::size_t>(mean_children + 0.5));
+    out.inner_mw = inner_est.inner_mw;
+  }
+
+  out.total_mw = out.leaf_mw * out.leaves + out.inner_mw * out.inner;
+  out.mean_mw = tree.device_count() > 0
+                    ? out.total_mw / tree.device_count()
+                    : 0.0;
+  return out;
+}
+
+}  // namespace cra::sap

@@ -1,0 +1,33 @@
+// Swarm-level energy estimation (paper §VII-D scaled up).
+//
+// Table III gives per-device power for leaves and inner nodes; a
+// deployment planner wants the fleet totals and the per-role split for a
+// concrete topology. This glues the power module to a tree: count
+// leaves/inner nodes, evaluate the §VII-D bounds with the protocol's
+// actual message sizes (including the QoA mode's report growth), and
+// aggregate.
+#pragma once
+
+#include "net/topology.hpp"
+#include "power/power.hpp"
+#include "sap/config.hpp"
+
+namespace cra::sap {
+
+struct SwarmEnergyEstimate {
+  std::uint32_t leaves = 0;
+  std::uint32_t inner = 0;
+  double leaf_mw = 0;       // per-device (Table III row)
+  double inner_mw = 0;
+  double total_mw = 0;      // fleet sum
+  double mean_mw = 0;       // per device
+};
+
+/// Per-round energy profile of `tree` under `config` on mote `mote`.
+/// For kIdentify the inner-node report sizes grow with the subtree; we
+/// charge the *average* report size so the fleet total stays exact.
+SwarmEnergyEstimate estimate_swarm_energy(const net::Tree& tree,
+                                          const SapConfig& config,
+                                          const power::MoteProfile& mote);
+
+}  // namespace cra::sap

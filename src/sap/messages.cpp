@@ -1,0 +1,112 @@
+#include "sap/messages.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+
+namespace cra::sap {
+
+const char* qoa_name(QoaMode mode) noexcept {
+  switch (mode) {
+    case QoaMode::kBinary: return "binary";
+    case QoaMode::kCount: return "count";
+    case QoaMode::kIdentify: return "identify";
+  }
+  return "?";
+}
+
+namespace {
+
+Bytes chal_auth_tag(std::uint32_t tick, BytesView auth_key) {
+  Bytes message;
+  append_u32le(message, tick);
+  Bytes mac = crypto::hmac(crypto::HashAlg::kSha256, auth_key, message);
+  mac.resize(kChalAuthSize);
+  return mac;
+}
+
+}  // namespace
+
+Bytes encode_chal(std::uint32_t tick, BytesView auth_key,
+                  std::size_t chal_size) {
+  if (chal_size < 4 + kChalAuthSize) {
+    throw std::invalid_argument("encode_chal: chal_size too small");
+  }
+  Bytes out;
+  out.reserve(chal_size);
+  append_u32le(out, tick);
+  if (auth_key.empty()) {
+    out.resize(4 + kChalAuthSize, 0);
+  } else {
+    const Bytes tag = chal_auth_tag(tick, auth_key);
+    out.insert(out.end(), tag.begin(), tag.end());
+  }
+  out.resize(chal_size, 0);
+  return out;
+}
+
+std::optional<ChalView> decode_chal(BytesView payload,
+                                    std::size_t chal_size) {
+  if (payload.size() != chal_size || chal_size < 4 + kChalAuthSize) {
+    return std::nullopt;
+  }
+  ChalView view;
+  view.tick = read_u32le(payload, 0);
+  view.auth.assign(payload.begin() + 4, payload.begin() + 4 + kChalAuthSize);
+  return view;
+}
+
+bool chal_authentic(const ChalView& chal, BytesView auth_key) {
+  if (auth_key.empty()) return true;  // authentication disabled
+  return crypto::ct_equal(chal.auth, chal_auth_tag(chal.tick, auth_key));
+}
+
+Bytes encode_identify(const std::vector<DeviceReport>& reports,
+                      std::size_t token_size) {
+  Bytes out;
+  out.reserve(reports.size() * (4 + token_size));
+  for (const auto& r : reports) {
+    if (r.token.size() != token_size) {
+      throw std::invalid_argument("encode_identify: bad token size");
+    }
+    append_u32le(out, r.id);
+    out.insert(out.end(), r.token.begin(), r.token.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<DeviceReport>> decode_identify(
+    BytesView payload, std::size_t token_size) {
+  const std::size_t entry = 4 + token_size;
+  if (payload.size() % entry != 0) return std::nullopt;
+  std::vector<DeviceReport> out;
+  out.reserve(payload.size() / entry);
+  for (std::size_t off = 0; off < payload.size(); off += entry) {
+    DeviceReport r;
+    r.id = read_u32le(payload, off);
+    r.token.assign(payload.begin() + static_cast<std::ptrdiff_t>(off + 4),
+                   payload.begin() + static_cast<std::ptrdiff_t>(off + entry));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Bytes encode_count_token(BytesView token, std::uint32_t count) {
+  Bytes out(token.begin(), token.end());
+  append_u32le(out, count);
+  return out;
+}
+
+std::optional<CountToken> decode_count_token(BytesView payload,
+                                             std::size_t token_size) {
+  if (payload.size() != token_size + 4) return std::nullopt;
+  CountToken out;
+  out.token.assign(payload.begin(),
+                   payload.begin() + static_cast<std::ptrdiff_t>(token_size));
+  out.count = read_u32le(payload, token_size);
+  return out;
+}
+
+}  // namespace cra::sap

@@ -1,0 +1,68 @@
+// Wire messages of SAP.
+//
+// Two message kinds flow in a round (paper Figure 1): the challenge
+// (request, root -> leaves) and the token (report, leaves -> root).
+// Payload layouts are fixed-size so the network utilization matches the
+// model: |chal| = |token| = l bits.
+//
+//   chal  = tick(4, LE) || auth(16)          -- auth is HMAC_{K_req}(tick)
+//                                               truncated, or zero padding
+//   token = l bytes                           -- kBinary
+//   token = l bytes || count(4, LE)           -- kCount
+//   token = repeated { id(4, LE) || l bytes } -- kIdentify (one entry per
+//                                                device in the subtree)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sap/config.hpp"
+
+namespace cra::sap {
+
+enum MessageKind : std::uint32_t {
+  kChalMsg = 1,
+  kTokenMsg = 2,
+  kRepollMsg = 3,  // lossy-network extension: parent re-requests a token
+};
+
+constexpr std::size_t kChalAuthSize = 16;
+
+/// Build a challenge payload. `auth_key` empty -> zero padding.
+Bytes encode_chal(std::uint32_t tick, BytesView auth_key,
+                  std::size_t chal_size);
+
+struct ChalView {
+  std::uint32_t tick = 0;
+  Bytes auth;  // kChalAuthSize bytes
+};
+
+/// Parse; returns nullopt when the payload is malformed (too short).
+std::optional<ChalView> decode_chal(BytesView payload, std::size_t chal_size);
+
+/// Verify the challenge authenticator (constant-time).
+bool chal_authentic(const ChalView& chal, BytesView auth_key);
+
+/// kIdentify entries.
+struct DeviceReport {
+  std::uint32_t id = 0;
+  Bytes token;  // l bytes
+};
+
+Bytes encode_identify(const std::vector<DeviceReport>& reports,
+                      std::size_t token_size);
+std::optional<std::vector<DeviceReport>> decode_identify(
+    BytesView payload, std::size_t token_size);
+
+/// kCount payload helpers.
+Bytes encode_count_token(BytesView token, std::uint32_t count);
+struct CountToken {
+  Bytes token;
+  std::uint32_t count = 0;
+};
+std::optional<CountToken> decode_count_token(BytesView payload,
+                                             std::size_t token_size);
+
+}  // namespace cra::sap

@@ -1,0 +1,52 @@
+#include "sap/report_json.hpp"
+
+#include "common/json.hpp"
+
+namespace cra::sap {
+
+std::string report_to_json(const RoundReport& report) {
+  JsonWriter w;
+  w.begin_object()
+      .field("verified", report.verified)
+      .field("chal_tick", report.chal_tick)
+      .field("devices", report.devices)
+      .field("responded", report.responded)
+      .field("repolls", report.repolls);
+
+  w.key("timeline").begin_object()
+      .field("t_chal_s", report.t_chal.sec())
+      .field("inbound_end_s", report.inbound_end.sec())
+      .field("t_att_s", report.t_att.sec())
+      .field("measurement_end_s", report.measurement_end.sec())
+      .field("t_resp_s", report.t_resp.sec())
+      .end_object();
+
+  w.key("phases").begin_object()
+      .field("inbound_ms", report.inbound().ms())
+      .field("slack_ms", report.slack().ms())
+      .field("measurement_ms", report.measurement().ms())
+      .field("outbound_ms", report.outbound().ms())
+      .field("total_s", report.total().sec())
+      .field("t_ca_s", report.t_ca().sec())
+      .end_object();
+
+  w.key("network").begin_object()
+      .field("u_ca_bytes", report.u_ca_bytes)
+      .field("messages", report.messages)
+      .field("dropped", report.dropped)
+      .end_object();
+
+  w.key("identify").begin_object();
+  w.key("bad").begin_array();
+  for (auto id : report.identify.bad) w.value(id);
+  w.end_array();
+  w.key("missing").begin_array();
+  for (auto id : report.identify.missing) w.value(id);
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cra::sap

@@ -1,0 +1,14 @@
+// JSON serialization of round reports (tooling / CI surface).
+#pragma once
+
+#include <string>
+
+#include "sap/report.hpp"
+
+namespace cra::sap {
+
+/// One JSON object with the verdict, timeline, phases, network counters
+/// and (when present) the identify-mode classification.
+std::string report_to_json(const RoundReport& report);
+
+}  // namespace cra::sap

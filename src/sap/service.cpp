@@ -1,0 +1,104 @@
+#include "sap/service.hpp"
+
+#include <stdexcept>
+
+namespace cra::sap {
+
+const char* service_event_name(ServiceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case ServiceEvent::Kind::kHealthy: return "healthy";
+    case ServiceEvent::Kind::kAlarm: return "alarm";
+    case ServiceEvent::Kind::kLocalized: return "localized";
+    case ServiceEvent::Kind::kRecovering: return "recovering";
+    case ServiceEvent::Kind::kDeescalated: return "deescalated";
+  }
+  return "?";
+}
+
+AttestationService::AttestationService(SapSimulation& swarm,
+                                       ServicePolicy policy)
+    : swarm_(swarm),
+      policy_(policy),
+      mode_(policy.steady_mode),
+      flags_(swarm.device_count() + 1, 0) {
+  if (policy_.failures_to_escalate == 0 ||
+      policy_.healthy_to_deescalate == 0) {
+    throw std::invalid_argument("AttestationService: zero thresholds");
+  }
+  swarm_.set_qoa(mode_);
+}
+
+ServiceEvent AttestationService::run_once() {
+  ++round_;
+  const RoundReport report = swarm_.run_round();
+
+  ServiceEvent event;
+  event.round = round_;
+  event.at = report.t_resp;
+  event.mode = mode_;
+  event.verified = report.verified;
+
+  const bool is_escalated = mode_ == policy_.escalated_mode &&
+                            policy_.escalated_mode != policy_.steady_mode;
+  if (report.verified) {
+    failure_streak_ = 0;
+    if (is_escalated) {
+      ++healthy_streak_;
+      if (healthy_streak_ >= policy_.healthy_to_deescalate) {
+        mode_ = policy_.steady_mode;
+        swarm_.set_qoa(mode_);
+        suspects_.clear();
+        event.kind = ServiceEvent::Kind::kDeescalated;
+      } else {
+        event.kind = ServiceEvent::Kind::kRecovering;
+      }
+    } else {
+      event.kind = ServiceEvent::Kind::kHealthy;
+    }
+  } else {
+    healthy_streak_ = 0;
+    ++failure_streak_;
+    if (is_escalated) {
+      // Identify-mode verdict: record the named devices.
+      event.kind = ServiceEvent::Kind::kLocalized;
+      event.bad = report.identify.bad;
+      event.missing = report.identify.missing;
+      suspects_.clear();
+      for (auto id : report.identify.bad) {
+        suspects_.push_back(id);
+        ++flags_[id];
+      }
+      for (auto id : report.identify.missing) {
+        suspects_.push_back(id);
+        ++flags_[id];
+      }
+    } else {
+      event.kind = ServiceEvent::Kind::kAlarm;
+      if (failure_streak_ >= policy_.failures_to_escalate) {
+        mode_ = policy_.escalated_mode;
+        swarm_.set_qoa(mode_);
+        healthy_streak_ = 0;
+      }
+    }
+  }
+
+  log_.push_back(event);
+  swarm_.advance_time(policy_.period);
+  return event;
+}
+
+std::vector<ServiceEvent> AttestationService::run(std::uint32_t n) {
+  std::vector<ServiceEvent> events;
+  events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) events.push_back(run_once());
+  return events;
+}
+
+std::uint32_t AttestationService::flag_count(net::NodeId id) const {
+  if (id == 0 || id >= flags_.size()) {
+    throw std::out_of_range("flag_count: bad device id");
+  }
+  return flags_[id];
+}
+
+}  // namespace cra::sap

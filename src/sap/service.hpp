@@ -1,0 +1,87 @@
+// AttestationService — the operational layer a deployment actually runs.
+//
+// The paper's QoA discussion (§VIII) frames granularity as a per-round
+// choice with a bandwidth price. A monitoring service can get both ends
+// of the trade: run cheap constant-bandwidth binary rounds while the
+// fleet is healthy, and escalate to identify-mode only when a round
+// fails — paying the Θ(N·l·depth) localization cost exactly when there
+// is something to localize. After the fleet stays clean long enough,
+// de-escalate back.
+//
+// The service also keeps per-device health history (consecutive-failure
+// streaks from identify rounds), which is what an operator pages on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+
+struct ServicePolicy {
+  sim::Duration period = sim::Duration::from_sec(2.0);
+  QoaMode steady_mode = QoaMode::kBinary;
+  QoaMode escalated_mode = QoaMode::kIdentify;
+  /// Failed rounds (in steady mode) before escalating.
+  std::uint32_t failures_to_escalate = 1;
+  /// Clean rounds (in escalated mode) before de-escalating.
+  std::uint32_t healthy_to_deescalate = 2;
+};
+
+struct ServiceEvent {
+  enum class Kind : std::uint8_t {
+    kHealthy,     // round verified
+    kAlarm,       // round failed in steady mode
+    kLocalized,   // escalated round failed and names devices
+    kRecovering,  // escalated round verified (counting down)
+    kDeescalated, // returned to steady mode this round
+  };
+  Kind kind = Kind::kHealthy;
+  std::uint32_t round = 0;
+  sim::SimTime at;
+  QoaMode mode = QoaMode::kBinary;
+  bool verified = false;
+  std::vector<net::NodeId> bad;
+  std::vector<net::NodeId> missing;
+};
+
+const char* service_event_name(ServiceEvent::Kind kind) noexcept;
+
+class AttestationService {
+ public:
+  /// The service drives (and reconfigures) `swarm`; the caller keeps
+  /// ownership and may inject faults/compromises between rounds.
+  AttestationService(SapSimulation& swarm, ServicePolicy policy);
+
+  /// Run one attestation round under the current mode, advance the
+  /// escalation state machine, idle until the next period boundary.
+  ServiceEvent run_once();
+
+  /// Convenience: `n` consecutive rounds; returns the events.
+  std::vector<ServiceEvent> run(std::uint32_t n);
+
+  QoaMode current_mode() const noexcept { return mode_; }
+  bool escalated() const noexcept { return mode_ != policy_.steady_mode; }
+  const std::vector<ServiceEvent>& log() const noexcept { return log_; }
+
+  /// Devices flagged bad/missing in the most recent localized round.
+  const std::vector<net::NodeId>& suspects() const noexcept {
+    return suspects_;
+  }
+  /// Per-device count of identify rounds that flagged the device.
+  std::uint32_t flag_count(net::NodeId id) const;
+
+ private:
+  SapSimulation& swarm_;
+  ServicePolicy policy_;
+  QoaMode mode_;
+  std::uint32_t round_ = 0;
+  std::uint32_t failure_streak_ = 0;
+  std::uint32_t healthy_streak_ = 0;
+  std::vector<net::NodeId> suspects_;
+  std::vector<std::uint32_t> flags_;  // per device id
+  std::vector<ServiceEvent> log_;
+};
+
+}  // namespace cra::sap

@@ -1,0 +1,590 @@
+#include "sap/swarm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/kdf.hpp"
+#include "sap/analysis.hpp"
+
+namespace cra::sap {
+namespace {
+
+Bytes master_from_seed(std::uint64_t seed) {
+  crypto::SecureRandom rng(seed ^ 0x5a50'6d61'7374'6572ULL);  // "SAPmaster"
+  return rng.bytes(32);
+}
+
+}  // namespace
+
+SapSimulation::SapSimulation(SapConfig config, net::Tree tree,
+                             std::uint64_t seed)
+    : config_(config),
+      tree_(std::move(tree)),
+      scheduler_(),
+      network_(scheduler_, config.link),
+      clock_(config.device_hz, config.clock_divisor),
+      verifier_(config, tree_.device_count(), master_from_seed(seed)),
+      devices_(tree_.device_count()) {
+  auth_key_ = verifier_.request_auth_key();
+
+  // setup: provision keys and synthetic "firmware" contents; register
+  // cfg_i with the verifier.
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    Dev& d = dev(id);
+    d.key = verifier_.device_key(id);
+    d.content =
+        crypto::derive_device_key(master_from_seed(seed), id,
+                                  config_.token_size(), "sap-firmware");
+    verifier_.set_expected_content(id, d.content);
+  }
+  network_.set_handler([this](const net::Message& m) { on_message(m); });
+
+  // Identity position mapping: device i occupies tree position i.
+  dev_at_.resize(tree_.size());
+  pos_of_.resize(tree_.size());
+  for (net::NodeId i = 0; i < tree_.size(); ++i) {
+    dev_at_[i] = i;
+    pos_of_[i] = i;
+  }
+  recompute_subtree_sizes();
+}
+
+void SapSimulation::recompute_subtree_sizes() {
+  // Subtree sizes (node counts including the position itself), used by
+  // the payload-aware report deadlines. Children always have larger
+  // position indices than their parent, so one reverse pass suffices.
+  subtree_size_.assign(tree_.size(), 1);
+  for (net::NodeId pos = tree_.size() - 1; pos >= 1; --pos) {
+    subtree_size_[tree_.parent(pos)] += subtree_size_[pos];
+  }
+}
+
+void SapSimulation::rebuild_topology(
+    net::Tree tree, std::vector<net::NodeId> device_at_position) {
+  if (round_active_) {
+    throw std::logic_error("rebuild_topology: round in progress");
+  }
+  if (tree.device_count() != device_count() ||
+      device_at_position.size() != tree.size() ||
+      device_at_position[0] != 0) {
+    throw std::invalid_argument("rebuild_topology: shape mismatch");
+  }
+  std::vector<net::NodeId> new_pos(tree.size(), net::kNoNode);
+  for (net::NodeId pos = 0; pos < tree.size(); ++pos) {
+    const net::NodeId id = device_at_position[pos];
+    if (id >= tree.size() || new_pos[id] != net::kNoNode) {
+      throw std::invalid_argument("rebuild_topology: not a permutation");
+    }
+    new_pos[id] = pos;
+  }
+  tree_ = std::move(tree);
+  dev_at_ = std::move(device_at_position);
+  pos_of_ = std::move(new_pos);
+  recompute_subtree_sizes();
+}
+
+SapSimulation SapSimulation::balanced(SapConfig config, std::uint32_t devices,
+                                      std::uint64_t seed) {
+  return SapSimulation(config,
+                       net::balanced_kary_tree(devices, config.tree_arity),
+                       seed);
+}
+
+void SapSimulation::compromise_device(net::NodeId id) {
+  Dev& d = dev(id);
+  d.compromised = true;
+  if (d.vm != nullptr) {
+    // One-byte malware implant at PMEM offset 0.
+    const std::uint8_t implant =
+        static_cast<std::uint8_t>(d.vm->memory().read8(
+            d.vm->memory().layout().pmem_base()) ^ 0xff);
+    d.vm->adv_infect_pmem(0, BytesView(&implant, 1));
+  } else {
+    d.content[0] = static_cast<std::uint8_t>(d.content[0] ^ 0xff);
+  }
+}
+
+void SapSimulation::restore_device(net::NodeId id) {
+  Dev& d = dev(id);
+  d.compromised = false;
+  if (d.vm != nullptr) {
+    d.vm->memory().load(device::Section::kPmem,
+                        verifier_.expected_content(id));
+  } else {
+    d.content = verifier_.expected_content(id);
+  }
+}
+
+bool SapSimulation::is_compromised(net::NodeId id) const {
+  return dev(id).compromised;
+}
+
+void SapSimulation::set_device_unresponsive(net::NodeId id,
+                                            bool unresponsive) {
+  dev(id).unresponsive = unresponsive;
+}
+
+void SapSimulation::set_clock_skew(net::NodeId id, sim::Duration skew) {
+  dev(id).skew_ns = skew.ns();
+  if (dev(id).vm != nullptr) {
+    dev(id).vm->sync_clock(scheduler_.now(), skew);
+  }
+}
+
+void SapSimulation::assign_device_class(net::NodeId id, std::uint8_t cls) {
+  if (cls > config_.extra_classes.size()) {
+    throw std::out_of_range("assign_device_class: unknown class");
+  }
+  dev(id).cls = cls;
+}
+
+sim::Duration SapSimulation::attest_time_for(net::NodeId id) const {
+  const std::uint8_t cls = dev(id).cls;
+  if (cls == 0) return attest_time(config_);
+  const DeviceClassSpec& spec = config_.extra_classes[cls - 1];
+  const std::uint64_t blocks =
+      crypto::hmac_compression_calls(config_.alg, spec.pmem_size + 4);
+  return sim::cycles_to_time(
+      config_.attest_overhead_cycles + blocks * spec.cycles_per_block,
+      spec.hz);
+}
+
+sim::Duration SapSimulation::max_attest_time() const {
+  sim::Duration worst = attest_time(config_);
+  for (const DeviceClassSpec& spec : config_.extra_classes) {
+    const std::uint64_t blocks =
+        crypto::hmac_compression_calls(config_.alg, spec.pmem_size + 4);
+    const sim::Duration t = sim::cycles_to_time(
+        config_.attest_overhead_cycles + blocks * spec.cycles_per_block,
+        spec.hz);
+    if (t > worst) worst = t;
+  }
+  return worst;
+}
+
+void SapSimulation::attach_vm(net::NodeId id, device::Device* vm) {
+  if (vm == nullptr) {
+    throw std::invalid_argument("attach_vm: null device");
+  }
+  Dev& d = dev(id);
+  d.vm = vm;
+  verifier_.set_expected_content(id, vm->expected_pmem());
+}
+
+void SapSimulation::advance_time(sim::Duration d) {
+  scheduler_.run_until(scheduler_.now() + d);
+}
+
+void SapSimulation::set_qoa(QoaMode mode) {
+  if (round_active_) {
+    throw std::logic_error("set_qoa: round in progress");
+  }
+  config_.qoa = mode;
+}
+
+Bytes SapSimulation::compute_token(net::NodeId id, std::uint32_t tick) {
+  Dev& d = dev(id);
+  if (d.vm != nullptr) {
+    // Full-fidelity path: synchronize the VM's secure clock with global
+    // time (the network-wide clock), then run the real attest TCB.
+    d.vm->sync_clock(scheduler_.now(), sim::Duration(d.skew_ns));
+    d.vm->invoke_attest(tick);
+    return d.vm->read_token();
+  }
+  // Synthetic path: the device's clock check, then
+  // HMAC_{K}(content || chal) — content stands in for PMEM(mi, t).
+  const std::uint32_t local_tick = clock_.read_at_time(
+      scheduler_.now(), sim::Duration(d.skew_ns));
+  if (local_tick != tick) {
+    return Bytes(config_.token_size(), 0);
+  }
+  Bytes message = d.content;
+  append_u32le(message, tick);
+  return crypto::hmac(config_.alg, d.key, message);
+}
+
+RoundReport SapSimulation::run_round() {
+  if (round_active_) {
+    throw std::logic_error("run_round: round already active");
+  }
+  round_active_ = true;
+
+  // Reset per-round device state.
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    Dev& d = dev(id);
+    d.tick = 0;
+    d.got_chal = false;
+    d.responded_self = false;
+    d.sent = false;
+    d.waiting =
+        static_cast<std::uint32_t>(tree_.children(pos_of_[id]).size());
+    d.count = 0;
+    d.retries = 0;
+    d.got_children.clear();
+    d.agg_token.assign(config_.token_size(), 0);
+    d.sent_payload.clear();
+    d.reports.clear();
+    d.deadline = sim::EventHandle();
+  }
+  root_done_ = false;
+  root_waiting_ = static_cast<std::uint32_t>(tree_.children(0).size());
+  root_count_ = 0;
+  root_got_children_.clear();
+  repolls_ = 0;
+  root_token_.assign(config_.token_size(), 0);
+  root_reports_.clear();
+  network_.reset_accounting();
+
+  RoundReport report;
+  report.devices = device_count();
+  report.t_chal = scheduler_.now();
+  inbound_end_ = report.t_chal;
+
+  // request: pick t_att per Equation 9 (+ slack), quantized to the next
+  // secure-clock tick, and flood chal down the tree.
+  const sim::SimTime lower_bound =
+      report.t_chal + request_lead_time(config_, tree_.max_depth());
+  round_tick_ = clock_.time_to_tick_ceil(lower_bound);
+  t_att_time_ = clock_.tick_to_time(round_tick_);
+  report.chal_tick = round_tick_;
+  report.t_att = t_att_time_;
+  report.measurement_end = t_att_time_ + max_attest_time();
+
+  const Bytes chal =
+      encode_chal(round_tick_, auth_key_, config_.chal_size());
+  for (net::NodeId child : tree_.children(0)) {
+    network_.send(0, child, kChalMsg, chal);
+  }
+
+  // Give-up deadline for Vrf (covers lost subtrees and repolls).
+  const sim::Duration repoll_allowance =
+      (config_.report_margin + hop_time(config_) * 2) *
+      static_cast<std::int64_t>(config_.retransmit ? config_.max_retries + 1
+                                                   : 1);
+  const sim::SimTime vrf_deadline =
+      report.measurement_end + report_chain_time(0) + repoll_allowance +
+      config_.report_margin *
+          static_cast<std::int64_t>(tree_.max_depth() + 2);
+  t_resp_ = vrf_deadline;
+  root_deadline_ = scheduler_.schedule_at(
+      vrf_deadline, [this] { root_complete(); });
+
+  scheduler_.run();
+
+  report.inbound_end = inbound_end_;
+  report.t_resp = t_resp_;
+  report.u_ca_bytes = network_.bytes_transmitted();
+  report.messages = network_.messages_sent();
+  report.dropped = network_.messages_dropped();
+  report.repolls = repolls_;
+
+  switch (config_.qoa) {
+    case QoaMode::kBinary:
+      report.responded = root_waiting_ == 0 ? device_count() : 0;
+      report.verified = verifier_.verify(root_token_, round_tick_);
+      break;
+    case QoaMode::kCount:
+      report.responded = root_count_;
+      report.verified = root_count_ == device_count() &&
+                        verifier_.verify(root_token_, round_tick_);
+      break;
+    case QoaMode::kIdentify:
+      report.responded = static_cast<std::uint32_t>(root_reports_.size());
+      report.identify =
+          verifier_.verify_identify(root_reports_, round_tick_);
+      report.verified = report.identify.all_good();
+      break;
+  }
+
+  round_active_ = false;
+  return report;
+}
+
+void SapSimulation::on_message(const net::Message& msg) {
+  // Messages travel between tree positions; position 0 is Vrf.
+  if (msg.dst == 0) {
+    root_receive(msg);
+    return;
+  }
+  if (msg.dst > device_count()) return;  // stray/tampered address
+  if (dev_at_pos(msg.dst).unresponsive) return;
+
+  switch (msg.kind) {
+    case kChalMsg:
+      handle_chal(msg.dst, msg);
+      break;
+    case kTokenMsg:
+      handle_token(msg.dst, msg);
+      break;
+    case kRepollMsg:
+      handle_repoll(msg.dst);
+      break;
+    default:
+      break;  // unknown kind: drop
+  }
+}
+
+void SapSimulation::handle_chal(net::NodeId pos, const net::Message& msg) {
+  Dev& d = dev_at_pos(pos);
+  if (d.got_chal) return;  // duplicate (replay or adversarial copy)
+
+  const auto chal = decode_chal(msg.payload, config_.chal_size());
+  if (!chal) return;  // malformed
+  if (!auth_key_.empty() && !chal_authentic(*chal, auth_key_)) {
+    return;  // §VIII DoS mitigation: drop unauthenticated requests
+  }
+  // Staleness check against the device's OWN secure clock (this is what
+  // the monotonically increasing clock buys in §V-C: chal can never
+  // repeat, because a tick in the local past is plainly unanswerable —
+  // no global round state needed).
+  const std::uint32_t local_now =
+      clock_.read_at_time(scheduler_.now(), sim::Duration(d.skew_ns));
+  if (chal->tick < local_now) return;
+  d.got_chal = true;
+  d.tick = chal->tick;
+  if (scheduler_.now() > inbound_end_) inbound_end_ = scheduler_.now();
+
+  // Forward chal immediately to all children.
+  for (net::NodeId child : tree_.children(pos)) {
+    network_.send(pos, child, kChalMsg, msg.payload);
+  }
+
+  // Schedule attest when the device's own clock reaches the tick.
+  const sim::SimTime fire_global =
+      clock_.tick_to_time(chal->tick) - sim::Duration(d.skew_ns);
+  const sim::SimTime when =
+      fire_global > scheduler_.now() ? fire_global : scheduler_.now();
+  scheduler_.schedule_at(when, [this, pos] { run_attest(pos); });
+
+  // Inner nodes arm a report deadline in case children go silent.
+  if (!tree_.children(pos).empty()) {
+    schedule_deadline(pos);
+  }
+}
+
+void SapSimulation::run_attest(net::NodeId pos) {
+  const net::NodeId id = dev_at_[pos];
+  Dev& d = dev(id);
+  if (d.unresponsive) return;
+  Bytes token = compute_token(id, d.tick);
+  // Token is ready T_att after invocation (per this device's hardware
+  // class); aggregation happens then.
+  scheduler_.schedule_after(
+      attest_time_for(id),
+      [this, pos, t = std::move(token)]() mutable {
+        accumulate_self(pos, std::move(t));
+      });
+}
+
+void SapSimulation::accumulate_self(net::NodeId pos, Bytes token) {
+  const net::NodeId id = dev_at_[pos];
+  Dev& d = dev(id);
+  d.responded_self = true;
+  if (config_.qoa == QoaMode::kIdentify) {
+    d.reports.push_back(DeviceReport{id, token});  // stable device id
+  }
+  xor_inplace(d.agg_token, token);
+  ++d.count;
+  try_forward(pos);
+}
+
+void SapSimulation::handle_token(net::NodeId pos, const net::Message& msg) {
+  Dev& d = dev_at_pos(pos);
+  if (d.sent) return;  // already flushed; late token is lost information
+  // One token per child per round: duplicates (adversarial copies, or a
+  // repoll answer racing the original) would cancel under XOR.
+  if (std::find(d.got_children.begin(), d.got_children.end(), msg.src) !=
+      d.got_children.end()) {
+    return;
+  }
+  switch (config_.qoa) {
+    case QoaMode::kBinary: {
+      if (msg.payload.size() != config_.token_size()) return;
+      xor_inplace(d.agg_token, msg.payload);
+      break;
+    }
+    case QoaMode::kCount: {
+      const auto ct = decode_count_token(msg.payload, config_.token_size());
+      if (!ct) return;
+      xor_inplace(d.agg_token, ct->token);
+      d.count += ct->count;
+      break;
+    }
+    case QoaMode::kIdentify: {
+      const auto reports = decode_identify(msg.payload, config_.token_size());
+      if (!reports) return;
+      d.reports.insert(d.reports.end(), reports->begin(), reports->end());
+      break;
+    }
+  }
+  d.got_children.push_back(msg.src);  // child *positions*
+  if (d.waiting > 0) --d.waiting;
+  try_forward(pos);
+}
+
+void SapSimulation::handle_repoll(net::NodeId pos) {
+  Dev& d = dev_at_pos(pos);
+  if (!d.got_chal) return;  // never saw the round
+  if (!d.sent_payload.empty()) {
+    // Resend the cached report.
+    network_.send(pos, tree_.parent(pos), kTokenMsg, d.sent_payload);
+  }
+  // If not yet flushed, the pending deadline/forward path will answer.
+}
+
+void SapSimulation::try_forward(net::NodeId pos) {
+  Dev& d = dev_at_pos(pos);
+  if (d.sent || !d.responded_self || d.waiting != 0) return;
+  scheduler_.cancel(d.deadline);
+  send_report(pos);
+}
+
+void SapSimulation::flush(net::NodeId pos) {
+  Dev& d = dev_at_pos(pos);
+  if (d.sent) return;
+  if (config_.retransmit && d.retries < config_.max_retries) {
+    ++d.retries;
+    ++repolls_;
+    for (net::NodeId child : tree_.children(pos)) {
+      // Re-poll only children whose token never arrived — a duplicate
+      // answer from a healthy child would be discarded anyway, so don't
+      // burn bandwidth asking for it.
+      if (std::find(d.got_children.begin(), d.got_children.end(), child) ==
+          d.got_children.end()) {
+        network_.send(pos, child, kRepollMsg, Bytes{});
+      }
+    }
+    schedule_deadline(pos);
+    return;
+  }
+  // Give up on missing children; forward the partial aggregate. The
+  // verifier's XOR will mismatch (binary) or the count/reports expose
+  // the gap — unresponsiveness must fail attestation (Definition 1).
+  if (!d.responded_self) {
+    // Our own measurement may still be pending (only possible under
+    // pathological delay injection); report without it.
+  }
+  send_report(pos);
+}
+
+void SapSimulation::send_report(net::NodeId pos) {
+  Dev& d = dev_at_pos(pos);
+  // Aggregation cost T_agg before the token leaves the node.
+  const sim::Duration agg = aggregate_time(config_);
+  Bytes payload;
+  switch (config_.qoa) {
+    case QoaMode::kBinary:
+      payload = d.agg_token;
+      break;
+    case QoaMode::kCount:
+      payload = encode_count_token(d.agg_token, d.count);
+      break;
+    case QoaMode::kIdentify:
+      payload = encode_identify(d.reports, config_.token_size());
+      break;
+  }
+  d.sent = true;
+  d.sent_payload = payload;
+  const net::NodeId parent = tree_.parent(pos);
+  scheduler_.schedule_after(agg, [this, pos, parent,
+                                  p = std::move(payload)]() mutable {
+    network_.send(pos, parent, kTokenMsg, std::move(p));
+  });
+}
+
+void SapSimulation::schedule_deadline(net::NodeId pos) {
+  Dev& d = dev_at_pos(pos);
+  d.deadline = scheduler_.schedule_at(node_deadline(pos),
+                                      [this, pos] { flush(pos); });
+}
+
+sim::Duration SapSimulation::report_chain_time(net::NodeId pos) const {
+  const std::uint32_t levels_below = tree_.max_depth() - tree_.depth(pos);
+  switch (config_.qoa) {
+    case QoaMode::kBinary:
+    case QoaMode::kCount: {
+      // Fixed-size reports: one hop per level.
+      const std::size_t payload =
+          config_.token_size() + (config_.qoa == QoaMode::kCount ? 4 : 0);
+      return (network_.link_delay(payload) + aggregate_time(config_)) *
+             static_cast<std::int64_t>(levels_below);
+    }
+    case QoaMode::kIdentify: {
+      // Reports grow with the subtree: along the deepest chain the
+      // payload roughly doubles per level, so transmission time is
+      // bounded by pushing ~2x this node's whole subtree once.
+      const std::uint64_t entry = 4 + config_.token_size();
+      const std::uint64_t worst_bytes =
+          2ULL * subtree_size_[pos] * entry + levels_below *
+              static_cast<std::uint64_t>(config_.link.header_bytes);
+      return sim::transmission_delay(worst_bytes * 8,
+                                     config_.link.rate_bps) +
+             (config_.link.per_hop_latency + aggregate_time(config_)) *
+                 static_cast<std::int64_t>(levels_below);
+    }
+  }
+  return sim::Duration::zero();
+}
+
+sim::SimTime SapSimulation::node_deadline(net::NodeId pos) const {
+  // Children's tokens arrive, at the latest, once the deepest descendant
+  // has attested and its report climbed back to us. The margin scales
+  // with the subtree height so that a descendant that itself flushed at
+  // its deadline still beats OUR deadline by one margin — otherwise a
+  // single dark leaf cascades into every ancestor flushing early.
+  const std::uint32_t levels_below = tree_.max_depth() - tree_.depth(pos);
+  const Dev& d = dev(dev_at_[pos]);
+  const sim::SimTime base = t_att_time_ + max_attest_time() +
+                            report_chain_time(pos) +
+                            config_.report_margin *
+                                static_cast<std::int64_t>(levels_below + 1);
+  // Repoll rounds extend the deadline.
+  const sim::Duration retry_extension =
+      (config_.report_margin + hop_time(config_) * 2) *
+      static_cast<std::int64_t>(d.retries);
+  return base + retry_extension;
+}
+
+void SapSimulation::root_receive(const net::Message& msg) {
+  if (root_done_ || msg.kind != kTokenMsg) return;
+  if (std::find(root_got_children_.begin(), root_got_children_.end(),
+                msg.src) != root_got_children_.end()) {
+    return;  // duplicate child report
+  }
+  root_got_children_.push_back(msg.src);
+  switch (config_.qoa) {
+    case QoaMode::kBinary: {
+      if (msg.payload.size() != config_.token_size()) return;
+      xor_inplace(root_token_, msg.payload);
+      break;
+    }
+    case QoaMode::kCount: {
+      const auto ct = decode_count_token(msg.payload, config_.token_size());
+      if (!ct) return;
+      xor_inplace(root_token_, ct->token);
+      root_count_ += ct->count;
+      break;
+    }
+    case QoaMode::kIdentify: {
+      const auto reports = decode_identify(msg.payload, config_.token_size());
+      if (!reports) return;
+      root_reports_.insert(root_reports_.end(), reports->begin(),
+                           reports->end());
+      break;
+    }
+  }
+  if (root_waiting_ > 0) --root_waiting_;
+  if (root_waiting_ == 0) {
+    scheduler_.cancel(root_deadline_);
+    root_complete();
+  }
+}
+
+void SapSimulation::root_complete() {
+  if (root_done_) return;
+  root_done_ = true;
+  t_resp_ = scheduler_.now();
+}
+
+}  // namespace cra::sap

@@ -1,0 +1,202 @@
+// SAP swarm simulation: verifier + N device agents on the discrete-event
+// network.
+//
+// SapSimulation is the top-level object a user of the library touches:
+// it performs setup (key provisioning, tree deployment, VS), then runs
+// attestation rounds — request (challenge flooding with Equation 9's
+// lead time), synchronous attest at t_att, report (XOR aggregation up
+// the tree), verify — and returns a RoundReport with the exact phase
+// timings and network utilization.
+//
+// Device agents come in two fidelities:
+//   * synthetic (default): per-device state is a key + a content buffer
+//     standing in for PMEM; attest cost is the analytic T_att. This is
+//     what scales to the paper's 10^6-device sweeps.
+//   * VM-backed: attach_vm() binds a node to a full device::Device; the
+//     agent then drives the real machine — secure-clock check, MPU-
+//     protected key, HMAC over actual PMEM — for end-to-end fidelity at
+//     small N (integration tests and examples do this).
+//
+// Adversary/fault hooks: compromise_device (malware in PMEM),
+// set_device_unresponsive (crash/jam), set_clock_skew (broken sync),
+// plus everything net::Network exposes (loss, tamper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "device/clock.hpp"
+#include "device/device.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sap/config.hpp"
+#include "sap/report.hpp"
+#include "sap/verifier.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cra::sap {
+
+class SapSimulation {
+ public:
+  SapSimulation(SapConfig config, net::Tree tree, std::uint64_t seed = 1);
+
+  // The network holds a reference to the owned scheduler; the object is
+  // pinned to its address (factory returns rely on guaranteed elision).
+  SapSimulation(const SapSimulation&) = delete;
+  SapSimulation& operator=(const SapSimulation&) = delete;
+
+  /// Convenience: the paper's deployment — balanced `arity`-ary tree.
+  static SapSimulation balanced(SapConfig config, std::uint32_t devices,
+                                std::uint64_t seed = 1);
+
+  // --- Components ---
+  const SapConfig& config() const noexcept { return config_; }
+  const net::Tree& tree() const noexcept { return tree_; }
+  Verifier& verifier() noexcept { return verifier_; }
+  const Verifier& verifier() const noexcept { return verifier_; }
+  net::Network& network() noexcept { return network_; }
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  const device::SecureClock& clock() const noexcept { return clock_; }
+  std::uint32_t device_count() const noexcept { return tree_.device_count(); }
+
+  // --- Adversary / fault injection (between rounds) ---
+  /// Infect device `id`: its actual content diverges from cfg_i.
+  void compromise_device(net::NodeId id);
+  /// Disinfect: restore actual content to cfg_i.
+  void restore_device(net::NodeId id);
+  bool is_compromised(net::NodeId id) const;
+  /// Crash/jam: the device neither forwards chal nor reports.
+  void set_device_unresponsive(net::NodeId id, bool unresponsive);
+  /// Clock-synchronization error: the device's secure clock reads
+  /// `skew` ahead (+) or behind (−) of true time.
+  void set_clock_skew(net::NodeId id, sim::Duration skew);
+
+  /// --- Heterogeneous swarms ---
+  /// Assign device `id` to hardware class `cls` (0 = the base config;
+  /// 1..k index config().extra_classes). Throws std::out_of_range for
+  /// unknown classes.
+  void assign_device_class(net::NodeId id, std::uint8_t cls);
+  std::uint8_t device_class(net::NodeId id) const { return dev(id).cls; }
+  /// Attest duration of device `id` under its class.
+  sim::Duration attest_time_for(net::NodeId id) const;
+  /// The measurement phase of a heterogeneous round: slowest class wins.
+  sim::Duration max_attest_time() const;
+
+  /// Bind node `id` to a full VM; also registers the VM's current PMEM
+  /// as cfg_i in VS and provisions the verifier's key into it is NOT
+  /// done here — construct the Device with verifier().device_key(id).
+  /// The caller keeps ownership; the Device must outlive the simulation.
+  void attach_vm(net::NodeId id, device::Device* vm);
+
+  /// --- Dynamic topologies (SALAD dimension, §II) ---
+  /// Replace the deployment tree after mobility/churn. Device identities
+  /// (keys, VS entries, compromise state, attached VMs) are stable; only
+  /// who-talks-to-whom changes. `device_at_position[pos]` names the
+  /// device occupying tree position `pos`; position 0 must hold the
+  /// verifier (device id 0) and the rest must be a permutation of
+  /// 1..device_count(). Throws std::invalid_argument otherwise.
+  /// SAP needs no re-keying on topology change — K_{mi,Vrf} binds a
+  /// device to Vrf, not to its neighbors — which this API demonstrates.
+  void rebuild_topology(net::Tree tree,
+                        std::vector<net::NodeId> device_at_position);
+  /// Device occupying tree position `pos` (0 = verifier).
+  net::NodeId device_at(net::NodeId pos) const { return dev_at_.at(pos); }
+  /// Current tree position of device `id`.
+  net::NodeId position_of(net::NodeId id) const { return pos_of_.at(id); }
+
+  /// Switch the QoA mode between rounds (the escalation lever the
+  /// AttestationService uses: cheap binary rounds in steady state,
+  /// identify-mode localization after an alarm). Throws std::logic_error
+  /// mid-round.
+  void set_qoa(QoaMode mode);
+
+  /// --- One full round: request → attest → report → verify ---
+  RoundReport run_round();
+
+  /// Idle the network: advance simulated time (e.g. between periodic
+  /// rounds).
+  void advance_time(sim::Duration d);
+
+ private:
+  struct Dev {
+    Bytes key;
+    Bytes content;      // actual "PMEM" (synthetic path)
+    bool compromised = false;
+    bool unresponsive = false;
+    std::int64_t skew_ns = 0;
+    std::uint8_t cls = 0;  // hardware class index
+    device::Device* vm = nullptr;
+
+    // Per-round state.
+    std::uint32_t tick = 0;  // the chal this device actually received
+    bool got_chal = false;
+    bool responded_self = false;
+    bool sent = false;
+    std::uint32_t waiting = 0;
+    std::uint32_t count = 0;  // kCount: tokens aggregated in subtree
+    std::uint8_t retries = 0;
+    std::vector<net::NodeId> got_children;  // children whose token arrived
+    Bytes agg_token;
+    Bytes sent_payload;  // cache for repoll answers
+    std::vector<DeviceReport> reports;  // kIdentify buffer
+    sim::EventHandle deadline;
+  };
+
+  Dev& dev(net::NodeId id) { return devices_[id - 1]; }
+  const Dev& dev(net::NodeId id) const { return devices_[id - 1]; }
+  /// Device state of the occupant of tree position `pos`.
+  Dev& dev_at_pos(net::NodeId pos) { return dev(dev_at_[pos]); }
+
+  // Protocol handlers are keyed by tree *position*; identity-bound state
+  // (keys, content) is reached through the position->device map.
+  void on_message(const net::Message& msg);
+  void handle_chal(net::NodeId pos, const net::Message& msg);
+  void handle_token(net::NodeId pos, const net::Message& msg);
+  void handle_repoll(net::NodeId pos);
+  void run_attest(net::NodeId pos);
+  void accumulate_self(net::NodeId pos, Bytes token);
+  void try_forward(net::NodeId pos);
+  void flush(net::NodeId pos);
+  void send_report(net::NodeId pos);
+  void schedule_deadline(net::NodeId pos);
+  sim::SimTime node_deadline(net::NodeId pos) const;
+  void recompute_subtree_sizes();
+  /// Worst-case time for the deepest descendant's report to climb into
+  /// `id` after measurement ends (payload-size aware: kIdentify reports
+  /// grow with the subtree).
+  sim::Duration report_chain_time(net::NodeId id) const;
+  void root_receive(const net::Message& msg);
+  void root_complete();
+
+  Bytes compute_token(net::NodeId id, std::uint32_t tick);
+
+  SapConfig config_;
+  net::Tree tree_;
+  sim::Scheduler scheduler_;
+  net::Network network_;
+  device::SecureClock clock_;
+  Verifier verifier_;
+  Bytes auth_key_;
+  std::vector<Dev> devices_;
+  std::vector<std::uint32_t> subtree_size_;  // per tree position
+  std::vector<net::NodeId> dev_at_;          // position -> device id
+  std::vector<net::NodeId> pos_of_;          // device id -> position
+
+  // Round bookkeeping.
+  bool round_active_ = false;
+  std::uint32_t round_tick_ = 0;
+  sim::SimTime t_att_time_;
+  sim::SimTime inbound_end_;
+  sim::SimTime t_resp_;
+  bool root_done_ = false;
+  std::uint32_t root_waiting_ = 0;
+  std::uint32_t root_count_ = 0;
+  std::vector<net::NodeId> root_got_children_;
+  std::uint32_t repolls_ = 0;
+  Bytes root_token_;
+  std::vector<DeviceReport> root_reports_;
+  sim::EventHandle root_deadline_;
+};
+
+}  // namespace cra::sap

@@ -1,0 +1,87 @@
+#include "sap/verifier.hpp"
+
+#include <stdexcept>
+
+#include "crypto/ct.hpp"
+#include "crypto/kdf.hpp"
+
+namespace cra::sap {
+
+Verifier::Verifier(SapConfig config, std::uint32_t device_count,
+                   BytesView master)
+    : config_(config),
+      device_count_(device_count),
+      master_(master.begin(), master.end()),
+      expected_(device_count) {
+  if (device_count_ == 0) {
+    throw std::invalid_argument("Verifier: empty attestation group");
+  }
+  if (master_.empty()) {
+    throw std::invalid_argument("Verifier: empty master secret");
+  }
+}
+
+void Verifier::check_id(net::NodeId id) const {
+  if (id == 0 || id > device_count_) {
+    throw std::out_of_range("Verifier: device id out of range");
+  }
+}
+
+Bytes Verifier::device_key(net::NodeId id) const {
+  check_id(id);
+  return crypto::derive_device_key(master_, id, config_.token_size());
+}
+
+Bytes Verifier::request_auth_key() const {
+  if (!config_.authenticate_requests) return {};
+  return crypto::hkdf(master_, /*salt=*/{},
+                      to_bytes("sap-request-auth-key"), 32);
+}
+
+void Verifier::set_expected_content(net::NodeId id, Bytes content) {
+  check_id(id);
+  expected_[id - 1] = std::move(content);
+}
+
+const Bytes& Verifier::expected_content(net::NodeId id) const {
+  check_id(id);
+  return expected_[id - 1];
+}
+
+Bytes Verifier::expected_token(net::NodeId id, std::uint32_t chal) const {
+  check_id(id);
+  Bytes message = expected_[id - 1];
+  append_u32le(message, chal);
+  return crypto::hmac(config_.alg, device_key(id), message);
+}
+
+Bytes Verifier::expected_result(std::uint32_t chal) const {
+  Bytes acc(config_.token_size(), 0);
+  for (net::NodeId id = 1; id <= device_count_; ++id) {
+    xor_inplace(acc, expected_token(id, chal));
+  }
+  return acc;
+}
+
+bool Verifier::verify(BytesView h_s, std::uint32_t chal) const {
+  return crypto::ct_equal(h_s, expected_result(chal));
+}
+
+Verifier::IdentifyOutcome Verifier::verify_identify(
+    const std::vector<DeviceReport>& reports, std::uint32_t chal) const {
+  IdentifyOutcome out;
+  std::vector<bool> seen(device_count_ + 1, false);
+  for (const auto& report : reports) {
+    if (report.id == 0 || report.id > device_count_) continue;
+    seen[report.id] = true;
+    if (!crypto::ct_equal(report.token, expected_token(report.id, chal))) {
+      out.bad.push_back(report.id);
+    }
+  }
+  for (net::NodeId id = 1; id <= device_count_; ++id) {
+    if (!seen[id]) out.missing.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cra::sap

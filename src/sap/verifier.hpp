@@ -1,0 +1,76 @@
+// The SAP verifier (Vrf).
+//
+// Vrf is the trusted entity that (1) provisions per-device keys at setup,
+// (2) knows the set of valid states VS = {cfg_1 .. cfg_N}, (3) issues
+// challenges, and (4) verifies the aggregated report:
+//
+//   res_i = HMAC_{K_mi,Vrf}(cfg_i || chal)         for every device
+//   RES_S = res_1 ⊕ ... ⊕ res_N
+//   verify(H_S) = [H_S == RES_S]
+//
+// Report verification is offline (excluded from T_CA): Vrf can precompute
+// RES_S for the chosen chal before the report returns.
+//
+// Keys: K_{mi,Vrf} = HKDF(master, "sap-device-key" || i). Equivalent to
+// independently random keys under the PRF assumption, and it keeps Vrf's
+// storage O(1) — devices still hold only their own key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/topology.hpp"
+#include "sap/config.hpp"
+#include "sap/messages.hpp"
+
+namespace cra::sap {
+
+class Verifier {
+ public:
+  /// `device_count` devices with node ids 1..device_count; `master` is
+  /// the deployment master secret.
+  Verifier(SapConfig config, std::uint32_t device_count, BytesView master);
+
+  const SapConfig& config() const noexcept { return config_; }
+  std::uint32_t device_count() const noexcept { return device_count_; }
+
+  /// K_{mi,Vrf} — the provisioning path hands this to device `id`.
+  Bytes device_key(net::NodeId id) const;
+
+  /// Group key authenticating Vrf's requests (§VIII DoS mitigation);
+  /// empty when the feature is disabled.
+  Bytes request_auth_key() const;
+
+  /// --- Valid states VS ---
+  /// Record the expected PMEM content cfg_i for device `id`.
+  void set_expected_content(net::NodeId id, Bytes content);
+  const Bytes& expected_content(net::NodeId id) const;
+
+  /// --- Offline verification (Definition: verify) ---
+  /// res_i for one device under challenge `chal`.
+  Bytes expected_token(net::NodeId id, std::uint32_t chal) const;
+  /// RES_S = ⊕ res_i over all devices.
+  Bytes expected_result(std::uint32_t chal) const;
+  /// Binary verdict: H_S == RES_S (constant-time compare).
+  bool verify(BytesView h_s, std::uint32_t chal) const;
+
+  /// kIdentify-mode verdict: classify every device.
+  struct IdentifyOutcome {
+    std::vector<net::NodeId> bad;      // token present but wrong
+    std::vector<net::NodeId> missing;  // no report received
+    bool all_good() const noexcept { return bad.empty() && missing.empty(); }
+  };
+  IdentifyOutcome verify_identify(const std::vector<DeviceReport>& reports,
+                                  std::uint32_t chal) const;
+
+ private:
+  void check_id(net::NodeId id) const;
+
+  SapConfig config_;
+  std::uint32_t device_count_;
+  Bytes master_;
+  std::vector<Bytes> expected_;  // index id-1
+};
+
+}  // namespace cra::sap

@@ -1,0 +1,450 @@
+#include "seda/seda.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/x25519.hpp"
+
+namespace cra::seda {
+namespace {
+
+enum SedaMessageKind : std::uint32_t {
+  kRequestMsg = 1,
+  kReportMsg = 2,
+  kJoinInviteMsg = 3,  // parent -> child: parent's static public key
+  kJoinAckMsg = 4,     // child -> parent: child's static public key
+};
+
+Bytes master_from_seed(std::uint64_t seed) {
+  crypto::SecureRandom rng(seed ^ 0x5345'4441'6d73'7472ULL);  // "SEDAmstr"
+  return rng.bytes(32);
+}
+
+}  // namespace
+
+SedaSimulation::SedaSimulation(SedaConfig config, net::Tree tree,
+                               std::uint64_t seed)
+    : config_(config),
+      tree_(std::move(tree)),
+      scheduler_(),
+      network_(scheduler_, config.link),
+      master_(master_from_seed(seed)),
+      devices_(tree_.device_count()),
+      key_at_parent_(tree_.device_count() + 1) {
+  crypto::SecureRandom vrf_rng(seed ^ 0x7672'666b'6579ULL);
+  vrf_sk_ = vrf_rng.bytes(32);
+  vrf_pk_ = crypto::x25519_base(vrf_sk_);
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    Dev& d = dev(id);
+    // Provisioning-time pre-shared keys; run_join() replaces them with
+    // X25519-agreed ones.
+    d.key_to_parent = edge_key(id);
+    key_at_parent_[id] = d.key_to_parent;
+    d.static_sk = crypto::derive_device_key(master_, id, 32, "seda-x25519");
+    d.static_pk = crypto::x25519_base(d.static_sk);
+  }
+  network_.set_handler([this](const net::Message& m) { on_message(m); });
+}
+
+SedaSimulation SedaSimulation::balanced(SedaConfig config,
+                                        std::uint32_t devices,
+                                        std::uint64_t seed) {
+  return SedaSimulation(
+      config, net::balanced_kary_tree(devices, config.tree_arity), seed);
+}
+
+void SedaSimulation::compromise_device(net::NodeId id) {
+  dev(id).compromised = true;
+}
+
+void SedaSimulation::restore_device(net::NodeId id) {
+  dev(id).compromised = false;
+}
+
+void SedaSimulation::set_device_unresponsive(net::NodeId id,
+                                             bool unresponsive) {
+  dev(id).unresponsive = unresponsive;
+}
+
+void SedaSimulation::advance_time(sim::Duration d) {
+  scheduler_.run_until(scheduler_.now() + d);
+}
+
+Bytes SedaSimulation::edge_key(net::NodeId child) const {
+  // Pairwise key for the (parent(child), child) edge, as established by
+  // SEDA's join phase.
+  return crypto::derive_device_key(master_, child,
+                                   crypto::digest_size(config_.alg),
+                                   "seda-edge-key");
+}
+
+sim::Duration SedaSimulation::attest_time() const {
+  const std::uint64_t blocks =
+      crypto::hmac_compression_calls(config_.alg, config_.pmem_size + 4);
+  return sim::cycles_to_time(
+      config_.attest_overhead_cycles + blocks * config_.cycles_per_block,
+      config_.device_hz);
+}
+
+sim::Duration SedaSimulation::sig_verify_time() const {
+  return sim::cycles_to_time(config_.sig_verify_cycles, config_.device_hz);
+}
+
+namespace {
+
+sim::Duration mac_time(const SedaConfig& config, std::size_t message_len) {
+  return sim::cycles_to_time(
+      crypto::hmac_compression_calls(config.alg, message_len) *
+          config.cycles_per_block,
+      config.device_hz);
+}
+
+}  // namespace
+
+sim::Duration SedaSimulation::predicted_total(std::uint32_t depth) const {
+  const sim::Duration hop_req =
+      network_.link_delay(config_.request_size());
+  const sim::Duration hop_rep = network_.link_delay(config_.report_size());
+  const sim::Duration verify = mac_time(config_, config_.report_size() +
+                                                     config_.nonce_size);
+  const sim::Duration agg =
+      sim::cycles_to_time(config_.aggregate_cycles, config_.device_hz);
+  return hop_req * static_cast<std::int64_t>(depth) + sig_verify_time() +
+         attest_time() +
+         (hop_rep + verify + agg) * static_cast<std::int64_t>(depth);
+}
+
+std::uint64_t SedaSimulation::predicted_u_ca_bytes(
+    std::uint32_t edges) const {
+  return (config_.request_size() + config_.report_size() +
+          2ULL * config_.link.header_bytes) *
+         edges;
+}
+
+Bytes SedaSimulation::report_payload(net::NodeId id, std::uint32_t total,
+                                     std::uint32_t passed) const {
+  // MACed with the CHILD's half of the uplink key: only if join derived
+  // the same secret on both ends does the parent accept.
+  Bytes body;
+  append_u32le(body, total);
+  append_u32le(body, passed);
+  Bytes mac_msg = body;
+  mac_msg.insert(mac_msg.end(), round_nonce_.begin(), round_nonce_.end());
+  Bytes mac =
+      crypto::hmac(config_.alg, devices_[id - 1].key_to_parent, mac_msg);
+  mac.resize(config_.report_mac_size);
+  body.insert(body.end(), mac.begin(), mac.end());
+  return body;
+}
+
+bool SedaSimulation::report_authentic(net::NodeId child,
+                                      BytesView payload) const {
+  // Verified with the PARENT's half of the key.
+  if (payload.size() != config_.report_size()) return false;
+  Bytes mac_msg(payload.begin(), payload.begin() + 8);
+  mac_msg.insert(mac_msg.end(), round_nonce_.begin(), round_nonce_.end());
+  Bytes expected =
+      crypto::hmac(config_.alg, key_at_parent_[child], mac_msg);
+  expected.resize(config_.report_mac_size);
+  return crypto::ct_equal(BytesView(payload.data() + 8,
+                                    config_.report_mac_size),
+                          expected);
+}
+
+SedaJoinReport SedaSimulation::run_join() {
+  network_.reset_accounting();
+  join_acks_done_ = 0;
+  const sim::SimTime start = scheduler_.now();
+  // Vrf invites its children, carrying its public key; invites cascade.
+  for (net::NodeId child : tree_.children(0)) {
+    Bytes invite = vrf_pk_;
+    network_.send(0, child, kJoinInviteMsg, std::move(invite));
+  }
+  scheduler_.run();
+
+  SedaJoinReport report;
+  report.edges = device_count();
+  report.total_time = scheduler_.now() - start;
+  report.bytes = network_.bytes_transmitted();
+  report.messages = network_.messages_sent();
+  report.complete = join_acks_done_ == device_count();
+  for (net::NodeId id = 1; id <= device_count() && report.complete; ++id) {
+    report.complete = dev(id).joined;
+  }
+  return report;
+}
+
+void SedaSimulation::corrupt_join_key(net::NodeId child) {
+  Bytes& k = key_at_parent_.at(child);
+  if (k.empty()) k = Bytes(crypto::digest_size(config_.alg), 0);
+  k[0] = static_cast<std::uint8_t>(k[0] ^ 0xff);
+}
+
+void SedaSimulation::handle_join_invite(net::NodeId id,
+                                        const net::Message& msg) {
+  Dev& d = dev(id);
+  if (msg.payload.size() != 32 || d.unresponsive) return;
+  d.parent_pk = msg.payload;
+  // Cascade the invite with OUR public key before grinding the DH.
+  for (net::NodeId child : tree_.children(id)) {
+    network_.send(id, child, kJoinInviteMsg, d.static_pk);
+  }
+  const sim::Duration dh =
+      sim::cycles_to_time(config_.dh_cycles, config_.device_hz);
+  scheduler_.schedule_after(dh, [this, id] {
+    Dev& dd = dev(id);
+    const Bytes shared = crypto::x25519(dd.static_sk, dd.parent_pk);
+    dd.key_to_parent = crypto::hkdf(shared, /*salt=*/{},
+                                    to_bytes("seda-pairwise"),
+                                    crypto::digest_size(config_.alg));
+    dd.joined = true;
+    // Ack upward with our public key so the parent can derive its half.
+    network_.send(id, tree_.parent(id), kJoinAckMsg, dd.static_pk);
+  });
+}
+
+void SedaSimulation::handle_join_ack(net::NodeId parent,
+                                     const net::Message& msg) {
+  if (msg.payload.size() != 32) return;
+  const net::NodeId child = msg.src;
+  if (child == 0 || child > device_count()) return;
+  if (parent == 0) {
+    // Vrf derives instantly (it is not a constrained device).
+    const Bytes shared = crypto::x25519(vrf_sk_, msg.payload);
+    key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
+                                         to_bytes("seda-pairwise"),
+                                         crypto::digest_size(config_.alg));
+    ++join_acks_done_;
+    return;
+  }
+  if (dev(parent).unresponsive) return;
+  const Bytes child_pk = msg.payload;
+  const sim::Duration dh =
+      sim::cycles_to_time(config_.dh_cycles, config_.device_hz);
+  scheduler_.schedule_after(dh, [this, parent, child, child_pk] {
+    const Bytes shared = crypto::x25519(dev(parent).static_sk, child_pk);
+    key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
+                                         to_bytes("seda-pairwise"),
+                                         crypto::digest_size(config_.alg));
+    ++join_acks_done_;
+  });
+}
+
+SedaRoundReport SedaSimulation::run_round() {
+  if (round_active_) {
+    throw std::logic_error("SEDA run_round: round already active");
+  }
+  round_active_ = true;
+
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    Dev& d = dev(id);
+    d.got_request = false;
+    d.self_done = false;
+    d.sent = false;
+    d.waiting = static_cast<std::uint32_t>(tree_.children(id).size());
+    d.total = 0;
+    d.passed = 0;
+    d.got_children.clear();
+    d.deadline = sim::EventHandle();
+  }
+  root_done_ = false;
+  root_waiting_ = static_cast<std::uint32_t>(tree_.children(0).size());
+  root_total_ = 0;
+  root_passed_ = 0;
+  root_got_children_.clear();
+  mac_failures_ = 0;
+  network_.reset_accounting();
+
+  SedaRoundReport report;
+  report.devices = device_count();
+  report.t_req = scheduler_.now();
+
+  // Fresh nonce + (modelled) signature from Vrf.
+  crypto::SecureRandom nonce_rng(
+      static_cast<std::uint64_t>(scheduler_.now().ns()) ^ 0x6e6f6e6365ULL);
+  round_nonce_ = nonce_rng.bytes(config_.nonce_size);
+  Bytes request = round_nonce_;
+  request.resize(config_.request_size(), 0xa5);  // signature placeholder
+
+  for (net::NodeId child : tree_.children(0)) {
+    network_.send(0, child, kRequestMsg, request);
+  }
+
+  // Vrf give-up deadline.
+  const sim::SimTime give_up =
+      scheduler_.now() +
+      predicted_total(tree_.max_depth() == 0 ? 1 : tree_.max_depth()) +
+      config_.report_margin *
+          static_cast<std::int64_t>(tree_.max_depth() + 2);
+  t_resp_ = give_up;
+  root_deadline_ = scheduler_.schedule_at(give_up, [this] { root_complete(); });
+
+  scheduler_.run();
+
+  report.t_resp = t_resp_;
+  report.total = root_total_;
+  report.passed = root_passed_;
+  report.verified =
+      root_total_ == device_count() && root_passed_ == device_count();
+  report.u_ca_bytes = network_.bytes_transmitted();
+  report.messages = network_.messages_sent();
+  report.mac_failures = mac_failures_;
+  round_active_ = false;
+  return report;
+}
+
+void SedaSimulation::on_message(const net::Message& msg) {
+  if (msg.dst == 0) {
+    if (msg.kind == kJoinAckMsg) {
+      handle_join_ack(0, msg);
+      return;
+    }
+    root_receive(msg);
+    return;
+  }
+  if (msg.dst > device_count() || dev(msg.dst).unresponsive) return;
+  switch (msg.kind) {
+    case kRequestMsg:
+      handle_request(msg.dst, msg);
+      break;
+    case kReportMsg:
+      handle_report(msg.dst, msg);
+      break;
+    case kJoinInviteMsg:
+      handle_join_invite(msg.dst, msg);
+      break;
+    case kJoinAckMsg:
+      handle_join_ack(msg.dst, msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void SedaSimulation::handle_request(net::NodeId id, const net::Message& msg) {
+  Dev& d = dev(id);
+  if (d.got_request) return;
+  d.got_request = true;
+
+  // Forward to children immediately; signature verification and the
+  // self-measurement then occupy this device's CPU.
+  for (net::NodeId child : tree_.children(id)) {
+    network_.send(id, child, kRequestMsg, msg.payload);
+  }
+  scheduler_.schedule_after(sig_verify_time() + attest_time(),
+                            [this, id] { self_attested(id); });
+
+  if (!tree_.children(id).empty()) {
+    const std::uint32_t levels_below = tree_.max_depth() - tree_.depth(id);
+    const sim::Duration hop_req =
+        network_.link_delay(config_.request_size());
+    const sim::Duration hop_rep = network_.link_delay(config_.report_size());
+    const sim::Duration verify =
+        mac_time(config_, config_.report_size() + config_.nonce_size);
+    const sim::Duration agg =
+        sim::cycles_to_time(config_.aggregate_cycles, config_.device_hz);
+    const sim::SimTime deadline =
+        scheduler_.now() +
+        hop_req * static_cast<std::int64_t>(levels_below) +
+        sig_verify_time() + attest_time() +
+        (hop_rep + verify + agg) * static_cast<std::int64_t>(levels_below) +
+        // Height-scaled margin: a descendant flushing at its own deadline
+        // must still beat ours (see sap::SapSimulation::node_deadline).
+        config_.report_margin * static_cast<std::int64_t>(levels_below + 1);
+    d.deadline = scheduler_.schedule_at(deadline, [this, id] { flush(id); });
+  }
+}
+
+void SedaSimulation::self_attested(net::NodeId id) {
+  Dev& d = dev(id);
+  if (d.unresponsive) return;
+  d.self_done = true;
+  d.total += 1;
+  if (!d.compromised) d.passed += 1;
+  try_forward(id);
+}
+
+void SedaSimulation::handle_report(net::NodeId id, const net::Message& msg) {
+  Dev& d = dev(id);
+  if (d.sent) return;
+  const net::NodeId child = msg.src;
+  if (std::find(d.got_children.begin(), d.got_children.end(), child) !=
+      d.got_children.end()) {
+    return;  // duplicate child report
+  }
+  d.got_children.push_back(child);
+  // Hop-by-hop verification: the parent authenticates every child report
+  // with the pairwise key before aggregating. The MAC check costs CPU
+  // time; aggregation happens once it completes.
+  const Bytes payload = msg.payload;
+  const sim::Duration verify =
+      mac_time(config_, config_.report_size() + config_.nonce_size);
+  scheduler_.schedule_after(verify, [this, id, child, payload] {
+    Dev& dd = dev(id);
+    if (dd.sent) return;
+    if (!report_authentic(child, payload)) {
+      ++mac_failures_;  // forged/tampered report: drop it
+    } else {
+      dd.total += read_u32le(payload, 0);
+      dd.passed += read_u32le(payload, 4);
+    }
+    if (dd.waiting > 0) --dd.waiting;
+    try_forward(id);
+  });
+}
+
+void SedaSimulation::try_forward(net::NodeId id) {
+  Dev& d = dev(id);
+  if (d.sent || !d.self_done || d.waiting != 0) return;
+  scheduler_.cancel(d.deadline);
+  send_report(id);
+}
+
+void SedaSimulation::flush(net::NodeId id) {
+  Dev& d = dev(id);
+  if (d.sent) return;
+  send_report(id);  // partial aggregate; Vrf sees total < N
+}
+
+void SedaSimulation::send_report(net::NodeId id) {
+  Dev& d = dev(id);
+  d.sent = true;
+  const sim::Duration agg =
+      sim::cycles_to_time(config_.aggregate_cycles, config_.device_hz);
+  const Bytes payload = report_payload(id, d.total, d.passed);
+  const net::NodeId parent = tree_.parent(id);
+  scheduler_.schedule_after(agg, [this, id, parent, payload] {
+    network_.send(id, parent, kReportMsg, payload);
+  });
+}
+
+void SedaSimulation::root_receive(const net::Message& msg) {
+  if (root_done_ || msg.kind != kReportMsg) return;
+  if (std::find(root_got_children_.begin(), root_got_children_.end(),
+                msg.src) != root_got_children_.end()) {
+    return;  // duplicate child report
+  }
+  root_got_children_.push_back(msg.src);
+  if (!report_authentic(msg.src, msg.payload)) {
+    ++mac_failures_;
+  } else {
+    root_total_ += read_u32le(msg.payload, 0);
+    root_passed_ += read_u32le(msg.payload, 4);
+  }
+  if (root_waiting_ > 0) --root_waiting_;
+  if (root_waiting_ == 0) {
+    scheduler_.cancel(root_deadline_);
+    root_complete();
+  }
+}
+
+void SedaSimulation::root_complete() {
+  if (root_done_) return;
+  root_done_ = true;
+  t_resp_ = scheduler_.now();
+}
+
+}  // namespace cra::seda

@@ -1,0 +1,71 @@
+// Simulation time.
+//
+// The paper's network model measures delay as hops × bits/µ with µ in
+// bits per second; device-side costs come in CPU cycles at 24 MHz. Both
+// resolve exactly in integer nanoseconds, so SimTime is a strong int64
+// nanosecond count (~292 years of range — far beyond the secure clock's
+// 2-year wraparound, which the device model handles separately).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace cra::sim {
+
+/// 128-bit intermediate for overflow-free cycle/time arithmetic.
+/// (__extension__ silences -Wpedantic; __int128 is available on every
+/// 64-bit target GCC/Clang support.)
+__extension__ typedef unsigned __int128 Uint128;
+
+/// A point in simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept : ns_(0) {}
+  constexpr explicit SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+
+  static constexpr SimTime zero() noexcept { return SimTime(0); }
+  static constexpr SimTime from_ns(std::int64_t ns) noexcept { return SimTime(ns); }
+  static constexpr SimTime from_us(std::int64_t us) noexcept { return SimTime(us * 1'000); }
+  static constexpr SimTime from_ms(std::int64_t ms) noexcept { return SimTime(ms * 1'000'000); }
+  static constexpr SimTime from_sec(double sec) noexcept {
+    return SimTime(static_cast<std::int64_t>(sec * 1e9));
+  }
+
+  constexpr std::int64_t ns() const noexcept { return ns_; }
+  constexpr double us() const noexcept { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime d) const noexcept { return SimTime(ns_ + d.ns_); }
+  constexpr SimTime operator-(SimTime d) const noexcept { return SimTime(ns_ - d.ns_); }
+  constexpr SimTime& operator+=(SimTime d) noexcept { ns_ += d.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime d) noexcept { ns_ -= d.ns_; return *this; }
+  constexpr SimTime operator*(std::int64_t k) const noexcept { return SimTime(ns_ * k); }
+
+ private:
+  std::int64_t ns_;
+};
+
+/// Durations share SimTime's representation; the alias documents intent.
+using Duration = SimTime;
+
+/// Time to push `bits` through a link of `bits_per_sec`, rounded up to a
+/// whole nanosecond so that repeated hops never under-count.
+constexpr Duration transmission_delay(std::uint64_t bits,
+                                      std::uint64_t bits_per_sec) noexcept {
+  const std::uint64_t numerator = bits * 1'000'000'000ULL;
+  return Duration(static_cast<std::int64_t>(
+      (numerator + bits_per_sec - 1) / bits_per_sec));
+}
+
+/// Time for `cycles` CPU cycles at `hz`, rounded up.
+constexpr Duration cycles_to_time(std::uint64_t cycles,
+                                  std::uint64_t hz) noexcept {
+  const Uint128 numerator = static_cast<Uint128>(cycles) * 1'000'000'000ULL;
+  return Duration(
+      static_cast<std::int64_t>((numerator + hz - 1) / hz));
+}
+
+}  // namespace cra::sim

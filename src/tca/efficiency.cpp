@@ -1,0 +1,54 @@
+#include "tca/efficiency.hpp"
+
+#include <stdexcept>
+
+#include "sap/swarm.hpp"
+
+namespace cra::tca {
+
+EfficiencyReport run_efficiency_sweep(const sap::SapConfig& config,
+                                      const std::vector<std::uint32_t>& sizes,
+                                      std::uint64_t seed) {
+  if (sizes.size() < 3) {
+    throw std::invalid_argument(
+        "run_efficiency_sweep: need >= 3 sizes for asymptotic fits");
+  }
+  EfficiencyReport report;
+  std::vector<double> ns, delays, utils;
+  for (std::uint32_t n : sizes) {
+    auto sim = sap::SapSimulation::balanced(config, n, seed);
+    const sap::RoundReport round = sim.run_round();
+    EfficiencyPoint p;
+    p.devices = n;
+    p.tree_depth = sim.tree().max_depth();
+    p.max_degree = sim.tree().max_degree();
+    p.total_sec = round.total().sec();
+    p.t_ca_sec = round.t_ca().sec();
+    p.u_ca_bytes = round.u_ca_bytes;
+    p.verified = round.verified;
+    report.points.push_back(p);
+    ns.push_back(static_cast<double>(n));
+    // Fit T_CA (Equation 6: t_resp - t_att), which Lemma 3 bounds and
+    // which is free of the secure clock's tick-quantization noise (the
+    // whole-round time adds up-to-one-tick jitter from chal rounding).
+    delays.push_back(p.t_ca_sec);
+    utils.push_back(static_cast<double>(p.u_ca_bytes));
+    report.degree_bound = std::max(report.degree_bound, p.max_degree);
+  }
+
+  report.utilization_fit = fit_linear(ns, utils);
+  report.delay_fit = fit_log2(ns, delays);
+  report.utilization_preference = linear_vs_log_preference(ns, utils);
+  report.delay_preference = linear_vs_log_preference(ns, delays);
+
+  // Definition 2 criteria.
+  report.degree_constant = report.degree_bound <= config.tree_arity + 1;
+  report.utilization_linear =
+      report.utilization_fit.r_squared > 0.9999 &&
+      report.utilization_preference > 0.0;
+  report.delay_logarithmic =
+      report.delay_fit.r_squared > 0.99 && report.delay_preference < 0.0;
+  return report;
+}
+
+}  // namespace cra::tca

@@ -1,0 +1,56 @@
+// TCA-Efficiency harness (paper Definition 2, Lemmas 1-3).
+//
+// Definition 2 requires, for every m_i in S:
+//   degree(m_i) = O(1),  U_CA = O(N · l),  T_CA = O(log N · c1 + c2).
+//
+// Asymptotic claims cannot be checked at a single point, so the harness
+// sweeps swarm sizes, measures (degree, U_CA, T_CA) in full simulated
+// rounds, and fits the sweeps against linear-in-N and linear-in-log2(N)
+// models. SAP passes when: degree is bounded by a constant independent
+// of N, the utilization fit is (near-perfectly) linear, and the delay
+// fit is (near-perfectly) logarithmic with the linear model clearly
+// worse. This turns the paper's lemmas into executable assertions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sap/config.hpp"
+
+namespace cra::tca {
+
+struct EfficiencyPoint {
+  std::uint32_t devices = 0;
+  std::uint32_t tree_depth = 0;
+  std::uint32_t max_degree = 0;
+  double total_sec = 0;  // whole round (Figure 3a)
+  double t_ca_sec = 0;   // Equation 6
+  std::uint64_t u_ca_bytes = 0;
+  bool verified = false;
+};
+
+struct EfficiencyReport {
+  std::vector<EfficiencyPoint> points;
+
+  LinearFit utilization_fit;  // U_CA vs N           (expect linear)
+  LinearFit delay_fit;        // total vs log2(N)    (expect linear)
+  double utilization_preference = 0;  // >0: linear explains U_CA better
+  double delay_preference = 0;        // <0: log explains T better
+
+  std::uint32_t degree_bound = 0;  // max over the whole sweep
+
+  bool degree_constant = false;
+  bool utilization_linear = false;
+  bool delay_logarithmic = false;
+  bool tca_efficient() const noexcept {
+    return degree_constant && utilization_linear && delay_logarithmic;
+  }
+};
+
+/// Run one SAP round per size and evaluate the Definition 2 criteria.
+EfficiencyReport run_efficiency_sweep(const sap::SapConfig& config,
+                                      const std::vector<std::uint32_t>& sizes,
+                                      std::uint64_t seed = 1);
+
+}  // namespace cra::tca

@@ -1,0 +1,71 @@
+// TCA-Security game (paper Definition 4 and the §VI-C case analysis).
+//
+// Adv wins the game iff verify outputs 1 while at least one device's
+// PMEM differs from cfg_i at t = chal. The game harness instantiates a
+// swarm, compromises one (or more) devices — establishing the winning
+// precondition — and lets a strategy exercise the network-level powers
+// the model grants Adv (full control of communication: inject, drop,
+// modify, replay). Adv wins a trial when the round still verifies.
+//
+// Strategies map to the proof's case analysis:
+//   kGuessResult      — guess RES_S directly (case 1)
+//   kGuessToken       — guess the infected device's res_i (case 2b)
+//   kZeroToken        — special guess: all-zero token
+//   kReplayToken      — replay res_i from an earlier (healthy) round
+//   kReplayChal       — feed the subtree an old challenge (attack (c)
+//                       without clock tampering: attest rejects it)
+//   kSuppressSubtree  — drop the infected subtree's report and forge the
+//                       parent aggregate
+//   kHonestButLate    — compromise the device *after* t_att but within
+//                       the same round (TOCTOU boundary: Adv legally
+//                       escapes detection this round — not a win by
+//                       Definition 4, which quantifies state at t=chal;
+//                       included to pin the definition's edge)
+//
+// Device-local attacks on the attest TCB itself — key extraction, code
+// patching, clock tampering, interrupt injection (attacks (a)-(c) in
+// §VI-C) — are exercised against the real machine model in
+// tests/device/test_security_rules.cpp, including the rule-ablation
+// variants where disabling an MPU rule lets the corresponding attack
+// succeed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sap/config.hpp"
+
+namespace cra::tca {
+
+enum class AdvStrategy : std::uint8_t {
+  kGuessResult,
+  kGuessToken,
+  kZeroToken,
+  kReplayToken,
+  kReplayChal,
+  kSuppressSubtree,
+  kHonestButLate,
+};
+
+const char* strategy_name(AdvStrategy strategy) noexcept;
+
+/// All strategies, for parameterized sweeps.
+std::vector<AdvStrategy> all_strategies();
+
+struct GameResult {
+  AdvStrategy strategy{};
+  std::uint64_t trials = 0;
+  std::uint64_t adv_wins = 0;
+  /// Rounds in which verification (correctly) rejected the swarm.
+  std::uint64_t detected = 0;
+  bool secure() const noexcept { return trials > 0 && adv_wins == 0; }
+};
+
+/// Play `trials` independent games of `strategy` on swarms of `devices`
+/// devices (fresh keys/seeds per trial).
+GameResult run_security_game(const sap::SapConfig& config,
+                             std::uint32_t devices, AdvStrategy strategy,
+                             std::uint32_t trials, std::uint64_t seed = 1);
+
+}  // namespace cra::tca

@@ -1,0 +1,48 @@
+#include "tca/soundness.hpp"
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "sap/swarm.hpp"
+
+namespace cra::tca {
+namespace {
+
+net::Tree make_tree(TopologyKind kind, std::uint32_t devices,
+                    std::uint32_t arity, Rng& rng) {
+  switch (kind) {
+    case TopologyKind::kBalanced:
+      return net::balanced_kary_tree(devices, arity);
+    case TopologyKind::kLine:
+      return net::line_tree(devices);
+    case TopologyKind::kRandom:
+      return net::random_tree(devices, arity + 1, rng);
+  }
+  return net::balanced_kary_tree(devices, arity);
+}
+
+}  // namespace
+
+SoundnessReport run_soundness_experiment(
+    const sap::SapConfig& config, const std::vector<std::uint32_t>& sizes,
+    const std::vector<TopologyKind>& shapes, std::uint32_t trials,
+    std::uint64_t seed) {
+  SoundnessReport report;
+  Rng rng(seed);
+  for (std::uint32_t n : sizes) {
+    for (TopologyKind shape : shapes) {
+      for (std::uint32_t trial = 0; trial < trials; ++trial) {
+        const std::uint64_t run_seed = rng.next();
+        Rng topo_rng(run_seed);
+        sap::SapSimulation sim(config,
+                               make_tree(shape, n, config.tree_arity,
+                                         topo_rng),
+                               run_seed);
+        ++report.runs;
+        if (!sim.run_round().verified) ++report.failures;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cra::tca

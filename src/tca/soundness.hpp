@@ -1,0 +1,31 @@
+// TCA-Soundness experiment (paper Definition 3).
+//
+// Definition 3: Pr[ verify(H_S, VS) = 0 | ¬Adv ] < negl(l) — an honest
+// run over healthy devices must verify, except with negligible
+// probability. The experiment runs many independent rounds (varying
+// seeds, sizes, and topology shapes) with no adversary and counts
+// verification failures; any failure is a soundness bug, not noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sap/config.hpp"
+
+namespace cra::tca {
+
+enum class TopologyKind : std::uint8_t { kBalanced, kLine, kRandom };
+
+struct SoundnessReport {
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  bool sound() const noexcept { return runs > 0 && failures == 0; }
+};
+
+/// `trials` honest rounds per (size, topology) combination.
+SoundnessReport run_soundness_experiment(
+    const sap::SapConfig& config, const std::vector<std::uint32_t>& sizes,
+    const std::vector<TopologyKind>& shapes, std::uint32_t trials,
+    std::uint64_t seed = 1);
+
+}  // namespace cra::tca

@@ -1,0 +1,85 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001deadbeefff");
+  EXPECT_EQ(from_hex("0001deadbeefff"), data);
+  EXPECT_EQ(from_hex("0001DEADBEEFFF"), data);  // uppercase accepted
+}
+
+TEST(Hex, Empty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Xor, InPlace) {
+  Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  xor_inplace(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(Xor, LengthMismatchThrows) {
+  Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2};
+  EXPECT_THROW(xor_inplace(a, b), std::invalid_argument);
+  EXPECT_THROW(xor_bytes(a, b), std::invalid_argument);
+}
+
+TEST(Xor, SelfInverse) {
+  // The property SAP's aggregation depends on: x ⊕ x = 0, and XOR of a
+  // set of tokens is order-independent.
+  const Bytes x = from_hex("0123456789abcdef0123456789abcdef01234567");
+  EXPECT_TRUE(all_zero(xor_bytes(x, x)));
+  const Bytes y = from_hex("fedcba9876543210fedcba9876543210fedcba98");
+  const Bytes z = from_hex("00112233445566778899aabbccddeeff00112233");
+  const Bytes xyz = xor_bytes(xor_bytes(x, y), z);
+  const Bytes zyx = xor_bytes(xor_bytes(z, y), x);
+  EXPECT_EQ(xyz, zyx);
+}
+
+TEST(AllZero, Detects) {
+  EXPECT_TRUE(all_zero(Bytes{}));
+  EXPECT_TRUE(all_zero(Bytes{0, 0, 0}));
+  EXPECT_FALSE(all_zero(Bytes{0, 1, 0}));
+}
+
+TEST(IntCodec, U32RoundTrip) {
+  Bytes buf;
+  append_u32le(buf, 0xdeadbeefu);
+  append_u32le(buf, 0);
+  append_u32le(buf, 0xffffffffu);
+  EXPECT_EQ(read_u32le(buf, 0), 0xdeadbeefu);
+  EXPECT_EQ(read_u32le(buf, 4), 0u);
+  EXPECT_EQ(read_u32le(buf, 8), 0xffffffffu);
+}
+
+TEST(IntCodec, U64RoundTrip) {
+  Bytes buf;
+  append_u64le(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(read_u64le(buf, 0), 0x0123456789abcdefULL);
+}
+
+TEST(IntCodec, OutOfRangeThrows) {
+  const Bytes buf(3, 0);
+  EXPECT_THROW(read_u32le(buf, 0), std::out_of_range);
+  EXPECT_THROW(read_u64le(buf, 0), std::out_of_range);
+}
+
+TEST(ToBytes, CopiesCharacters) {
+  EXPECT_EQ(to_bytes("ab"), (Bytes{'a', 'b'}));
+  EXPECT_EQ(to_bytes(""), Bytes{});
+}
+
+}  // namespace
+}  // namespace cra

@@ -1,0 +1,77 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cra {
+namespace {
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .field("name", "sap")
+      .field("n", std::uint64_t{42})
+      .field("ratio", 2.5)
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"name":"sap","n":42,"ratio":2.5,"ok":true})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object().key("list").begin_array();
+  w.value(std::uint64_t{1}).value(std::uint64_t{2});
+  w.begin_object().field("x", false).end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2,{"x":false}]})");
+}
+
+TEST(Json, Escaping) {
+  JsonWriter w;
+  w.begin_object().field("s", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NegativeAndNull) {
+  JsonWriter w;
+  w.begin_array().value(std::int64_t{-7}).null().end_array();
+  EXPECT_EQ(w.str(), "[-7,null]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value("no key"), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.key("top-level key"), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // unclosed
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("a");
+    EXPECT_THROW(w.key("b"), std::logic_error);  // dangling key
+  }
+}
+
+}  // namespace
+}  // namespace cra

@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra {
+namespace {
+
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelThresholding) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, MacroDoesNotEvaluateBelowThreshold) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  CRA_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);  // formatting skipped entirely
+  set_log_level(LogLevel::kDebug);
+  CRA_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, EmitAtEveryLevelDoesNotCrash) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  CRA_LOG(kTrace, "t") << "trace " << 1;
+  CRA_LOG(kDebug, "t") << "debug " << 2.5;
+  CRA_LOG(kInfo, "t") << "info";
+  CRA_LOG(kWarn, "t") << "warn";
+  CRA_LOG(kError, "t") << "error";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cra

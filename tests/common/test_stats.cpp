@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cra {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> ys = {2.1, 3.9, 6.2, 7.8, 10.1, 11.9};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinear, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({3, 3, 3}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(FitLog2, ExactLogCurve) {
+  std::vector<double> xs, ys;
+  for (double n : {16.0, 64.0, 256.0, 1024.0, 65536.0}) {
+    xs.push_back(n);
+    ys.push_back(3.0 * std::log2(n) + 7.0);
+  }
+  const LinearFit fit = fit_log2(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLog2, RejectsNonPositiveX) {
+  EXPECT_THROW(fit_log2({0.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_log2({-1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ModelSelection, LinearDataPrefersLinear) {
+  std::vector<double> xs, ys;
+  for (double n = 10; n <= 1e6; n *= 10) {
+    xs.push_back(n);
+    ys.push_back(40.0 * n);  // U_CA shape
+  }
+  EXPECT_GT(linear_vs_log_preference(xs, ys), 0.1);
+}
+
+TEST(ModelSelection, LogDataPrefersLog) {
+  std::vector<double> xs, ys;
+  for (double n = 10; n <= 1e6; n *= 10) {
+    xs.push_back(n);
+    ys.push_back(0.02 * std::log2(n) + 0.5);  // T_CA shape
+  }
+  EXPECT_LT(linear_vs_log_preference(xs, ys), -0.1);
+}
+
+}  // namespace
+}  // namespace cra

@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cra {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"N", "time"});
+  t.add_row({"10", "0.5"});
+  t.add_row({"1000000", "0.61"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| N       | time |"), std::string::npos);
+  EXPECT_NE(s.find("| 1000000 | 0.61 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(0.5, 1), "0.5");
+  EXPECT_EQ(Table::num(-2.0, 2), "-2.00");
+}
+
+TEST(Table, CountFormatting) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(999), "999");
+  EXPECT_EQ(Table::count(1000), "1,000");
+  EXPECT_EQ(Table::count(1000000), "1,000,000");
+  EXPECT_EQ(Table::count(123456789), "123,456,789");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cra

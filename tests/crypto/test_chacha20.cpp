@@ -1,0 +1,81 @@
+// ChaCha20 (RFC 8439 test vector) and SecureRandom determinism.
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+namespace {
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 §2.3.2.
+  Bytes key;
+  for (int i = 0; i < 32; ++i) key.push_back(static_cast<std::uint8_t>(i));
+  const Bytes nonce =
+      from_hex("000000090000004a00000000");
+  ChaCha20 stream(key, nonce, /*counter=*/1);
+  const auto block = stream.next_block();
+  EXPECT_EQ(to_hex(BytesView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  // RFC 8439 §2.4.2: the "sunscreen" plaintext.
+  Bytes key;
+  for (int i = 0; i < 32; ++i) key.push_back(static_cast<std::uint8_t>(i));
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  ChaCha20 stream(key, nonce, /*counter=*/1);
+  Bytes data = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  stream.crypt_inplace(data);
+  EXPECT_EQ(to_hex(BytesView(data.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20, RoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x24);
+  Bytes data = to_bytes("round trip through the stream cipher");
+  const Bytes original = data;
+  ChaCha20 enc(key, nonce);
+  enc.crypt_inplace(data);
+  EXPECT_NE(data, original);
+  ChaCha20 dec(key, nonce);
+  dec.crypt_inplace(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, RejectsBadKeyAndNonceSizes) {
+  const Bytes short_key(16, 0);
+  const Bytes nonce(12, 0);
+  EXPECT_THROW(ChaCha20(short_key, nonce), std::invalid_argument);
+  const Bytes key(32, 0);
+  const Bytes short_nonce(8, 0);
+  EXPECT_THROW(ChaCha20(key, short_nonce), std::invalid_argument);
+}
+
+TEST(SecureRandom, DeterministicForSameSeed) {
+  SecureRandom a(std::uint64_t{7});
+  SecureRandom b(std::uint64_t{7});
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(SecureRandom, DifferentSeedsDiverge) {
+  SecureRandom a(std::uint64_t{7});
+  SecureRandom b(std::uint64_t{8});
+  EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+TEST(SecureRandom, StreamIsStateful) {
+  SecureRandom a(std::uint64_t{9});
+  const Bytes first = a.bytes(32);
+  const Bytes second = a.bytes(32);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace cra::crypto

@@ -1,0 +1,105 @@
+// HMAC known-answer tests (RFC 2202 for HMAC-SHA1, RFC 4231 for
+// HMAC-SHA256) plus the runtime-dispatch and cost-model helpers.
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+namespace {
+
+template <typename H>
+std::string mac_hex(BytesView key, BytesView data) {
+  const auto d = Hmac<H>::mac(key, data);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(HmacSha1, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(mac_hex<Sha1>(key, to_bytes("Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(mac_hex<Sha1>(to_bytes("Jefe"),
+                          to_bytes("what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(mac_hex<Sha1>(key, data),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, Rfc2202Case6LongKey) {
+  // Key longer than the block size is hashed first.
+  const Bytes key(80, 0xaa);
+  EXPECT_EQ(mac_hex<Sha1>(
+                key, to_bytes("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(mac_hex<Sha256>(key, to_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(mac_hex<Sha256>(to_bytes("Jefe"),
+                            to_bytes("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacDispatch, MatchesTemplates) {
+  const Bytes key = to_bytes("k");
+  const Bytes msg = to_bytes("m");
+  const auto sha1_direct = Hmac<Sha1>::mac(key, msg);
+  EXPECT_EQ(hmac(HashAlg::kSha1, key, msg),
+            Bytes(sha1_direct.begin(), sha1_direct.end()));
+  const auto sha256_direct = Hmac<Sha256>::mac(key, msg);
+  EXPECT_EQ(hmac(HashAlg::kSha256, key, msg),
+            Bytes(sha256_direct.begin(), sha256_direct.end()));
+}
+
+TEST(HmacDispatch, DigestSizes) {
+  EXPECT_EQ(digest_size(HashAlg::kSha1), 20u);
+  EXPECT_EQ(digest_size(HashAlg::kSha256), 32u);
+  EXPECT_EQ(security_param_bits(HashAlg::kSha1), 160u);
+  EXPECT_EQ(security_param_bits(HashAlg::kSha256), 256u);
+}
+
+TEST(HmacCostModel, CompressionCalls) {
+  // Inner hash: block + message; outer: block + digest (1 block of
+  // padding applies to each).
+  EXPECT_EQ(HmacSha1::compression_calls(0),
+            Sha1::compression_calls(64) + Sha1::compression_calls(84));
+  // 50 KB PMEM + 4-byte chal: the paper's attest message.
+  const std::uint64_t calls = HmacSha1::compression_calls(50 * 1024 + 4);
+  EXPECT_EQ(calls, Sha1::compression_calls(64 + 50 * 1024 + 4) +
+                       Sha1::compression_calls(84));
+  EXPECT_NEAR(static_cast<double>(calls), 803.0, 2.0);
+}
+
+TEST(HmacKeyedness, DifferentKeysDifferentMacs) {
+  const Bytes msg = to_bytes("same message");
+  const auto a = Hmac<Sha1>::mac(to_bytes("key-a"), msg);
+  const auto b = Hmac<Sha1>::mac(to_bytes("key-b"), msg);
+  EXPECT_NE(a, b);
+}
+
+TEST(HmacStreaming, MultipleUpdates) {
+  Hmac<Sha1> h(to_bytes("streaming-key"));
+  h.update(to_bytes("part one, "));
+  h.update(to_bytes("part two"));
+  const auto streamed = h.finalize();
+  EXPECT_EQ(streamed, Hmac<Sha1>::mac(to_bytes("streaming-key"),
+                                      to_bytes("part one, part two")));
+}
+
+}  // namespace
+}  // namespace cra::crypto

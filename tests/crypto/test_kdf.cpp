@@ -1,0 +1,69 @@
+// HKDF (RFC 5869 test vectors) and per-device key derivation.
+#include "crypto/kdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+namespace {
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltAndInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf(ikm, {}, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, RejectsOversizedOutput) {
+  const Bytes prk(32, 1);
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, ExpandIsPrefixConsistent) {
+  const Bytes prk = hkdf_extract({}, to_bytes("ikm"));
+  const Bytes long_out = hkdf_expand(prk, to_bytes("ctx"), 64);
+  const Bytes short_out = hkdf_expand(prk, to_bytes("ctx"), 20);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 20), short_out);
+}
+
+TEST(DeriveDeviceKey, UniquePerDevice) {
+  const Bytes master = to_bytes("deployment-master-secret");
+  std::set<Bytes> keys;
+  for (std::uint32_t id = 1; id <= 200; ++id) {
+    keys.insert(derive_device_key(master, id, 20));
+  }
+  EXPECT_EQ(keys.size(), 200u);  // no collisions across the fleet
+}
+
+TEST(DeriveDeviceKey, DeterministicAndLabelSeparated) {
+  const Bytes master = to_bytes("m");
+  EXPECT_EQ(derive_device_key(master, 5, 20), derive_device_key(master, 5, 20));
+  EXPECT_NE(derive_device_key(master, 5, 20),
+            derive_device_key(master, 5, 20, "other-label"));
+}
+
+TEST(DeriveDeviceKey, RequestedLength) {
+  const Bytes master = to_bytes("m");
+  EXPECT_EQ(derive_device_key(master, 1, 20).size(), 20u);
+  EXPECT_EQ(derive_device_key(master, 1, 32).size(), 32u);
+}
+
+}  // namespace
+}  // namespace cra::crypto

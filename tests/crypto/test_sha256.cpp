@@ -1,0 +1,72 @@
+// SHA-256 known-answer and property tests (FIPS 180-4 vectors).
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace cra::crypto {
+namespace {
+
+std::string sha256_hex(std::string_view msg) {
+  const auto d = Sha256::digest(to_bytes(msg));
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finalize();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes msg = to_bytes("collective remote attestation of IoT swarms");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finalize(), Sha256::digest(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  // A minimal sanity sweep: flipping any single byte changes the digest.
+  Bytes msg = to_bytes("base message for bit-flip sweep");
+  const auto base = Sha256::digest(msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    Bytes flipped = msg;
+    flipped[i] = static_cast<std::uint8_t>(flipped[i] ^ 0x01);
+    EXPECT_NE(Sha256::digest(flipped), base) << "byte " << i;
+  }
+}
+
+TEST(Sha256, CompressionCallCount) {
+  EXPECT_EQ(Sha256::compression_calls(0), 1u);
+  EXPECT_EQ(Sha256::compression_calls(55), 1u);
+  EXPECT_EQ(Sha256::compression_calls(56), 2u);
+  EXPECT_EQ(Sha256::compression_calls(64), 2u);
+}
+
+}  // namespace
+}  // namespace cra::crypto

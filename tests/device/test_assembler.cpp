@@ -1,0 +1,145 @@
+#include "device/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/isa.hpp"
+
+namespace cra::device {
+namespace {
+
+std::uint32_t word_at(const Program& p, Addr addr) {
+  const std::size_t o = addr - p.base;
+  return static_cast<std::uint32_t>(p.image[o]) |
+         (static_cast<std::uint32_t>(p.image[o + 1]) << 8) |
+         (static_cast<std::uint32_t>(p.image[o + 2]) << 16) |
+         (static_cast<std::uint32_t>(p.image[o + 3]) << 24);
+}
+
+TEST(Assembler, BasicInstructions) {
+  const Program p = assemble("ldi r1, 42\nadd r2, r1, r1\nhalt", 0x400);
+  EXPECT_EQ(p.base, 0x400u);
+  EXPECT_EQ(p.image.size(), 12u);
+  EXPECT_EQ(word_at(p, 0x400), encode_u(Opcode::kLdi, 1, 42));
+  EXPECT_EQ(word_at(p, 0x404), encode_r(Opcode::kAdd, 2, 1, 1));
+  EXPECT_EQ(word_at(p, 0x408), encode_r(Opcode::kHalt, 0, 0, 0));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+    ; full-line comment
+    nop        ; trailing comment
+    # hash comment
+    halt
+  )", 0);
+  EXPECT_EQ(p.image.size(), 8u);
+}
+
+TEST(Assembler, LabelsForwardAndBackward) {
+  const Program p = assemble(R"(
+  start:
+    jmp end
+    nop
+  end:
+    jmp start
+  )", 0x100);
+  EXPECT_EQ(p.labels.at("start"), 0x100u);
+  EXPECT_EQ(p.labels.at("end"), 0x108u);
+  EXPECT_EQ(word_at(p, 0x100), encode_j(Opcode::kJmp, 0x108));
+  EXPECT_EQ(word_at(p, 0x108), encode_j(Opcode::kJmp, 0x100));
+}
+
+TEST(Assembler, BranchOffsetsAreRelative) {
+  const Program p = assemble(R"(
+  loop:
+    addi r1, r1, 1
+    bne r1, r2, loop
+  )", 0x200);
+  // bne sits at 0x204, target 0x200, offset -4.
+  EXPECT_EQ(word_at(p, 0x204), encode_b(Opcode::kBne, 1, 2, -4));
+}
+
+TEST(Assembler, RegisterAliases) {
+  const Program p = assemble("jr lr\nmov sp, r1", 0);
+  EXPECT_EQ(word_at(p, 0), encode_r(Opcode::kJr, 0, kLinkReg));
+  EXPECT_EQ(word_at(p, 4), encode_r(Opcode::kMov, 13, 1));
+}
+
+TEST(Assembler, DirectivesWordSpaceAscii) {
+  const Program p = assemble(R"(
+    .word 0xdeadbeef, 7
+    .space 8
+    .ascii "ok"
+  )", 0);
+  EXPECT_EQ(p.image.size(), 4u + 4u + 8u + 2u);
+  EXPECT_EQ(word_at(p, 0), 0xdeadbeefu);
+  EXPECT_EQ(word_at(p, 4), 7u);
+  EXPECT_EQ(p.image[16], 'o');
+  EXPECT_EQ(p.image[17], 'k');
+}
+
+TEST(Assembler, WordDirectiveAcceptsLabels) {
+  const Program p = assemble(R"(
+    .word target
+  target:
+    halt
+  )", 0x40);
+  EXPECT_EQ(word_at(p, 0x40), 0x44u);
+}
+
+TEST(Assembler, OrgMovesForwardAndZeroFills) {
+  const Program p = assemble(R"(
+    nop
+    .org 0x20
+    halt
+  )", 0);
+  EXPECT_EQ(p.image.size(), 0x24u);
+  EXPECT_EQ(word_at(p, 0x10), 0u);  // gap zero-filled
+  EXPECT_EQ(word_at(p, 0x20), encode_r(Opcode::kHalt, 0, 0, 0));
+}
+
+TEST(Assembler, OrgBackwardThrows) {
+  EXPECT_THROW(assemble("nop\n.org 0x0\nhalt", 0x100), AssemblerError);
+}
+
+TEST(Assembler, HexAndNegativeNumbers) {
+  const Program p = assemble("ldi r1, 0xff\naddi r2, r1, -1", 0);
+  EXPECT_EQ(word_at(p, 0), encode_u(Opcode::kLdi, 1, 0xff));
+  EXPECT_EQ(word_at(p, 4), encode_i(Opcode::kAddi, 2, 1, -1));
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1, r2\n", 0);
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, DiagnosesCommonMistakes) {
+  EXPECT_THROW(assemble("ldi r99, 1", 0), AssemblerError);   // bad register
+  EXPECT_THROW(assemble("add r1, r2", 0), AssemblerError);   // arity
+  EXPECT_THROW(assemble("jmp nowhere", 0), AssemblerError);  // undefined
+  EXPECT_THROW(assemble("ldi r1, 70000", 0), AssemblerError);  // range
+  EXPECT_THROW(assemble("x: nop\nx: nop", 0), AssemblerError);  // dup label
+  EXPECT_THROW(assemble(".ascii oops", 0), AssemblerError);  // no string
+  EXPECT_THROW(assemble(".ascii \"unterminated", 0), AssemblerError);
+}
+
+TEST(Assembler, EmptySourceYieldsEmptyImage) {
+  const Program p = assemble("", 0);
+  EXPECT_TRUE(p.image.empty());
+  EXPECT_TRUE(p.labels.empty());
+}
+
+TEST(Assembler, LabelOnOrgLineBindsToNewOrigin) {
+  const Program p = assemble(R"(
+    nop
+  table: .org 0x40
+    .word 1
+  )", 0);
+  EXPECT_EQ(p.labels.at("table"), 0x40u);
+}
+
+}  // namespace
+}  // namespace cra::device

@@ -1,0 +1,92 @@
+#include "device/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::device {
+namespace {
+
+TEST(SecureClock, PaperParameters) {
+  const SecureClock c;  // 24 MHz / 250,000
+  EXPECT_NEAR(c.tick_period().ms(), 10.4167, 0.001);
+  // "would wrap around in almost 2 years"
+  const double years = c.wraparound_seconds() / (365.25 * 24 * 3600);
+  EXPECT_NEAR(years, 1.42, 0.05);
+  EXPECT_GT(years, 1.0);
+}
+
+TEST(SecureClock, ReadAtCycles) {
+  const SecureClock c;
+  EXPECT_EQ(c.read_at_cycles(0), 0u);
+  EXPECT_EQ(c.read_at_cycles(249'999), 0u);
+  EXPECT_EQ(c.read_at_cycles(250'000), 1u);
+  EXPECT_EQ(c.read_at_cycles(2'500'000), 10u);
+}
+
+TEST(SecureClock, ReadAtTimeMatchesCycles) {
+  const SecureClock c;
+  // 1 second at 24 MHz = 24M cycles = 96 ticks.
+  EXPECT_EQ(c.read_at_time(sim::SimTime::from_sec(1.0)), 96u);
+  EXPECT_EQ(c.read_at_time(sim::SimTime::zero()), 0u);
+}
+
+TEST(SecureClock, SkewShiftsReading) {
+  const SecureClock c;
+  const auto t = sim::SimTime::from_sec(1.0);
+  EXPECT_GT(c.read_at_time(t, sim::Duration::from_ms(50)),
+            c.read_at_time(t, sim::Duration::zero()));
+  EXPECT_LT(c.read_at_time(t, sim::Duration::from_ms(-50)),
+            c.read_at_time(t));
+  // Negative effective time clamps to zero.
+  EXPECT_EQ(c.read_at_time(sim::SimTime::zero(),
+                           sim::Duration::from_sec(-5.0)),
+            0u);
+}
+
+TEST(SecureClock, TickTimeRoundTrip) {
+  const SecureClock c;
+  // Reading the clock exactly at a tick's start time yields that tick —
+  // the property SAP's synchronous attest depends on.
+  for (std::uint32_t tick : {0u, 1u, 7u, 96u, 1000u, 123456u}) {
+    EXPECT_EQ(c.read_at_time(c.tick_to_time(tick)), tick) << tick;
+  }
+}
+
+TEST(SecureClock, TimeToTickCeil) {
+  const SecureClock c;
+  EXPECT_EQ(c.time_to_tick_ceil(sim::SimTime::zero()), 0u);
+  // Any instant strictly inside tick k's interval rounds up to k+1.
+  const auto inside = c.tick_to_time(5) + sim::Duration::from_us(1);
+  EXPECT_EQ(c.time_to_tick_ceil(inside), 6u);
+  // Exactly at the boundary stays at that tick.
+  EXPECT_LE(c.time_to_tick_ceil(c.tick_to_time(5)), 5u + 1u);
+}
+
+TEST(SecureClock, CeilTickIsNeverInThePast) {
+  const SecureClock c;
+  for (std::int64_t ns : {1LL, 999'999LL, 10'416'667LL, 123'456'789LL}) {
+    const auto t = sim::SimTime::from_ns(ns);
+    const std::uint32_t tick = c.time_to_tick_ceil(t);
+    EXPECT_GE(c.tick_to_time(tick).ns(), t.ns() - 1) << ns;
+  }
+}
+
+TEST(SecureClock, CustomRates) {
+  const SecureClock fast(48'000'000, 480'000);  // same 10 ms tick
+  EXPECT_NEAR(fast.tick_period().ms(), 10.0, 0.001);
+  EXPECT_THROW(SecureClock(0, 1), std::invalid_argument);
+  EXPECT_THROW(SecureClock(1, 0), std::invalid_argument);
+}
+
+TEST(SecureClock, MonotoneInTime) {
+  const SecureClock c;
+  std::uint32_t last = 0;
+  for (int ms = 0; ms < 200; ms += 3) {
+    const std::uint32_t now = c.read_at_time(sim::SimTime::from_ms(ms));
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_GT(last, 0u);
+}
+
+}  // namespace
+}  // namespace cra::device

@@ -1,0 +1,279 @@
+// The fetch-execute interpreter, driven with assembled firmware.
+#include "device/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/assembler.hpp"
+
+namespace cra::device {
+namespace {
+
+struct Machine {
+  MemoryLayout layout{256, 2048, 1024, 1024};
+  Memory memory{layout};
+  Mpu mpu{memory, MpuConfig{}};
+  SecureClock clock{24'000'000, 250'000};
+  Cpu cpu{memory, mpu, clock};
+
+  /// Assemble `source` into PMEM and point the CPU at it.
+  void load_and_start(std::string_view source) {
+    const Program p = assemble(source, layout.pmem_base());
+    memory.load(Section::kPmem, p.image);
+    cpu.reset(layout.pmem_base());
+  }
+
+  StopReason run(std::uint64_t cycles = 100'000) { return cpu.run(cycles); }
+};
+
+TEST(Cpu, ArithmeticAndLogic) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 7
+    ldi r2, 3
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    and r6, r1, r2
+    or  r7, r1, r2
+    xor r8, r1, r2
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(3), 10u);
+  EXPECT_EQ(m.cpu.reg(4), 4u);
+  EXPECT_EQ(m.cpu.reg(5), 21u);
+  EXPECT_EQ(m.cpu.reg(6), 3u);
+  EXPECT_EQ(m.cpu.reg(7), 7u);
+  EXPECT_EQ(m.cpu.reg(8), 4u);
+}
+
+TEST(Cpu, ShiftsAndImmediates) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 1
+    ldi r2, 12
+    shl r3, r1, r2     ; 1 << 12 = 4096
+    shr r4, r3, r1     ; 4096 >> 1 = 2048
+    addi r5, r4, -48   ; 2000
+    lui r6, 0x1234     ; 0x12340000
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(3), 4096u);
+  EXPECT_EQ(m.cpu.reg(4), 2048u);
+  EXPECT_EQ(m.cpu.reg(5), 2000u);
+  EXPECT_EQ(m.cpu.reg(6), 0x12340000u);
+}
+
+TEST(Cpu, LoadsAndStores) {
+  Machine m;
+  const Addr dmem = m.layout.dmem_base();
+  m.load_and_start(R"(
+    lui r10, )" + std::to_string(dmem >> 16) + R"(
+    ldi r9, )" + std::to_string(dmem & 0xffff) + R"(
+    or  r10, r10, r9
+    ldi r1, 0xbeef
+    stw r1, r10, 0
+    ldw r2, r10, 0
+    stb r1, r10, 8
+    ldb r3, r10, 8
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(2), 0xbeefu);
+  EXPECT_EQ(m.cpu.reg(3), 0xefu);  // byte store keeps the low byte
+  EXPECT_EQ(m.memory.read32(dmem), 0xbeefu);
+}
+
+TEST(Cpu, BranchesTakenAndNot) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 5
+    ldi r2, 5
+    ldi r3, 0
+    beq r1, r2, equal
+    ldi r3, 99       ; skipped
+  equal:
+    addi r3, r3, 1
+    bne r1, r2, bad
+    addi r3, r3, 10
+    blt r2, r1, bad  ; 5 < 5 is false
+    addi r3, r3, 100
+    bge r1, r2, good ; 5 >= 5
+    ldi r3, 0
+  good:
+    halt
+  bad:
+    ldi r3, 77
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(3), 111u);
+}
+
+TEST(Cpu, SignedVsUnsignedComparison) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi  r1, 0
+    addi r1, r1, -1   ; r1 = 0xffffffff (signed -1)
+    ldi  r2, 1
+    ldi  r3, 0
+    blt  r1, r2, signed_lt   ; -1 < 1 signed: taken
+    jmp  after1
+  signed_lt:
+    addi r3, r3, 1
+  after1:
+    bltu r1, r2, bad          ; 0xffffffff < 1 unsigned: not taken
+    addi r3, r3, 10
+    halt
+  bad:
+    ldi r3, 99
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(3), 11u);
+}
+
+TEST(Cpu, CallAndReturn) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 1
+    call sub
+    addi r1, r1, 100
+    halt
+  sub:
+    addi r1, r1, 10
+    jr lr
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(1), 111u);
+}
+
+TEST(Cpu, LoopComputesSum) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 0      ; sum
+    ldi r2, 1      ; i
+    ldi r3, 11     ; bound
+  loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    bne r2, r3, loop
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(1), 55u);  // 1 + ... + 10
+}
+
+TEST(Cpu, CycleCounting) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 1      ; 1 cycle
+    add r2, r1, r1 ; 1
+    ldw r3, r1, 16 ; 2 (address 17? no: r1=1, offset 16 -> ROM addr 17 read)
+    halt           ; 1
+  )");
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.cycles(), 5u);
+}
+
+TEST(Cpu, RdclkReadsSecureClock) {
+  Machine m;
+  m.load_and_start(R"(
+    rdclk r1
+    halt
+  )");
+  m.cpu.set_clock_base_cycles(250'000 * 7);  // 7 ticks elapsed pre-boot
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(1), 7u);
+}
+
+TEST(Cpu, WriteToRomFaults) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 0
+    stw r1, r1, 0   ; store to ROM address 0
+    halt
+  )");
+  EXPECT_EQ(m.run(), StopReason::kFaulted);
+  ASSERT_TRUE(m.cpu.fault().has_value());
+  EXPECT_EQ(m.cpu.fault()->kind, FaultKind::kWriteToRom);
+}
+
+TEST(Cpu, IllegalInstructionFaults) {
+  Machine m;
+  m.load_and_start("nop\nhalt");
+  m.memory.write32(m.layout.pmem_base(), 0xfe000000u);  // bogus opcode
+  EXPECT_EQ(m.run(), StopReason::kFaulted);
+}
+
+TEST(Cpu, CycleBudgetStopsExecution) {
+  Machine m;
+  m.load_and_start(R"(
+  spin:
+    jmp spin
+  )");
+  EXPECT_EQ(m.run(1000), StopReason::kCycleBudget);
+  EXPECT_EQ(m.cpu.state(), CpuState::kRunning);
+  EXPECT_GE(m.cpu.cycles(), 1000u);
+}
+
+TEST(Cpu, InterruptDeliveryAndIret) {
+  Machine m;
+  const Addr handler_addr = m.layout.pmem_base() + 0x100;
+  m.load_and_start(R"(
+    ei
+    ldi r1, 0
+  wait:
+    addi r1, r1, 1
+    ldi r2, 50
+    bne r1, r2, wait
+    halt
+    .org )" + std::to_string(handler_addr) + R"(
+  handler:
+    ldi r5, 42
+    iret
+  )");
+  m.cpu.raise_interrupt(handler_addr);
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(5), 42u);  // handler ran
+  EXPECT_EQ(m.cpu.reg(1), 50u);  // main loop completed after iret
+}
+
+TEST(Cpu, InterruptsMaskedUntilEi) {
+  Machine m;
+  const Addr handler_addr = m.layout.pmem_base() + 0x100;
+  m.load_and_start(R"(
+    ldi r1, 1       ; interrupts never enabled
+    halt
+    .org )" + std::to_string(handler_addr) + R"(
+  handler:
+    ldi r5, 42
+    iret
+  )");
+  m.cpu.raise_interrupt(handler_addr);
+  EXPECT_EQ(m.run(), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(5), 0u);
+  EXPECT_EQ(m.cpu.pending_interrupts(), 1u);
+}
+
+TEST(Cpu, ResetClearsStatePreservesCycles) {
+  Machine m;
+  m.load_and_start("ldi r1, 9\nhalt");
+  m.run();
+  const std::uint64_t cycles = m.cpu.cycles();
+  EXPECT_GT(cycles, 0u);
+  m.cpu.reset(m.layout.pmem_base());
+  EXPECT_EQ(m.cpu.reg(1), 0u);
+  EXPECT_EQ(m.cpu.state(), CpuState::kRunning);
+  EXPECT_EQ(m.cpu.cycles(), cycles);  // the secure clock never rewinds
+}
+
+TEST(Cpu, RegisterIndexValidation) {
+  Machine m;
+  EXPECT_THROW(m.cpu.reg(16), std::out_of_range);
+  EXPECT_THROW(m.cpu.set_reg(16, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cra::device

@@ -1,0 +1,165 @@
+// CPU interpreter edge semantics: wraparound, masking, faults at the
+// boundaries, interrupt/EPC precision.
+#include <gtest/gtest.h>
+
+#include "device/assembler.hpp"
+#include "device/cpu.hpp"
+
+namespace cra::device {
+namespace {
+
+struct Machine {
+  MemoryLayout layout{256, 2048, 1024, 1024};
+  Memory memory{layout};
+  Mpu mpu{memory, MpuConfig{}};
+  SecureClock clock{};
+  Cpu cpu{memory, mpu, clock};
+
+  void load_and_start(const std::string& source) {
+    const Program p = assemble(source, layout.pmem_base());
+    memory.load(Section::kPmem, p.image);
+    cpu.reset(layout.pmem_base());
+  }
+};
+
+TEST(CpuEdge, ArithmeticWrapsModulo32) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 0
+    addi r1, r1, -1      ; 0xffffffff
+    ldi r2, 1
+    add r3, r1, r2       ; wraps to 0
+    lui r4, 0x8000       ; 0x80000000
+    add r5, r4, r4       ; wraps to 0
+    mul r6, r1, r1       ; (2^32-1)^2 mod 2^32 = 1
+    halt
+  )");
+  m.cpu.run(100);
+  EXPECT_EQ(m.cpu.reg(3), 0u);
+  EXPECT_EQ(m.cpu.reg(5), 0u);
+  EXPECT_EQ(m.cpu.reg(6), 1u);
+}
+
+TEST(CpuEdge, ShiftAmountsMaskedTo5Bits) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 1
+    ldi r2, 33          ; shift by 33 == shift by 1
+    shl r3, r1, r2
+    ldi r4, 32          ; shift by 32 == shift by 0
+    shl r5, r1, r4
+    halt
+  )");
+  m.cpu.run(100);
+  EXPECT_EQ(m.cpu.reg(3), 2u);
+  EXPECT_EQ(m.cpu.reg(5), 1u);
+}
+
+TEST(CpuEdge, JrToUnalignedAddressFaults) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 0x102       ; unaligned (and in ROM, but alignment trips first)
+    jr r1
+  )");
+  EXPECT_EQ(m.cpu.run(100), StopReason::kFaulted);
+  EXPECT_EQ(m.cpu.fault()->kind, FaultKind::kOutOfBounds);
+}
+
+TEST(CpuEdge, LoadBeyondAddressSpaceFaults) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 0
+    addi r1, r1, -8     ; address 0xfffffff8
+    ldw r2, r1, 0
+    halt
+  )");
+  EXPECT_EQ(m.cpu.run(100), StopReason::kFaulted);
+  EXPECT_EQ(m.cpu.fault()->kind, FaultKind::kOutOfBounds);
+}
+
+TEST(CpuEdge, FaultPreservesOffendingAddresses) {
+  Machine m;
+  m.load_and_start(R"(
+    ldi r1, 4
+    stw r1, r1, 0       ; write to ROM address 4
+  )");
+  m.cpu.run(100);
+  ASSERT_TRUE(m.cpu.fault().has_value());
+  EXPECT_EQ(m.cpu.fault()->address, 4u);
+  EXPECT_EQ(m.cpu.fault()->pc, m.layout.pmem_base() + 4);
+}
+
+TEST(CpuEdge, NestedCallClobbersLinkRegisterByDesign) {
+  // Single link register, no stack in hardware: a nested call without a
+  // software save loops back into the inner callee's return point.
+  Machine m;
+  m.load_and_start(R"(
+    call outer
+    halt
+  outer:
+    mov r13, lr        ; the software save that makes nesting work
+    call inner
+    mov lr, r13
+    jr lr
+  inner:
+    addi r1, r1, 1
+    jr lr
+  )");
+  EXPECT_EQ(m.cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(1), 1u);
+}
+
+TEST(CpuEdge, InterruptResumesAtExactInstruction) {
+  Machine m;
+  const Addr handler = m.layout.pmem_base() + 0x100;
+  m.load_and_start(R"(
+    ei
+    ldi r1, 10
+    ldi r2, 0
+  loop:
+    addi r2, r2, 1
+    bne r2, r1, loop
+    halt
+    .org )" + std::to_string(handler) + R"(
+  handler:
+    addi r5, r5, 1
+    iret
+  )");
+  m.cpu.raise_interrupt(handler);
+  m.cpu.raise_interrupt(handler);
+  EXPECT_EQ(m.cpu.run(1000), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.reg(5), 2u);   // both delivered
+  EXPECT_EQ(m.cpu.reg(2), 10u);  // loop unperturbed
+}
+
+TEST(CpuEdge, DisabledInterruptsStayQueuedAcrossHalt) {
+  Machine m;
+  m.load_and_start("halt");
+  m.cpu.raise_interrupt(m.layout.pmem_base());
+  EXPECT_EQ(m.cpu.run(10), StopReason::kHalted);
+  EXPECT_EQ(m.cpu.pending_interrupts(), 1u);
+}
+
+TEST(CpuEdge, ByteStoresTouchOnlyOneByte) {
+  Machine m;
+  const Addr dmem = m.layout.dmem_base();
+  m.memory.write32(dmem, 0xaabbccdd);
+  m.load_and_start(R"(
+    ldi r1, )" + std::to_string(dmem) + R"(
+    ldi r2, 0x11
+    stb r2, r1, 1
+    halt
+  )");
+  m.cpu.run(100);
+  EXPECT_EQ(m.memory.read32(dmem), 0xaabb11ddu);
+}
+
+TEST(CpuEdge, RunZeroCyclesDoesNothing) {
+  Machine m;
+  m.load_and_start("ldi r1, 5\nhalt");
+  EXPECT_EQ(m.cpu.run(0), StopReason::kCycleBudget);
+  EXPECT_EQ(m.cpu.reg(1), 0u);
+}
+
+}  // namespace
+}  // namespace cra::device

@@ -1,0 +1,189 @@
+// The Device facade end-to-end: secure boot, attest TCB correctness
+// (token matches the verifier-side HMAC), temporal semantics.
+#include "device/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/hmac.hpp"
+#include "device/assembler.hpp"
+
+namespace cra::device {
+namespace {
+
+DeviceConfig small_config() {
+  DeviceConfig cfg;
+  cfg.layout = MemoryLayout{256, 4096, 1024, 4096};
+  return cfg;
+}
+
+Bytes test_key() { return Bytes(20, 0x11); }
+Bytes test_kplat() { return Bytes(20, 0x22); }
+
+std::unique_ptr<Device> make_device(DeviceConfig cfg = small_config()) {
+  return std::make_unique<Device>(7, cfg, test_key(), test_kplat());
+}
+
+/// What the verifier would compute for this device's PMEM.
+Bytes expected_token(const Device& d, std::uint32_t chal) {
+  Bytes msg = d.expected_pmem();
+  append_u32le(msg, chal);
+  return crypto::hmac(d.config().attest.alg, test_key(), msg);
+}
+
+TEST(DeviceAttest, TokenMatchesVerifierComputation) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.load_firmware(to_bytes("benign firmware image"));
+  d.provision();
+  ASSERT_TRUE(d.boot());
+
+  const std::uint32_t chal = 5;
+  d.sync_clock(d.clock().tick_to_time(chal));
+  d.invoke_attest(chal);
+  EXPECT_EQ(d.read_token(), expected_token(d, chal));
+}
+
+TEST(DeviceAttest, WrongTimeYieldsZeroToken) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  // Clock says tick 3, challenge says tick 9: attest refuses.
+  d.sync_clock(d.clock().tick_to_time(3));
+  d.invoke_attest(9);
+  EXPECT_TRUE(all_zero(d.read_token()));
+}
+
+TEST(DeviceAttest, InfectedPmemYieldsDifferentToken) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.load_firmware(to_bytes("benign firmware image"));
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  const Bytes clean = expected_token(d, 4);
+
+  d.adv_infect_pmem(0, to_bytes("MALWARE"));
+  d.sync_clock(d.clock().tick_to_time(4));
+  d.invoke_attest(4);
+  EXPECT_NE(d.read_token(), clean);
+  EXPECT_FALSE(all_zero(d.read_token()));  // it attested — just "wrong"
+}
+
+TEST(DeviceAttest, MalwareRelocationToDmemStillDetectedAtTatt) {
+  // Malware copies itself to DMEM and wipes its PMEM home. PMEM at
+  // t_att is all-zero there — which differs from cfg_i, so the token
+  // still mismatches the verifier's expectation. Evasion by relocation
+  // changes *how* PMEM is wrong, not *whether*.
+  auto dp = make_device();
+  Device& d = *dp;
+  d.load_firmware(to_bytes("benign firmware image"));
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  const Bytes clean = expected_token(d, 6);
+
+  d.adv_infect_pmem(0, to_bytes("MALWARE"));
+  d.adv_relocate_to_dmem(0, 7, 64);
+  d.sync_clock(d.clock().tick_to_time(6));
+  d.invoke_attest(6);
+  EXPECT_NE(d.read_token(), clean);
+}
+
+TEST(DeviceAttest, TokenBoundToChallenge) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  d.sync_clock(d.clock().tick_to_time(5));
+  d.invoke_attest(5);
+  const Bytes t5 = d.read_token();
+  d.sync_clock(d.clock().tick_to_time(8));
+  d.invoke_attest(8);
+  const Bytes t8 = d.read_token();
+  EXPECT_NE(t5, t8);  // chal is folded into the HMAC: no replay value
+}
+
+TEST(DeviceAttest, CycleCostMatchesAnalyticModel) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  d.sync_clock(d.clock().tick_to_time(2));
+  const std::uint64_t used = d.invoke_attest(2);
+  const std::uint64_t analytic = d.attest_cost_cycles();
+  // The trampoline adds a handful of cycles around the TCB itself.
+  EXPECT_GE(used, analytic);
+  EXPECT_LE(used, analytic + 50);
+}
+
+TEST(DeviceAttest, AttestTimeAt24MhzIsHalfSecondFor50KB) {
+  // The paper-scale device: 50 KB PMEM at 24 MHz — the measurement
+  // phase Figure 3(b) shows as the constant ~0.5 s component.
+  DeviceConfig cfg;  // default layout: 50 KB PMEM
+  Device d(1, cfg, test_key(), test_kplat());
+  const double sec = d.attest_cost_time().sec();
+  EXPECT_GT(sec, 0.4);
+  EXPECT_LT(sec, 0.55);
+}
+
+TEST(SecureBootFlow, TamperedTcbRefusesBoot) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  // Flip one byte of ROM (boot code) behind Secure Boot's back — models
+  // an offline/physical modification of the TCB.
+  d.memory().write8(4, static_cast<std::uint8_t>(d.memory().read8(4) ^ 1));
+  EXPECT_FALSE(d.boot());
+}
+
+TEST(SecureBootFlow, FirmwareChangesDoNotBlockBoot) {
+  // Secure Boot measures the TCB (ROM + r4 + r6), not application PMEM:
+  // malware in PMEM is attest's job to catch, not boot's.
+  auto dp = make_device();
+  Device& d = *dp;
+  d.load_firmware(to_bytes("v1 firmware"));
+  d.provision();
+  ASSERT_TRUE(d.boot());
+  d.adv_infect_pmem(0, to_bytes("evil"));
+  EXPECT_TRUE(d.boot());
+}
+
+TEST(DeviceAttest, FirmwareCanInvokeAttestViaTrampoline) {
+  // Run actual firmware on the VM that requests attestation through the
+  // ROM trampoline ABI: write chal to the mailbox, call the trampoline.
+  DeviceConfig cfg = small_config();
+  Device d(3, cfg, test_key(), test_kplat());
+  const auto mb = d.mailboxes();
+
+  const std::string source = R"(
+    ; write chal = 5 into the mailbox
+    lui r10, )" + std::to_string(mb.chal >> 16) + R"(
+    ldi r9, )" + std::to_string(mb.chal & 0xffff) + R"(
+    or  r10, r10, r9
+    ldi r1, 5
+    stw r1, r10, 0
+    call attest
+    halt
+    .org )" + std::to_string(cfg.layout.pmem_base() + 0x200) + R"(
+  attest: .word 0
+  )";
+  // Patch: the `call` needs the real attest entry; assemble with a label
+  // bound via .org is clumsy here, so encode the call directly below.
+  Program p = assemble(source, cfg.layout.pmem_base());
+  d.load_firmware(p.image);
+  // Replace the placeholder call (6th word) with call <attest entry>.
+  d.memory().write32(cfg.layout.pmem_base() + 5 * 4,
+                     encode_j(Opcode::kCall, d.attest_entry()));
+  d.provision();
+  ASSERT_TRUE(d.boot());
+
+  d.sync_clock(d.clock().tick_to_time(5));
+  const StopReason r = d.cpu().run(d.attest_cost_cycles() + 10'000);
+  EXPECT_EQ(r, StopReason::kHalted);
+  EXPECT_EQ(d.read_token(), expected_token(d, 5));
+}
+
+}  // namespace
+}  // namespace cra::device

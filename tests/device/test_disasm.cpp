@@ -1,0 +1,129 @@
+// Disassembler, including the assemble∘disassemble round-trip property.
+#include "device/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "device/assembler.hpp"
+
+namespace cra::device {
+namespace {
+
+TEST(Disasm, RendersEachFormat) {
+  EXPECT_EQ(disassemble(encode_r(Opcode::kNop, 0, 0, 0)), "nop");
+  EXPECT_EQ(disassemble(encode_r(Opcode::kHalt, 0, 0, 0)), "halt");
+  EXPECT_EQ(disassemble(encode_u(Opcode::kLdi, 1, 42)), "ldi r1, 42");
+  EXPECT_EQ(disassemble(encode_u(Opcode::kLui, 2, 0xbeef)),
+            "lui r2, 48879");
+  EXPECT_EQ(disassemble(encode_r(Opcode::kMov, 3, 4)), "mov r3, r4");
+  EXPECT_EQ(disassemble(encode_r(Opcode::kAdd, 1, 2, 3)),
+            "add r1, r2, r3");
+  EXPECT_EQ(disassemble(encode_i(Opcode::kAddi, 1, 2, -5)),
+            "addi r1, r2, -5");
+  EXPECT_EQ(disassemble(encode_i(Opcode::kLdw, 1, 2, 8)), "ldw r1, r2, 8");
+  EXPECT_EQ(disassemble(encode_b(Opcode::kBeq, 1, 2, -8)),
+            "beq r1, r2, -8");
+  EXPECT_EQ(disassemble(encode_j(Opcode::kJmp, 0x400)), "jmp 1024");
+  EXPECT_EQ(disassemble(encode_j(Opcode::kCall, 0x40)), "call 64");
+  EXPECT_EQ(disassemble(encode_r(Opcode::kJr, 0, kLinkReg)), "jr lr");
+  EXPECT_EQ(disassemble(encode_u(Opcode::kRdclk, 5, 0)), "rdclk r5");
+}
+
+TEST(Disasm, UnknownOpcodeAsRawWord) {
+  EXPECT_EQ(disassemble(0xff00beef), ".word 0xff00beef");
+}
+
+TEST(Disasm, RoundTripThroughAssembler) {
+  // Property: disassembled text re-assembles to the identical word, for
+  // every opcode with randomized operands.
+  Rng rng(2718);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto op = static_cast<Opcode>(
+        rng.next_below(static_cast<std::uint64_t>(Opcode::kMaxOpcode)));
+    const auto rd = static_cast<std::uint8_t>(rng.next_below(kNumRegs));
+    const auto rs1 = static_cast<std::uint8_t>(rng.next_below(kNumRegs));
+    const auto rs2 = static_cast<std::uint8_t>(rng.next_below(kNumRegs));
+    std::uint32_t word = 0;
+    switch (op) {
+      case Opcode::kLdi:
+      case Opcode::kLui:
+        word = encode_u(op, rd, static_cast<std::uint32_t>(
+                                    rng.next_below(0x10000)));
+        break;
+      case Opcode::kRdclk:
+        word = encode_u(op, rd, 0);
+        break;
+      case Opcode::kAddi:
+      case Opcode::kLdb:
+      case Opcode::kLdw:
+      case Opcode::kStb:
+      case Opcode::kStw:
+        word = encode_i(op, rd, rs1,
+                        static_cast<std::int32_t>(
+                            rng.next_range(0, 0xffff)) - 0x8000);
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+        word = encode_b(op, rd, rs1,
+                        (static_cast<std::int32_t>(rng.next_below(0x4000)) -
+                         0x2000) *
+                            4);
+        break;
+      case Opcode::kJmp:
+      case Opcode::kCall:
+        word = encode_j(op, static_cast<std::uint32_t>(
+                                rng.next_below(0x400000)) *
+                                4);
+        break;
+      case Opcode::kJr:
+        word = encode_r(op, 0, rs1);
+        break;
+      case Opcode::kMov:
+        word = encode_r(op, rd, rs1);
+        break;
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kEi:
+      case Opcode::kDi:
+      case Opcode::kIret:
+        word = encode_r(op, 0, 0, 0);
+        break;
+      case Opcode::kMaxOpcode:
+        continue;
+      default:  // three-register ALU ops
+        word = encode_r(op, rd, rs1, rs2);
+        break;
+    }
+    const std::string text = disassemble(word);
+    // Branch operands are absolute targets to the assembler, so
+    // assemble at address 0: offset == target there.
+    const Program p = assemble(text, 0);
+    ASSERT_EQ(p.image.size(), 4u) << text;
+    const std::uint32_t reassembled =
+        static_cast<std::uint32_t>(p.image[0]) |
+        (static_cast<std::uint32_t>(p.image[1]) << 8) |
+        (static_cast<std::uint32_t>(p.image[2]) << 16) |
+        (static_cast<std::uint32_t>(p.image[3]) << 24);
+    EXPECT_EQ(reassembled, word) << "text: " << text;
+  }
+}
+
+TEST(Disasm, RangeAndDump) {
+  Memory memory(MemoryLayout{256, 1024, 512, 512});
+  const Program p = assemble("ldi r1, 7\nadd r2, r1, r1\nhalt", 256);
+  memory.load(Section::kPmem, p.image);
+  const auto lines = disassemble_range(memory, 256, 3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "ldi r1, 7");
+  EXPECT_EQ(lines[1].text, "add r2, r1, r1");
+  EXPECT_EQ(lines[2].text, "halt");
+  const std::string dump = dump_range(memory, 256, 3);
+  EXPECT_NE(dump.find("0x100: ldi r1, 7"), std::string::npos);
+  EXPECT_THROW(disassemble_range(memory, 257, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cra::device

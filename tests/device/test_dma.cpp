@@ -1,0 +1,157 @@
+// DMA vs temporal consistency (§V-C guarantee (b)).
+//
+// The TCA model forbids DMA precisely because a second memory master
+// can rewrite PMEM *while attest is hashing it*. These tests mount the
+// full TOCTOU evasion against the interpreted HMAC-SHA1 TCB and show
+// the DMA-arbiter guard ("no DMA writes while PC is in r4") is exactly
+// the rule that kills it.
+#include "device/dma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/hmac.hpp"
+#include "device/attest_asm.hpp"
+
+namespace cra::device {
+namespace {
+
+constexpr std::uint32_t kPmem = 4 * 1024;
+
+Bytes test_key() { return Bytes(20, 0x61); }
+
+struct Rig {
+  std::unique_ptr<Device> dev;
+  std::unique_ptr<DmaController> dma;
+  Bytes clean_pmem;
+  std::uint32_t tail_offset = kPmem - 64;  // hashed last
+  Bytes malware = to_bytes("TOCTOU-RESIDENT-IMPLANT");
+
+  explicit Rig(bool guard) {
+    dev = std::make_unique<Device>(21, interpreted_attest_config(kPmem),
+                                   test_key(), Bytes(20, 0x62));
+    // Real runnable firmware: an idle loop, so cpu().run() can burn
+    // arbitrary cycles (which is what drives the DMA controller).
+    const Program idle = assemble("idle: addi r1, r1, 1\njmp idle",
+                                  dev->config().layout.pmem_base());
+    dev->load_firmware(idle.image);
+    install_interpreted_attest(*dev);
+    EXPECT_TRUE(dev->boot());
+    clean_pmem = dev->expected_pmem();
+
+    dma = std::make_unique<DmaController>(dev->memory(), dev->mpu(), guard);
+    dev->cpu().set_peripheral(
+        [this](Cpu& cpu) { dma->tick(cpu); });
+  }
+
+  Bytes clean_expectation(std::uint32_t chal) const {
+    Bytes msg = clean_pmem;
+    append_u32le(msg, chal);
+    return crypto::hmac(crypto::HashAlg::kSha1, test_key(), msg);
+  }
+
+  Bytes clean_tail() const {
+    return Bytes(clean_pmem.begin() + tail_offset,
+                 clean_pmem.begin() + tail_offset + 64);
+  }
+
+  Addr tail_addr() const {
+    return dev->config().layout.pmem_base() + tail_offset;
+  }
+};
+
+TEST(Dma, BasicTransferCompletes) {
+  Rig rig(/*guard=*/true);
+  const Addr dmem = rig.dev->config().layout.dmem_base();
+  rig.dma->queue_write(dmem + 256, to_bytes("dma!"),
+                       rig.dev->cpu().cycles() + 10);
+  // Run some benign code so the peripheral gets pumped.
+  rig.dev->cpu().set_pc(rig.dev->config().layout.pmem_base());
+  rig.dev->cpu().run(100);
+  EXPECT_EQ(rig.dma->completed(), 1u);
+  EXPECT_EQ(rig.dev->memory().read_range(dmem + 256, 4), to_bytes("dma!"));
+}
+
+TEST(Dma, NotDueTransfersWait) {
+  Rig rig(true);
+  rig.dma->queue_write(rig.dev->config().layout.dmem_base(), Bytes{1},
+                       rig.dev->cpu().cycles() + 1'000'000);
+  rig.dev->cpu().set_pc(rig.dev->config().layout.pmem_base());
+  rig.dev->cpu().run(100);
+  EXPECT_EQ(rig.dma->pending(), 1u);
+  EXPECT_EQ(rig.dma->completed(), 0u);
+}
+
+TEST(Dma, ToctouEvasionWinsOnUnguardedPlatform) {
+  Rig rig(/*guard=*/false);
+  Device& d = *rig.dev;
+
+  // Malware is resident in the tail block at t = chal...
+  d.adv_infect_pmem(rig.tail_offset, rig.malware);
+  ASSERT_NE(d.expected_pmem(), rig.clean_pmem);
+
+  // ...but it has armed two DMA bursts: one that restores the clean
+  // bytes shortly after attest enters (long before the hash pointer
+  // reaches the tail), and one that re-plants the implant after attest
+  // is over.
+  const std::uint64_t entry_cycles = d.cpu().cycles();
+  rig.dma->queue_write(rig.tail_addr(), rig.clean_tail(),
+                       entry_cycles + 5'000);
+  Bytes implant(rig.malware);
+  rig.dma->queue_write(rig.tail_addr(), implant, entry_cycles + 2'000'000);
+
+  d.sync_clock(d.clock().tick_to_time(4));
+  d.invoke_attest(4);
+
+  // The token matches the CLEAN configuration: verification would pass.
+  EXPECT_EQ(d.read_token(), rig.clean_expectation(4));
+  // Let the re-plant burst land (the CPU halted after the trampoline;
+  // restart it into the idle loop — the cycle counter is preserved).
+  d.cpu().reset(d.config().layout.pmem_base());
+  d.cpu().run(2'500'000);
+  EXPECT_EQ(d.memory().read_range(rig.tail_addr(),
+                                  static_cast<std::uint32_t>(
+                                      rig.malware.size())),
+            rig.malware);
+  // Adv won: dirty at t = chal, dirty after, token says clean.
+}
+
+TEST(Dma, ArbiterGuardDefeatsTheEvasion) {
+  Rig rig(/*guard=*/true);
+  Device& d = *rig.dev;
+
+  d.adv_infect_pmem(rig.tail_offset, rig.malware);
+  const std::uint64_t entry_cycles = d.cpu().cycles();
+  rig.dma->queue_write(rig.tail_addr(), rig.clean_tail(),
+                       entry_cycles + 5'000);
+
+  d.sync_clock(d.clock().tick_to_time(4));
+  d.invoke_attest(4);
+
+  // The transfer was due mid-attest but the arbiter stalled it; the
+  // hash saw the implant.
+  EXPECT_GT(rig.dma->stalled(), 0u);
+  EXPECT_NE(d.read_token(), rig.clean_expectation(4));
+
+  // Once attest exited, the stalled transfer completes normally — the
+  // guard delays DMA, it doesn't break it.
+  d.cpu().reset(d.config().layout.pmem_base());
+  d.cpu().run(200);
+  EXPECT_EQ(rig.dma->completed(), 1u);
+  EXPECT_EQ(d.memory().read_range(rig.tail_addr(), 64), rig.clean_tail());
+}
+
+TEST(Dma, GuardIsInertOutsideAttest) {
+  // The rule constrains nothing when the TCB is not running.
+  Rig rig(true);
+  rig.dma->queue_write(rig.dev->config().layout.dmem_base() + 64,
+                       to_bytes("xy"), rig.dev->cpu().cycles() + 5);
+  rig.dev->cpu().set_pc(rig.dev->config().layout.pmem_base());
+  rig.dev->cpu().run(50);
+  EXPECT_EQ(rig.dma->stalled(), 0u);
+  EXPECT_EQ(rig.dma->completed(), 1u);
+}
+
+}  // namespace
+}  // namespace cra::device

@@ -1,0 +1,162 @@
+// Nontrivial firmware programs on the machine model — the ISA earning
+// its keep beyond the protocol plumbing.
+#include <gtest/gtest.h>
+
+#include "device/assembler.hpp"
+#include "device/cpu.hpp"
+
+namespace cra::device {
+namespace {
+
+struct Machine {
+  MemoryLayout layout{256, 4096, 2048, 1024};
+  Memory memory{layout};
+  Mpu mpu{memory, MpuConfig{}};
+  SecureClock clock{};
+  Cpu cpu{memory, mpu, clock};
+
+  void run_program(const std::string& source,
+                   std::uint64_t budget = 1'000'000) {
+    const Program p = assemble(source, layout.pmem_base());
+    memory.load(Section::kPmem, p.image);
+    cpu.reset(layout.pmem_base());
+    ASSERT_EQ(cpu.run(budget), StopReason::kHalted);
+  }
+};
+
+TEST(Firmware, IterativeFibonacci) {
+  Machine m;
+  m.run_program(R"(
+    ldi r1, 0      ; fib(0)
+    ldi r2, 1      ; fib(1)
+    ldi r3, 20     ; n
+    ldi r4, 0      ; i
+  fib:
+    add r5, r1, r2
+    mov r1, r2
+    mov r2, r5
+    addi r4, r4, 1
+    bne r4, r3, fib
+    halt
+  )");
+  EXPECT_EQ(m.cpu.reg(1), 6765u);  // fib(20)
+}
+
+TEST(Firmware, MemcpyRoutine) {
+  Machine m;
+  const Addr src = m.layout.dmem_base();
+  const Addr dst = m.layout.dmem_base() + 256;
+  const Bytes payload = to_bytes("copy me through the machine, byte-wise");
+  m.memory.write_range(src, payload);
+  m.run_program(R"(
+    ldi r1, )" + std::to_string(src) + R"(
+    ldi r2, )" + std::to_string(dst) + R"(
+    ldi r3, )" + std::to_string(payload.size()) + R"(
+    ldi r4, 0
+  copy:
+    ldb r5, r1, 0
+    stb r5, r2, 0
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r4, r4, 1
+    bne r4, r3, copy
+    halt
+  )");
+  EXPECT_EQ(m.memory.read_range(dst,
+                                static_cast<std::uint32_t>(payload.size())),
+            payload);
+}
+
+TEST(Firmware, XorChecksumOverRegion) {
+  // The software-only "attestation" a naive deployment might use — and
+  // exactly what the toy ISA makes easy to write (and easy to fool).
+  Machine m;
+  const Addr region = m.layout.dmem_base() + 512;
+  Bytes data;
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    Bytes word;
+    append_u32le(word, i * 2654435761u);
+    m.memory.write_range(region + 4 * i, word);
+    expected ^= i * 2654435761u;
+  }
+  (void)data;
+  m.run_program(R"(
+    ldi r1, )" + std::to_string(region) + R"(
+    ldi r2, 64     ; words
+    ldi r3, 0      ; acc
+    ldi r4, 0      ; i
+  sum:
+    ldw r5, r1, 0
+    xor r3, r3, r5
+    addi r1, r1, 4
+    addi r4, r4, 1
+    bne r4, r2, sum
+    halt
+  )");
+  EXPECT_EQ(m.cpu.reg(3), expected);
+}
+
+TEST(Firmware, BubbleSortInMemory) {
+  Machine m;
+  const Addr arr = m.layout.dmem_base();
+  const std::uint32_t values[] = {9, 3, 7, 1, 8, 2, 6};
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    m.memory.write32(arr + 4 * i, values[i]);
+  }
+  m.run_program(R"(
+    ldi r1, 7            ; n
+  outer:
+    ldi r2, 0            ; i
+    ldi r3, )" + std::to_string(arr) + R"(
+    ldi r9, 0            ; swapped flag
+  inner:
+    ldw r4, r3, 0
+    ldw r5, r3, 4
+    bltu r4, r5, noswap
+    beq r4, r5, noswap
+    stw r5, r3, 0
+    stw r4, r3, 4
+    ldi r9, 1
+  noswap:
+    addi r3, r3, 4
+    addi r2, r2, 1
+    ldi r6, 6
+    bne r2, r6, inner
+    ldi r6, 0
+    bne r9, r6, outer
+    halt
+  )", 100'000);
+  for (std::uint32_t i = 0; i + 1 < 7; ++i) {
+    EXPECT_LE(m.memory.read32(arr + 4 * i), m.memory.read32(arr + 4 * i + 4));
+  }
+  EXPECT_EQ(m.memory.read32(arr), 1u);
+  EXPECT_EQ(m.memory.read32(arr + 24), 9u);
+}
+
+TEST(Firmware, SubroutineCallTree) {
+  // double(x) and square(x) composed through the link register with the
+  // conventional r13 save.
+  Machine m;
+  m.run_program(R"(
+    ldi r1, 5
+    call square_plus_double
+    halt
+  square_plus_double:
+    mov r13, lr
+    call square        ; r1 = 25
+    call double        ; r1 = 50
+    mov lr, r13
+    jr lr
+  square:
+    mul r1, r1, r1
+    jr lr
+  double:
+    add r1, r1, r1
+    jr lr
+  )");
+  EXPECT_EQ(m.cpu.reg(1), 50u);
+}
+
+}  // namespace
+}  // namespace cra::device

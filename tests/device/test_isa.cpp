@@ -1,0 +1,79 @@
+#include "device/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::device {
+namespace {
+
+TEST(Isa, EncodeDecodeRType) {
+  const std::uint32_t word = encode_r(Opcode::kAdd, 3, 4, 5);
+  const auto ins = decode(word);
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->op, Opcode::kAdd);
+  EXPECT_EQ(ins->rd, 3);
+  EXPECT_EQ(ins->rs1, 4);
+  EXPECT_EQ(ins->rs2, 5);
+}
+
+TEST(Isa, EncodeDecodeITypeSignExtension) {
+  const auto pos = decode(encode_i(Opcode::kAddi, 1, 2, 1000));
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->imm, 1000);
+  const auto neg = decode(encode_i(Opcode::kAddi, 1, 2, -4));
+  ASSERT_TRUE(neg.has_value());
+  EXPECT_EQ(neg->imm, -4);
+  const auto min = decode(encode_i(Opcode::kLdw, 1, 2, -32768));
+  ASSERT_TRUE(min.has_value());
+  EXPECT_EQ(min->imm, -32768);
+}
+
+TEST(Isa, EncodeDecodeUType) {
+  const auto ins = decode(encode_u(Opcode::kLdi, 7, 0xbeef));
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->rd, 7);
+  EXPECT_EQ(static_cast<std::uint32_t>(ins->imm) & 0xffffu, 0xbeefu);
+}
+
+TEST(Isa, EncodeDecodeBType) {
+  const auto ins = decode(encode_b(Opcode::kBeq, 1, 2, -8));
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->op, Opcode::kBeq);
+  EXPECT_EQ(ins->rd, 1);   // B-type rs1 lands in the rd field
+  EXPECT_EQ(ins->rs1, 2);  // B-type rs2 lands in the rs1 field
+  EXPECT_EQ(ins->imm, -8);
+}
+
+TEST(Isa, EncodeDecodeJType) {
+  const auto ins = decode(encode_j(Opcode::kJmp, 0x00ABCD4));
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->target, 0x00ABCD4u);
+}
+
+TEST(Isa, EncoderRangeChecks) {
+  EXPECT_THROW(encode_r(Opcode::kAdd, 16, 0, 0), std::invalid_argument);
+  EXPECT_THROW(encode_i(Opcode::kAddi, 0, 0, 40000), std::invalid_argument);
+  EXPECT_THROW(encode_u(Opcode::kLdi, 0, 0x10000), std::invalid_argument);
+  EXPECT_THROW(encode_b(Opcode::kBeq, 0, 0, 6), std::invalid_argument);
+  EXPECT_THROW(encode_b(Opcode::kBeq, 0, 0, 40000), std::invalid_argument);
+  EXPECT_THROW(encode_j(Opcode::kJmp, 0x1000001), std::invalid_argument);
+  EXPECT_THROW(encode_j(Opcode::kJmp, 0x6), std::invalid_argument);
+}
+
+TEST(Isa, DecodeRejectsUnknownOpcode) {
+  EXPECT_FALSE(decode(0xff000000u).has_value());
+  EXPECT_FALSE(
+      decode(static_cast<std::uint32_t>(Opcode::kMaxOpcode) << 24)
+          .has_value());
+}
+
+TEST(Isa, OpcodeNamesAndCycles) {
+  EXPECT_STREQ(opcode_name(Opcode::kAdd), "add");
+  EXPECT_STREQ(opcode_name(Opcode::kRdclk), "rdclk");
+  EXPECT_EQ(opcode_cycles(Opcode::kAdd), 1u);
+  EXPECT_EQ(opcode_cycles(Opcode::kLdw), 2u);
+  EXPECT_EQ(opcode_cycles(Opcode::kMul), 3u);
+  EXPECT_EQ(opcode_cycles(Opcode::kJmp), 2u);
+}
+
+}  // namespace
+}  // namespace cra::device

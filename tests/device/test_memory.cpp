@@ -1,0 +1,111 @@
+#include "device/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::device {
+namespace {
+
+MemoryLayout small_layout() {
+  return MemoryLayout{256, 1024, 512, 512};
+}
+
+TEST(Memory, LayoutGeometry) {
+  const MemoryLayout l = small_layout();
+  EXPECT_EQ(l.rom_base(), 0u);
+  EXPECT_EQ(l.pmem_base(), 256u);
+  EXPECT_EQ(l.dmem_base(), 1280u);
+  EXPECT_EQ(l.promem_base(), 1792u);
+  EXPECT_EQ(l.total(), 2304u);
+}
+
+TEST(Memory, SectionOf) {
+  Memory m(small_layout());
+  EXPECT_EQ(m.section_of(0), Section::kRom);
+  EXPECT_EQ(m.section_of(255), Section::kRom);
+  EXPECT_EQ(m.section_of(256), Section::kPmem);
+  EXPECT_EQ(m.section_of(1279), Section::kPmem);
+  EXPECT_EQ(m.section_of(1280), Section::kDmem);
+  EXPECT_EQ(m.section_of(1792), Section::kPromem);
+  EXPECT_EQ(m.section_of(2303), Section::kPromem);
+  EXPECT_THROW(m.section_of(2304), std::out_of_range);
+}
+
+TEST(Memory, SectionRegionsTile) {
+  Memory m(small_layout());
+  const Region rom = m.section_region(Section::kRom);
+  const Region pmem = m.section_region(Section::kPmem);
+  const Region dmem = m.section_region(Section::kDmem);
+  const Region promem = m.section_region(Section::kPromem);
+  EXPECT_EQ(rom.end, pmem.start);
+  EXPECT_EQ(pmem.end, dmem.start);
+  EXPECT_EQ(dmem.end, promem.start);
+  EXPECT_EQ(promem.end, m.layout().total());
+}
+
+TEST(Memory, ByteAndWordAccess) {
+  Memory m(small_layout());
+  m.write8(100, 0xab);
+  EXPECT_EQ(m.read8(100), 0xab);
+  m.write32(200, 0xdeadbeef);
+  EXPECT_EQ(m.read32(200), 0xdeadbeefu);
+  // Little-endian byte order.
+  EXPECT_EQ(m.read8(200), 0xef);
+  EXPECT_EQ(m.read8(203), 0xde);
+}
+
+TEST(Memory, ZeroInitialized) {
+  Memory m(small_layout());
+  EXPECT_EQ(m.read32(0), 0u);
+  EXPECT_EQ(m.read8(m.layout().total() - 1), 0u);
+}
+
+TEST(Memory, BoundsChecks) {
+  Memory m(small_layout());
+  EXPECT_THROW(m.read8(2304), std::out_of_range);
+  EXPECT_THROW(m.read32(2301), std::out_of_range);
+  EXPECT_THROW(m.write32(2301, 0), std::out_of_range);
+  EXPECT_THROW(m.read_range(2300, 5), std::out_of_range);
+}
+
+TEST(Memory, RangeRoundTrip) {
+  Memory m(small_layout());
+  const Bytes data = {1, 2, 3, 4, 5};
+  m.write_range(300, data);
+  EXPECT_EQ(m.read_range(300, 5), data);
+}
+
+TEST(Memory, SnapshotAndLoad) {
+  Memory m(small_layout());
+  Bytes image(100, 0x5a);
+  m.load(Section::kPmem, image);
+  const Bytes snap = m.snapshot(Section::kPmem);
+  EXPECT_EQ(snap.size(), 1024u);
+  EXPECT_EQ(snap[0], 0x5a);
+  EXPECT_EQ(snap[99], 0x5a);
+  EXPECT_EQ(snap[100], 0x00);  // rest of the section untouched
+}
+
+TEST(Memory, LoadTooLargeThrows) {
+  Memory m(small_layout());
+  EXPECT_THROW(m.load(Section::kDmem, Bytes(513, 0)), std::invalid_argument);
+}
+
+TEST(Memory, RejectsUnalignedLayout) {
+  EXPECT_THROW(Memory(MemoryLayout{10, 1024, 512, 512}),
+               std::invalid_argument);
+}
+
+TEST(Memory, RegionHelpers) {
+  const Region r{100, 200};
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_TRUE(r.contains(100));
+  EXPECT_TRUE(r.contains(199));
+  EXPECT_FALSE(r.contains(200));
+  EXPECT_TRUE(r.contains_range(150, 50));
+  EXPECT_FALSE(r.contains_range(150, 51));
+  EXPECT_TRUE(r.overlaps(Region{199, 300}));
+  EXPECT_FALSE(r.overlaps(Region{200, 300}));
+}
+
+}  // namespace
+}  // namespace cra::device

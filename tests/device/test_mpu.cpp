@@ -1,0 +1,265 @@
+// The execution-aware MPU: one test per access-control rule
+// (Equations 15-20) plus the per-rule ablation switches.
+#include "device/mpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::device {
+namespace {
+
+struct Fixture {
+  MemoryLayout layout{256, 1024, 512, 1024};
+  Memory memory{layout};
+  Region code;     // r4
+  Region key;      // r6
+  Region scratch;
+
+  Mpu make(MpuConfig config = {}) {
+    Mpu mpu(memory, config);
+    const Addr base = layout.promem_base();
+    code = Region{base, base + 256};
+    key = Region{base + 256, base + 276};  // 20-byte key
+    scratch = Region{base + 512, base + 768};
+    mpu.set_attest_regions(code, key);
+    mpu.set_attest_scratch(scratch);
+    return mpu;
+  }
+
+  Addr pmem_pc() const { return layout.pmem_base(); }
+  Addr attest_pc() const { return code.start + 8; }
+};
+
+TEST(Mpu, Eq15AttestCodeImmutable) {
+  Fixture f;
+  Mpu mpu = f.make();
+  const auto fault =
+      mpu.check_data(Access::kWrite, f.code.start + 4, 4, f.pmem_pc());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kWriteToAttestCode);
+  // Even attest itself cannot rewrite its own code.
+  const auto self_fault =
+      mpu.check_data(Access::kWrite, f.code.start + 4, 4, f.attest_pc());
+  ASSERT_TRUE(self_fault.has_value());
+  EXPECT_EQ(self_fault->kind, FaultKind::kWriteToAttestCode);
+}
+
+TEST(Mpu, Eq16KeyImmutable) {
+  Fixture f;
+  Mpu mpu = f.make();
+  for (Addr pc : {f.pmem_pc(), f.attest_pc()}) {
+    const auto fault = mpu.check_data(Access::kWrite, f.key.start, 4, pc);
+    ASSERT_TRUE(fault.has_value()) << "pc=" << pc;
+    EXPECT_EQ(fault->kind, FaultKind::kWriteToKey);
+  }
+}
+
+TEST(Mpu, Eq17KeyReadableOnlyFromAttest) {
+  Fixture f;
+  Mpu mpu = f.make();
+  // From outside r4: violation.
+  const auto fault =
+      mpu.check_data(Access::kRead, f.key.start, f.key.size(), f.pmem_pc());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kKeyReadOutsideAttest);
+  // From inside r4: allowed.
+  EXPECT_FALSE(mpu.check_data(Access::kRead, f.key.start, f.key.size(),
+                              f.attest_pc())
+                   .has_value());
+}
+
+TEST(Mpu, Eq17PartialOverlapAlsoCaught) {
+  Fixture f;
+  Mpu mpu = f.make();
+  // A read that straddles the key region's first byte.
+  const auto fault =
+      mpu.check_data(Access::kRead, f.key.start - 2, 4, f.pmem_pc());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kKeyReadOutsideAttest);
+}
+
+TEST(Mpu, Eq18EntryOnlyAtFirstInstruction) {
+  Fixture f;
+  Mpu mpu = f.make();
+  // Jump into the middle of attest: blocked.
+  const auto fault = mpu.check_transfer(f.pmem_pc(), f.code.start + 8);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kBadAttestEntry);
+  // Entry at first(r4): allowed.
+  EXPECT_FALSE(mpu.check_transfer(f.pmem_pc(), f.code.start).has_value());
+  // Transfers wholly inside r4 are fine.
+  EXPECT_FALSE(
+      mpu.check_transfer(f.code.start, f.code.start + 8).has_value());
+}
+
+TEST(Mpu, Eq19ExitOnlyFromLastInstruction) {
+  Fixture f;
+  Mpu mpu = f.make();
+  const auto fault = mpu.check_transfer(f.code.start + 8, f.pmem_pc());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kBadAttestExit);
+  EXPECT_FALSE(
+      mpu.check_transfer(mpu.attest_exit(), f.pmem_pc()).has_value());
+}
+
+TEST(Mpu, Eq20NoInterruptsInsideAttest) {
+  Fixture f;
+  Mpu mpu = f.make();
+  EXPECT_FALSE(mpu.interrupts_allowed(f.attest_pc()));
+  EXPECT_FALSE(mpu.interrupts_allowed(mpu.attest_entry()));
+  EXPECT_FALSE(mpu.interrupts_allowed(mpu.attest_exit()));
+  EXPECT_TRUE(mpu.interrupts_allowed(f.pmem_pc()));
+}
+
+TEST(Mpu, RomNeverWritable) {
+  Fixture f;
+  Mpu mpu = f.make();
+  const auto fault = mpu.check_data(Access::kWrite, 0, 4, f.pmem_pc());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kWriteToRom);
+}
+
+TEST(Mpu, PmemWritableByDefault) {
+  Fixture f;
+  Mpu mpu = f.make();
+  EXPECT_FALSE(mpu.check_data(Access::kWrite, f.layout.pmem_base(), 4,
+                              f.pmem_pc())
+                   .has_value());
+}
+
+TEST(Mpu, PmemLockdownOption) {
+  Fixture f;
+  MpuConfig config;
+  config.pmem_writable = false;
+  Mpu mpu = f.make(config);
+  EXPECT_TRUE(mpu.check_data(Access::kWrite, f.layout.pmem_base(), 4,
+                             f.pmem_pc())
+                  .has_value());
+}
+
+TEST(Mpu, ScratchOnlyUsableFromAttest) {
+  Fixture f;
+  Mpu mpu = f.make();
+  EXPECT_FALSE(mpu.check_data(Access::kWrite, f.scratch.start, 16,
+                              f.attest_pc())
+                   .has_value());
+  EXPECT_FALSE(mpu.check_data(Access::kRead, f.scratch.start, 16,
+                              f.attest_pc())
+                   .has_value());
+  EXPECT_TRUE(mpu.check_data(Access::kWrite, f.scratch.start, 16,
+                             f.pmem_pc())
+                  .has_value());
+  EXPECT_TRUE(mpu.check_data(Access::kRead, f.scratch.start, 16,
+                             f.pmem_pc())
+                  .has_value());
+}
+
+TEST(Mpu, UnregisteredPromemInaccessible) {
+  Fixture f;
+  Mpu mpu = f.make();
+  const Addr hole = f.layout.promem_base() + 900;
+  EXPECT_TRUE(
+      mpu.check_data(Access::kRead, hole, 4, f.attest_pc()).has_value());
+  EXPECT_TRUE(
+      mpu.check_data(Access::kWrite, hole, 4, f.pmem_pc()).has_value());
+}
+
+TEST(Mpu, FetchPermissions) {
+  Fixture f;
+  Mpu mpu = f.make();
+  EXPECT_FALSE(mpu.check_fetch(0).has_value());                  // ROM
+  EXPECT_FALSE(mpu.check_fetch(f.pmem_pc()).has_value());        // PMEM
+  EXPECT_FALSE(mpu.check_fetch(f.layout.dmem_base()).has_value());  // DMEM
+  EXPECT_FALSE(mpu.check_fetch(f.code.start).has_value());       // r4
+  // ProMEM outside r4 is never executable.
+  const auto fault = mpu.check_fetch(f.key.start & ~3u);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kNoExecute);
+}
+
+TEST(Mpu, DmemNxOption) {
+  Fixture f;
+  MpuConfig config;
+  config.dmem_executable = false;
+  Mpu mpu = f.make(config);
+  const auto fault = mpu.check_fetch(f.layout.dmem_base());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kNoExecute);
+}
+
+TEST(Mpu, UnalignedOrOutOfRangeFetch) {
+  Fixture f;
+  Mpu mpu = f.make();
+  EXPECT_TRUE(mpu.check_fetch(2).has_value());  // unaligned
+  EXPECT_TRUE(mpu.check_fetch(f.layout.total()).has_value());
+}
+
+TEST(Mpu, OutOfBoundsData) {
+  Fixture f;
+  Mpu mpu = f.make();
+  const auto fault =
+      mpu.check_data(Access::kRead, f.layout.total(), 4, f.pmem_pc());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kOutOfBounds);
+}
+
+// --- Rule ablations: each disabled rule admits exactly its attack ---
+
+TEST(MpuAblation, ImmutabilityOff) {
+  Fixture f;
+  MpuConfig config;
+  config.enforce_immutability = false;
+  Mpu mpu = f.make(config);
+  EXPECT_FALSE(mpu.check_data(Access::kWrite, f.code.start, 4, f.pmem_pc())
+                   .has_value());
+  EXPECT_FALSE(mpu.check_data(Access::kWrite, f.key.start, 4, f.pmem_pc())
+                   .has_value());
+}
+
+TEST(MpuAblation, KeyAccessOff) {
+  Fixture f;
+  MpuConfig config;
+  config.enforce_key_access = false;
+  Mpu mpu = f.make(config);
+  EXPECT_FALSE(mpu.check_data(Access::kRead, f.key.start, f.key.size(),
+                              f.pmem_pc())
+                   .has_value());
+}
+
+TEST(MpuAblation, ControlledInvocationOff) {
+  Fixture f;
+  MpuConfig config;
+  config.enforce_controlled_invocation = false;
+  Mpu mpu = f.make(config);
+  EXPECT_FALSE(
+      mpu.check_transfer(f.pmem_pc(), f.code.start + 8).has_value());
+  EXPECT_FALSE(
+      mpu.check_transfer(f.code.start + 8, f.pmem_pc()).has_value());
+}
+
+TEST(MpuAblation, NoInterruptOff) {
+  Fixture f;
+  MpuConfig config;
+  config.enforce_no_interrupt = false;
+  Mpu mpu = f.make(config);
+  EXPECT_TRUE(mpu.interrupts_allowed(f.attest_pc()));
+}
+
+TEST(Mpu, RejectsRegionsOutsideProMem) {
+  Fixture f;
+  Mpu mpu(f.memory, MpuConfig{});
+  EXPECT_THROW(mpu.set_attest_regions(Region{0, 64}, Region{64, 84}),
+               std::invalid_argument);
+}
+
+TEST(Mpu, RejectsOverlappingCodeAndKey) {
+  Fixture f;
+  Mpu mpu(f.memory, MpuConfig{});
+  const Addr base = f.layout.promem_base();
+  EXPECT_THROW(
+      mpu.set_attest_regions(Region{base, base + 64},
+                             Region{base + 32, base + 52}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cra::device

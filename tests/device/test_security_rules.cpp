@@ -1,0 +1,171 @@
+// Device-local adversary attacks against the attest TCB — the §VI-C
+// attacks (a), (b), (c) — on the real machine model, plus the
+// rule-ablation experiments showing each MPU rule is necessary.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/hmac.hpp"
+#include "device/device.hpp"
+
+namespace cra::device {
+namespace {
+
+DeviceConfig small_config() {
+  DeviceConfig cfg;
+  cfg.layout = MemoryLayout{256, 4096, 1024, 4096};
+  return cfg;
+}
+
+Bytes test_key() { return Bytes(20, 0x33); }
+
+std::unique_ptr<Device> make_device(DeviceConfig cfg = small_config()) {
+  auto d = std::make_unique<Device>(9, cfg, test_key(), Bytes(20, 0x44));
+  d->provision();
+  d->boot();
+  return d;
+}
+
+// --- Attack (a): learning K_{mi,Vrf} ---
+
+TEST(AttackKeyExtraction, BlockedByEq17) {
+  auto dp = make_device();
+  Device& d = *dp;
+  Bytes leaked;
+  const auto fault = d.adv_try_read_key(&leaked);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kKeyReadOutsideAttest);
+  EXPECT_TRUE(leaked.empty());
+}
+
+TEST(AttackKeyExtraction, SucceedsWithoutEq17) {
+  DeviceConfig cfg = small_config();
+  cfg.mpu.enforce_key_access = false;  // broken platform
+  auto dp = make_device(cfg);
+  Device& d = *dp;
+  Bytes leaked;
+  EXPECT_FALSE(d.adv_try_read_key(&leaked).has_value());
+  EXPECT_EQ(leaked, test_key());  // key exfiltrated: Adv forges at will
+}
+
+TEST(AttackKeyExtraction, MachineCodeReadFaults) {
+  // The same attack as actual executing malware: an LDW targeting r6
+  // from PMEM-resident code traps the machine.
+  auto dp = make_device();
+  Device& d = *dp;
+  const Region key = d.key_region();
+  const Addr pmem = d.config().layout.pmem_base();
+  d.memory().write32(pmem + 0, encode_u(Opcode::kLui, 1, key.start >> 16));
+  d.memory().write32(pmem + 4, encode_u(Opcode::kLdi, 2, key.start & 0xffff));
+  d.memory().write32(pmem + 8, encode_r(Opcode::kOr, 1, 1, 2));
+  d.memory().write32(pmem + 12, encode_i(Opcode::kLdw, 3, 1, 0));
+  d.memory().write32(pmem + 16, encode_r(Opcode::kHalt, 0, 0, 0));
+  d.cpu().reset(pmem);
+  EXPECT_EQ(d.cpu().run(100), StopReason::kFaulted);
+  EXPECT_EQ(d.cpu().fault()->kind, FaultKind::kKeyReadOutsideAttest);
+}
+
+TEST(AttackTcbPatching, BlockedByEq15) {
+  auto dp = make_device();
+  Device& d = *dp;
+  const auto fault = d.adv_try_patch_attest(Bytes(16, 0x90));
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kWriteToAttestCode);
+}
+
+TEST(AttackTcbPatching, SucceedsWithoutEq15) {
+  DeviceConfig cfg = small_config();
+  cfg.mpu.enforce_immutability = false;
+  auto dp = make_device(cfg);
+  Device& d = *dp;
+  EXPECT_FALSE(d.adv_try_patch_attest(Bytes(16, 0x90)).has_value());
+  // And Secure Boot catches it at the next reboot even on this platform.
+  EXPECT_FALSE(d.boot());
+}
+
+// --- Attack (b): violating temporal consistency via interrupts ---
+
+TEST(AttackInterruptAttest, ControlledEntryBlocksMidAttestVector) {
+  auto dp = make_device();
+  Device& d = *dp;
+  const Addr mid_attest = d.attest_entry() + 8;
+  // Enable interrupts in a tiny PMEM program, then observe the trap on
+  // dispatch: the vector aims inside r4 which Eq. 18 forbids.
+  const Addr pmem = d.config().layout.pmem_base();
+  d.memory().write32(pmem + 0, encode_r(Opcode::kEi, 0, 0, 0));
+  d.memory().write32(pmem + 4, encode_r(Opcode::kNop, 0, 0, 0));
+  d.memory().write32(pmem + 8, encode_r(Opcode::kHalt, 0, 0, 0));
+  d.cpu().reset(pmem);
+  d.adv_raise_interrupt(mid_attest);  // after reset: the queue survives
+  EXPECT_EQ(d.cpu().run(100), StopReason::kFaulted);
+  EXPECT_EQ(d.cpu().fault()->kind, FaultKind::kBadAttestEntry);
+}
+
+TEST(AttackJumpIntoAttestMiddle, BlockedByEq18) {
+  auto dp = make_device();
+  Device& d = *dp;
+  const Addr pmem = d.config().layout.pmem_base();
+  // JMP into the middle of r4, skipping the clock check.
+  d.memory().write32(pmem, encode_j(Opcode::kJmp, d.attest_entry() + 12));
+  d.cpu().reset(pmem);
+  EXPECT_EQ(d.cpu().run(100), StopReason::kFaulted);
+  EXPECT_EQ(d.cpu().fault()->kind, FaultKind::kBadAttestEntry);
+}
+
+// --- Attack (c): clock tampering ---
+
+TEST(AttackClockTamper, ReadOnlyClockIgnoresWrites) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.sync_clock(d.clock().tick_to_time(3));
+  EXPECT_FALSE(d.adv_try_set_clock(100));  // hardware refuses
+  EXPECT_EQ(d.clock_ticks(), 3u);
+}
+
+TEST(AttackClockTamper, WinsOnBrokenPlatform) {
+  // Ablation: a platform with a software-writable clock lets Adv attest
+  // "early" — run attest while PMEM is still clean for a future chal,
+  // then infect. The stale-but-valid token now covers for the malware.
+  DeviceConfig cfg = small_config();
+  cfg.clock_writable = true;
+  auto dp = make_device(cfg);
+  Device& d = *dp;
+  d.load_firmware(to_bytes("benign"));
+  d.provision();
+  ASSERT_TRUE(d.boot());
+
+  const std::uint32_t future_chal = 50;
+  ASSERT_TRUE(d.adv_try_set_clock(future_chal));  // attack (c)
+  d.invoke_attest(future_chal);
+  const Bytes precomputed = d.read_token();
+
+  // Verifier-side expectation for chal=50 over the *clean* PMEM:
+  Bytes msg = d.expected_pmem();
+  append_u32le(msg, future_chal);
+  const Bytes expected =
+      crypto::hmac(d.config().attest.alg, test_key(), msg);
+  EXPECT_EQ(precomputed, expected);  // Adv holds a valid future token
+  // ... so after infection it can answer chal=50 despite being dirty.
+  d.adv_infect_pmem(0, to_bytes("evil"));
+  EXPECT_EQ(precomputed, expected);
+}
+
+// --- Uninterruptibility (Eq. 20) under the native TCB ---
+
+TEST(AttestAtomicity, InterruptDuringAttestIsDeferred) {
+  auto dp = make_device();
+  Device& d = *dp;
+  d.sync_clock(d.clock().tick_to_time(2));
+  // Queue an interrupt; attest runs atomically, so the request can only
+  // be delivered before or after — never during — the measurement.
+  d.adv_raise_interrupt(d.config().layout.rom_base());
+  d.invoke_attest(2);
+  // The token is exactly the clean HMAC: nothing perturbed the snapshot.
+  Bytes msg = d.expected_pmem();
+  append_u32le(msg, 2);
+  EXPECT_EQ(d.read_token(),
+            crypto::hmac(d.config().attest.alg, test_key(), msg));
+}
+
+}  // namespace
+}  // namespace cra::device

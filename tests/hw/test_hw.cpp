@@ -1,0 +1,50 @@
+// Hardware cost model vs Table II of the paper.
+#include "hw/hw_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::hw {
+namespace {
+
+TEST(HwCost, BaselineTrustLite) {
+  const ResourceCount base = trustlite_baseline();
+  EXPECT_EQ(base.registers, 6038u);
+  EXPECT_EQ(base.luts, 6335u);
+}
+
+TEST(HwCost, OverheadMatchesTable2) {
+  // "SAP incurs an overhead of 2.45% and 1.41% over baseline TrustLite."
+  EXPECT_NEAR(register_overhead(), 0.0245, 0.0005);
+  EXPECT_NEAR(lut_overhead(), 0.0141, 0.0005);
+}
+
+TEST(HwCost, ItemizedExtensions) {
+  const auto items = sap_extension_items();
+  ASSERT_EQ(items.size(), 2u);  // secure clock + one EA-MPU rule
+  ResourceCount sum;
+  for (const auto& item : items) {
+    EXPECT_GT(item.cost.registers, 0u);
+    EXPECT_GT(item.cost.luts, 0u);
+    sum = sum + item.cost;
+  }
+  const ResourceCount base = trustlite_baseline();
+  EXPECT_EQ(sap_total().registers, base.registers + sum.registers);
+  EXPECT_EQ(sap_total().luts, base.luts + sum.luts);
+}
+
+TEST(HwCost, ClockDominatesTheExtensionCost) {
+  const auto items = sap_extension_items();
+  EXPECT_GT(items[0].cost.registers, items[1].cost.registers);
+  EXPECT_GT(items[0].cost.luts, items[1].cost.luts);
+}
+
+TEST(HwCost, ResourceCountAddition) {
+  const ResourceCount a{10, 20};
+  const ResourceCount b{1, 2};
+  const ResourceCount c = a + b;
+  EXPECT_EQ(c.registers, 11u);
+  EXPECT_EQ(c.luts, 22u);
+}
+
+}  // namespace
+}  // namespace cra::hw

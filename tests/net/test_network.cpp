@@ -1,0 +1,203 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace cra::net {
+namespace {
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  LinkParams params;
+  std::vector<Message> delivered;
+
+  explicit Fixture(LinkParams p = {}) : params(p) {}
+
+  Network make() {
+    Network n(scheduler, params);
+    n.set_handler([this](const Message& m) { delivered.push_back(m); });
+    return n;
+  }
+};
+
+TEST(Network, DeliversWithTransmissionDelay) {
+  Fixture f;
+  f.params.rate_bps = 250'000;
+  f.params.per_hop_latency = sim::Duration::from_ms(1);
+  Network n = f.make();
+  n.send(1, 2, 7, Bytes(20, 0xab));  // 160 bits -> 640 µs + 1 ms
+  f.scheduler.run();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].src, 1u);
+  EXPECT_EQ(f.delivered[0].dst, 2u);
+  EXPECT_EQ(f.delivered[0].kind, 7u);
+  EXPECT_EQ(f.scheduler.now(), sim::SimTime::from_us(1640));
+}
+
+TEST(Network, LinkDelayMatchesModel) {
+  Fixture f;
+  Network n = f.make();
+  EXPECT_EQ(n.link_delay(20),
+            sim::transmission_delay(160, f.params.rate_bps) +
+                f.params.per_hop_latency);
+}
+
+TEST(Network, AccountsBytes) {
+  Fixture f;
+  Network n = f.make();
+  n.send(0, 1, 1, Bytes(20, 0));
+  n.send(1, 0, 2, Bytes(24, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.bytes_transmitted(), 44u);
+  EXPECT_EQ(n.messages_sent(), 2u);
+  n.reset_accounting();
+  EXPECT_EQ(n.bytes_transmitted(), 0u);
+  EXPECT_EQ(n.messages_sent(), 0u);
+}
+
+TEST(Network, HeaderBytesCharged) {
+  Fixture f;
+  f.params.header_bytes = 8;
+  Network n = f.make();
+  n.send(0, 1, 1, Bytes(20, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.bytes_transmitted(), 28u);
+}
+
+TEST(Network, MultihopChargesEveryLink) {
+  Fixture f;
+  Network n = f.make();
+  n.send_multihop(0, 9, 4, 1, Bytes(10, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.bytes_transmitted(), 40u);  // 10 bytes x 4 links
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.scheduler.now(), n.link_delay(10) * 4);
+}
+
+TEST(Network, MultihopZeroHopsThrows) {
+  Fixture f;
+  Network n = f.make();
+  EXPECT_THROW(n.send_multihop(0, 1, 0, 1, Bytes{}), std::invalid_argument);
+}
+
+TEST(Network, PerLinkAccountingOptIn) {
+  Fixture f;
+  Network n = f.make();
+  n.enable_per_link_accounting(true);
+  n.send(3, 4, 1, Bytes(20, 0));
+  n.send(3, 4, 1, Bytes(20, 0));
+  n.send(4, 3, 1, Bytes(12, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.bytes_on_link(3, 4), 40u);
+  EXPECT_EQ(n.bytes_on_link(4, 3), 12u);
+  EXPECT_EQ(n.bytes_on_link(9, 9), 0u);
+}
+
+TEST(Network, LossDropsApproximatelyP) {
+  Fixture f;
+  Network n = f.make();
+  n.set_loss_rate(0.3, /*seed=*/11);
+  for (int i = 0; i < 2000; ++i) n.send(0, 1, 1, Bytes(4, 0));
+  f.scheduler.run();
+  const double loss =
+      static_cast<double>(n.messages_dropped()) / 2000.0;
+  EXPECT_NEAR(loss, 0.3, 0.04);
+  EXPECT_EQ(f.delivered.size(), 2000u - n.messages_dropped());
+}
+
+TEST(Network, LossStillChargesAirTime) {
+  Fixture f;
+  Network n = f.make();
+  n.set_loss_rate(1.0);
+  n.send(0, 1, 1, Bytes(20, 0));
+  f.scheduler.run();
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(n.bytes_transmitted(), 20u);  // bits crossed the air
+}
+
+TEST(Network, InvalidLossRateThrows) {
+  Fixture f;
+  Network n = f.make();
+  EXPECT_THROW(n.set_loss_rate(-0.1), std::invalid_argument);
+  EXPECT_THROW(n.set_loss_rate(1.1), std::invalid_argument);
+}
+
+TEST(Network, TamperHookCanDrop) {
+  Fixture f;
+  Network n = f.make();
+  n.set_tamper_hook([](const Message&) {
+    return TamperResult{TamperAction::kDrop, {}};
+  });
+  n.send(0, 1, 1, Bytes(4, 0));
+  f.scheduler.run();
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(n.messages_dropped(), 1u);
+}
+
+TEST(Network, TamperHookCanModify) {
+  Fixture f;
+  Network n = f.make();
+  n.set_tamper_hook([](const Message& m) {
+    Bytes evil = m.payload;
+    evil[0] = static_cast<std::uint8_t>(evil[0] ^ 0xff);
+    return TamperResult{TamperAction::kDeliverModified, std::move(evil)};
+  });
+  n.send(0, 1, 1, Bytes{0x01, 0x02});
+  f.scheduler.run();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].payload, (Bytes{0xfe, 0x02}));
+}
+
+TEST(Network, SerializeTxQueuesBackToBackSends) {
+  Fixture f;
+  f.params.serialize_tx = true;
+  f.params.per_hop_latency = sim::Duration::zero();
+  Network n = f.make();
+  // Two 20-byte messages from the same node: the second waits for the
+  // first transmission (640 us each).
+  n.send(1, 2, 1, Bytes(20, 0));
+  n.send(1, 3, 1, Bytes(20, 0));
+  f.scheduler.run();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.scheduler.now(), sim::SimTime::from_us(1280));
+}
+
+TEST(Network, SerializeTxIndependentAcrossNodes) {
+  Fixture f;
+  f.params.serialize_tx = true;
+  f.params.per_hop_latency = sim::Duration::zero();
+  Network n = f.make();
+  n.send(1, 9, 1, Bytes(20, 0));
+  n.send(2, 9, 1, Bytes(20, 0));  // different radio: parallel
+  f.scheduler.run();
+  EXPECT_EQ(f.scheduler.now(), sim::SimTime::from_us(640));
+}
+
+TEST(Network, SerializeTxOffIsTheTcaModel) {
+  Fixture f;  // default: serialize_tx = false
+  f.params.per_hop_latency = sim::Duration::zero();
+  Network n = f.make();
+  n.send(1, 2, 1, Bytes(20, 0));
+  n.send(1, 3, 1, Bytes(20, 0));
+  f.scheduler.run();
+  EXPECT_EQ(f.scheduler.now(), sim::SimTime::from_us(640));
+}
+
+TEST(Network, SendWithoutHandlerThrows) {
+  sim::Scheduler s;
+  Network n(s, LinkParams{});
+  EXPECT_THROW(n.send(0, 1, 1, Bytes{}), std::logic_error);
+}
+
+TEST(Network, ZeroRateRejected) {
+  sim::Scheduler s;
+  LinkParams p;
+  p.rate_bps = 0;
+  EXPECT_THROW(Network(s, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cra::net

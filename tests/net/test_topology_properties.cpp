@@ -1,0 +1,80 @@
+// Randomized topology invariants (property sweep over seeds).
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace cra::net {
+namespace {
+
+class TopologyProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyProperties, RandomTreeInvariants) {
+  Rng rng(GetParam());
+  const auto n = static_cast<std::uint32_t>(2 + rng.next_below(300));
+  const auto k = static_cast<std::uint32_t>(1 + rng.next_below(5));
+  const Tree t = random_tree(n, k, rng);
+
+  // Every non-root node appears exactly once as someone's child.
+  std::uint32_t child_total = 0;
+  std::vector<bool> seen(t.size(), false);
+  for (NodeId p = 0; p < t.size(); ++p) {
+    for (NodeId c : t.children(p)) {
+      EXPECT_FALSE(seen[c]);
+      seen[c] = true;
+      EXPECT_EQ(t.parent(c), p);
+      EXPECT_EQ(t.depth(c), t.depth(p) + 1);
+      ++child_total;
+    }
+  }
+  EXPECT_EQ(child_total, t.size() - 1);
+  EXPECT_EQ(t.edge_count(), t.size() - 1);
+
+  // Degree bound from the construction.
+  for (NodeId p = 0; p < t.size(); ++p) {
+    EXPECT_LE(t.children(p).size(), k);
+  }
+
+  // max_depth is attained and never exceeded.
+  std::uint32_t deepest = 0;
+  for (NodeId x = 0; x < t.size(); ++x) {
+    deepest = std::max(deepest, t.depth(x));
+  }
+  EXPECT_EQ(deepest, t.max_depth());
+}
+
+TEST_P(TopologyProperties, HopMetricProperties) {
+  Rng rng(GetParam() ^ 0x9999);
+  const auto n = static_cast<std::uint32_t>(2 + rng.next_below(200));
+  const Tree t = random_tree(n, 3, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<NodeId>(rng.next_below(t.size()));
+    const auto b = static_cast<NodeId>(rng.next_below(t.size()));
+    const auto c = static_cast<NodeId>(rng.next_below(t.size()));
+    EXPECT_EQ(t.hops(a, b), t.hops(b, a));                 // symmetry
+    EXPECT_EQ(t.hops(a, a), 0u);                           // identity
+    EXPECT_LE(t.hops(a, b), t.hops(a, c) + t.hops(c, b));  // triangle
+    EXPECT_LE(t.hops(a, b), t.depth(a) + t.depth(b));      // via root
+    EXPECT_EQ(t.hops(0, a), t.depth(a));                   // root distance
+  }
+}
+
+TEST_P(TopologyProperties, BfsTreeMinimizesEccentricityFromRoot) {
+  Rng rng(GetParam() ^ 0x7777);
+  const auto n = static_cast<std::uint32_t>(5 + rng.next_below(150));
+  const Graph g = random_connected_graph(n, n / 2, rng);
+  ASSERT_TRUE(g.connected());
+  const Tree t = g.bfs_spanning_tree(0);
+  EXPECT_EQ(t.size(), n);
+  // BFS layers: a child is exactly one deeper than its parent, and the
+  // parent is a graph neighbor (we can't easily check the latter after
+  // relabelling, but depth monotonicity must hold).
+  for (NodeId x = 1; x < t.size(); ++x) {
+    EXPECT_EQ(t.depth(x), t.depth(t.parent(x)) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyProperties,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cra::net

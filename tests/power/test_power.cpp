@@ -1,0 +1,53 @@
+// Power model vs Table III of the paper.
+#include "power/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::power {
+namespace {
+
+TEST(Power, MicazMatchesTable3) {
+  const PowerEstimate e = estimate(micaz(), 20, 20);
+  EXPECT_NEAR(e.leaf_mw, 0.3372, 1e-4);
+  EXPECT_NEAR(e.inner_mw, 0.5516, 1e-4);
+}
+
+TEST(Power, TelosbMatchesTable3) {
+  const PowerEstimate e = estimate(telosb(), 20, 20);
+  EXPECT_NEAR(e.leaf_mw, 0.369, 1e-4);
+  EXPECT_NEAR(e.inner_mw, 0.6282, 1e-4);
+}
+
+TEST(Power, InnerAlwaysCostsMoreThanLeaf) {
+  for (const MoteProfile& mote : paper_motes()) {
+    const PowerEstimate e = estimate(mote, 20, 20);
+    EXPECT_GT(e.inner_mw, e.leaf_mw) << mote.name;
+  }
+}
+
+TEST(Power, ScalesWithSecurityParameter) {
+  // l = 256 (SHA-256 tokens) costs more than l = 160.
+  const PowerEstimate sha1 = estimate(micaz(), 20, 20);
+  const PowerEstimate sha256 = estimate(micaz(), 32, 32);
+  EXPECT_GT(sha256.leaf_mw, sha1.leaf_mw);
+  EXPECT_GT(sha256.inner_mw, sha1.inner_mw);
+}
+
+TEST(Power, ChildCountRaisesInnerCostOnly) {
+  const PowerEstimate two = estimate(micaz(), 20, 20, 2);
+  const PowerEstimate four = estimate(micaz(), 20, 20, 4);
+  EXPECT_DOUBLE_EQ(two.leaf_mw, four.leaf_mw);
+  EXPECT_GT(four.inner_mw, two.inner_mw);
+  // Exactly 2 more token receptions + 2 more XOR aggregations.
+  EXPECT_NEAR(four.inner_mw - two.inner_mw,
+              2 * 20 * micaz().recv_per_byte + 2 * micaz().xor_op, 1e-9);
+}
+
+TEST(Power, ProfilesNamed) {
+  EXPECT_EQ(micaz().name, "MICAz");
+  EXPECT_EQ(telosb().name, "TelosB");
+  EXPECT_EQ(paper_motes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cra::power

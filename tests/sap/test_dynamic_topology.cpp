@@ -1,0 +1,170 @@
+// Dynamic topologies (§II's SALAD dimension): the deployment tree is
+// rebuilt after mobility/churn while device identities — keys, VS
+// entries, compromise state — stay put. SAP's per-device keys bind a
+// device to Vrf, not to neighbors, so no re-keying is ever needed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "device/device.hpp"
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+namespace {
+
+SapConfig small_config() {
+  SapConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  return cfg;
+}
+
+/// A random re-deployment: same devices, shuffled tree positions.
+void shuffle_positions(SapSimulation& sim, Rng& rng) {
+  const std::uint32_t n = sim.device_count();
+  std::vector<net::NodeId> mapping(n + 1);
+  std::iota(mapping.begin(), mapping.end(), 0);
+  // Fisher-Yates over positions 1..n (position 0 stays the verifier).
+  for (std::uint32_t i = n; i >= 2; --i) {
+    const auto j = static_cast<std::uint32_t>(1 + rng.next_below(i));
+    std::swap(mapping[i], mapping[j]);
+  }
+  net::Tree tree = net::random_tree(n, 3, rng);
+  sim.rebuild_topology(std::move(tree), std::move(mapping));
+}
+
+TEST(DynamicTopology, RoundVerifiesAfterShuffle) {
+  auto sim = SapSimulation::balanced(small_config(), 40);
+  EXPECT_TRUE(sim.run_round().verified);
+  Rng rng(5);
+  shuffle_positions(sim, rng);
+  sim.advance_time(sim::Duration::from_ms(50));
+  EXPECT_TRUE(sim.run_round().verified);
+}
+
+TEST(DynamicTopology, ManyChurnEpochsStaySound) {
+  auto sim = SapSimulation::balanced(small_config(), 60);
+  Rng rng(11);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    shuffle_positions(sim, rng);
+    sim.advance_time(sim::Duration::from_ms(30));
+    EXPECT_TRUE(sim.run_round().verified) << "epoch " << epoch;
+  }
+}
+
+TEST(DynamicTopology, CompromiseFollowsTheDeviceNotThePosition) {
+  auto sim = SapSimulation::balanced(small_config(), 30);
+  sim.compromise_device(13);
+  EXPECT_FALSE(sim.run_round().verified);
+  Rng rng(7);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    shuffle_positions(sim, rng);
+    sim.advance_time(sim::Duration::from_ms(30));
+    EXPECT_FALSE(sim.run_round().verified) << "epoch " << epoch;
+  }
+  sim.restore_device(13);
+  shuffle_positions(sim, rng);
+  sim.advance_time(sim::Duration::from_ms(30));
+  EXPECT_TRUE(sim.run_round().verified);
+}
+
+TEST(DynamicTopology, IdentifyReportsStableDeviceIds) {
+  SapConfig cfg = small_config();
+  cfg.qoa = QoaMode::kIdentify;
+  auto sim = SapSimulation::balanced(cfg, 30);
+  sim.compromise_device(21);
+  Rng rng(3);
+  shuffle_positions(sim, rng);
+  const RoundReport r = sim.run_round();
+  EXPECT_FALSE(r.verified);
+  // The verdict names device 21 regardless of where it moved.
+  EXPECT_EQ(r.identify.bad, std::vector<net::NodeId>{21});
+}
+
+TEST(DynamicTopology, MappingBookkeepingConsistent) {
+  auto sim = SapSimulation::balanced(small_config(), 20);
+  Rng rng(9);
+  shuffle_positions(sim, rng);
+  EXPECT_EQ(sim.device_at(0), 0u);
+  std::vector<bool> seen(21, false);
+  for (net::NodeId pos = 0; pos <= 20; ++pos) {
+    const net::NodeId id = sim.device_at(pos);
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+    EXPECT_EQ(sim.position_of(id), pos);
+  }
+}
+
+TEST(DynamicTopology, RebuildFromConnectivityGraph) {
+  // The realistic flow: mobility yields a connectivity graph; setup
+  // derives a BFS spanning tree rooted at the verifier's gateway.
+  auto sim = SapSimulation::balanced(small_config(), 50);
+  Rng rng(21);
+  net::Graph graph = net::random_connected_graph(51, 40, rng);
+  std::vector<net::NodeId> labels;  // old node -> BFS position
+  net::Tree tree = graph.bfs_spanning_tree(/*root=*/0, &labels);
+  std::vector<net::NodeId> device_at(tree.size());
+  for (net::NodeId old_id = 0; old_id < labels.size(); ++old_id) {
+    device_at[labels[old_id]] = old_id;
+  }
+  sim.rebuild_topology(std::move(tree), std::move(device_at));
+  EXPECT_TRUE(sim.run_round().verified);
+}
+
+TEST(DynamicTopology, VmSurvivesRelocation) {
+  SapConfig cfg = small_config();
+  auto sim = SapSimulation::balanced(cfg, 10);
+  device::DeviceConfig dcfg;
+  dcfg.layout = device::MemoryLayout{256, cfg.pmem_size, 1024, 4096};
+  device::Device vm(4, dcfg, sim.verifier().device_key(4), Bytes(20, 9));
+  vm.provision();
+  ASSERT_TRUE(vm.boot());
+  sim.attach_vm(4, &vm);
+  EXPECT_TRUE(sim.run_round().verified);
+
+  Rng rng(13);
+  shuffle_positions(sim, rng);
+  sim.advance_time(sim::Duration::from_ms(40));
+  EXPECT_TRUE(sim.run_round().verified);
+  vm.adv_infect_pmem(0, to_bytes("x"));
+  sim.advance_time(sim::Duration::from_ms(40));
+  EXPECT_FALSE(sim.run_round().verified);
+}
+
+TEST(DynamicTopology, RejectsMalformedRebuilds) {
+  auto sim = SapSimulation::balanced(small_config(), 10);
+  // Wrong device count.
+  EXPECT_THROW(sim.rebuild_topology(net::balanced_kary_tree(9),
+                                    std::vector<net::NodeId>(10)),
+               std::invalid_argument);
+  // Mapping size mismatch.
+  EXPECT_THROW(sim.rebuild_topology(net::balanced_kary_tree(10),
+                                    std::vector<net::NodeId>(10)),
+               std::invalid_argument);
+  // Verifier not at position 0.
+  std::vector<net::NodeId> bad(11);
+  std::iota(bad.begin(), bad.end(), 0);
+  std::swap(bad[0], bad[1]);
+  EXPECT_THROW(sim.rebuild_topology(net::balanced_kary_tree(10), bad),
+               std::invalid_argument);
+  // Not a permutation.
+  std::vector<net::NodeId> dup(11);
+  std::iota(dup.begin(), dup.end(), 0);
+  dup[10] = 5;
+  EXPECT_THROW(sim.rebuild_topology(net::balanced_kary_tree(10), dup),
+               std::invalid_argument);
+}
+
+TEST(DynamicTopology, TopologyChangeNeedsNoRekeying) {
+  // The verifier's expected result for a given chal is topology-free:
+  // RES_S depends only on (keys, VS, chal).
+  auto sim = SapSimulation::balanced(small_config(), 15);
+  const Bytes before = sim.verifier().expected_result(1234);
+  Rng rng(17);
+  shuffle_positions(sim, rng);
+  EXPECT_EQ(sim.verifier().expected_result(1234), before);
+}
+
+}  // namespace
+}  // namespace cra::sap

@@ -1,0 +1,76 @@
+#include "sap/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::sap {
+namespace {
+
+SapConfig cfg() { return SapConfig{}; }
+
+TEST(SwarmEnergy, BinaryModeMatchesTable3Rows) {
+  // In binary QoA the per-role figures ARE Table III's entries.
+  const net::Tree tree = net::balanced_kary_tree(1022);  // full binary
+  const auto e = estimate_swarm_energy(tree, cfg(), power::micaz());
+  EXPECT_NEAR(e.leaf_mw, 0.3372, 1e-4);
+  EXPECT_NEAR(e.inner_mw, 0.5516, 1e-4);
+}
+
+TEST(SwarmEnergy, CountsRolesCorrectly) {
+  const net::Tree tree = net::balanced_kary_tree(6);  // nodes 1..6
+  const auto e = estimate_swarm_energy(tree, cfg(), power::micaz());
+  // Heap layout: nodes 1,2 are inner (children 3..6), 3..6 leaves.
+  EXPECT_EQ(e.inner, 2u);
+  EXPECT_EQ(e.leaves, 4u);
+  EXPECT_NEAR(e.total_mw, 2 * e.inner_mw + 4 * e.leaf_mw, 1e-9);
+  EXPECT_NEAR(e.mean_mw, e.total_mw / 6.0, 1e-9);
+}
+
+TEST(SwarmEnergy, StarIsAllLeaves) {
+  const net::Tree tree = net::star_tree(50);
+  const auto e = estimate_swarm_energy(tree, cfg(), power::telosb());
+  EXPECT_EQ(e.leaves, 50u);
+  EXPECT_EQ(e.inner, 0u);
+  EXPECT_DOUBLE_EQ(e.inner_mw, 0.0);
+}
+
+TEST(SwarmEnergy, TotalScalesLinearlyInN) {
+  const auto small =
+      estimate_swarm_energy(net::balanced_kary_tree(1000), cfg(),
+                            power::micaz());
+  const auto large =
+      estimate_swarm_energy(net::balanced_kary_tree(100000), cfg(),
+                            power::micaz());
+  EXPECT_NEAR(large.total_mw / small.total_mw, 100.0, 2.0);
+  EXPECT_NEAR(large.mean_mw, small.mean_mw, 0.01);
+}
+
+TEST(SwarmEnergy, IdentifyModeCostsMore) {
+  const net::Tree tree = net::balanced_kary_tree(1022);
+  SapConfig identify = cfg();
+  identify.qoa = QoaMode::kIdentify;
+  const auto eb = estimate_swarm_energy(tree, cfg(), power::micaz());
+  const auto ei = estimate_swarm_energy(tree, identify, power::micaz());
+  EXPECT_GT(ei.total_mw, 2 * eb.total_mw);
+}
+
+TEST(SwarmEnergy, CountModeAddsLittle) {
+  const net::Tree tree = net::balanced_kary_tree(1022);
+  SapConfig count = cfg();
+  count.qoa = QoaMode::kCount;
+  const auto eb = estimate_swarm_energy(tree, cfg(), power::micaz());
+  const auto ec = estimate_swarm_energy(tree, count, power::micaz());
+  EXPECT_GT(ec.total_mw, eb.total_mw);
+  EXPECT_LT(ec.total_mw, 1.1 * eb.total_mw);
+}
+
+TEST(SwarmEnergy, LineTopologyIsInnerHeavy) {
+  // A path has one leaf: per-device mean approaches the inner figure.
+  const auto e = estimate_swarm_energy(net::line_tree(100), cfg(),
+                                       power::micaz());
+  EXPECT_EQ(e.leaves, 1u);
+  EXPECT_EQ(e.inner, 99u);
+  EXPECT_GT(e.mean_mw, 0.9 * e.inner_mw);
+}
+
+}  // namespace
+}  // namespace cra::sap

@@ -1,0 +1,98 @@
+// Heterogeneous swarms: mixed hardware classes (§II design-space
+// parameter; §VIII "Resource-Constrained Devices" model extension).
+#include <gtest/gtest.h>
+
+#include "sap/analysis.hpp"
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+namespace {
+
+SapConfig hetero_config() {
+  SapConfig cfg;
+  cfg.pmem_size = 4 * 1024;          // class 0: 24 MHz, 4 KB
+  cfg.extra_classes.push_back(
+      {"slow-8mhz", 8'000'000, 4 * 1024, 14'400});   // class 1: 3x slower
+  cfg.extra_classes.push_back(
+      {"fast-48mhz", 48'000'000, 4 * 1024, 14'400}); // class 2: 2x faster
+  cfg.extra_classes.push_back(
+      {"big-pmem", 24'000'000, 16 * 1024, 14'400});  // class 3: 4x memory
+  return cfg;
+}
+
+TEST(Heterogeneous, MixedClassesStillVerify) {
+  auto sim = SapSimulation::balanced(hetero_config(), 30);
+  for (net::NodeId id = 1; id <= 30; ++id) {
+    sim.assign_device_class(id, static_cast<std::uint8_t>(id % 4));
+  }
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Heterogeneous, MeasurementStretchesToSlowestClass) {
+  SapConfig cfg = hetero_config();
+  auto sim = SapSimulation::balanced(cfg, 20);
+  sim.assign_device_class(7, 1);  // one slow device in the swarm
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+  // The measurement phase is the slow class's T_att, not the default's.
+  EXPECT_EQ(r.measurement().ns(), sim.max_attest_time().ns());
+  EXPECT_GT(sim.max_attest_time().ns(), attest_time(cfg).ns());
+}
+
+TEST(Heterogeneous, AttestTimeOrderingAcrossClasses) {
+  auto sim = SapSimulation::balanced(hetero_config(), 8);
+  sim.assign_device_class(1, 0);
+  sim.assign_device_class(2, 1);  // slow
+  sim.assign_device_class(3, 2);  // fast
+  sim.assign_device_class(4, 3);  // big PMEM
+  EXPECT_GT(sim.attest_time_for(2).ns(), sim.attest_time_for(1).ns());
+  EXPECT_LT(sim.attest_time_for(3).ns(), sim.attest_time_for(1).ns());
+  EXPECT_GT(sim.attest_time_for(4).ns(), sim.attest_time_for(1).ns());
+  // 8 MHz is exactly 3x slower than 24 MHz on the same block count.
+  EXPECT_NEAR(static_cast<double>(sim.attest_time_for(2).ns()) /
+                  static_cast<double>(sim.attest_time_for(1).ns()),
+              3.0, 0.01);
+}
+
+TEST(Heterogeneous, FastDevicesDoNotFinishTheRoundEarly) {
+  // Even if every device is the fast class, inner-node deadlines are
+  // sized for the slowest *defined* class — the conservative bound the
+  // verifier must assume without per-class topology knowledge.
+  SapConfig cfg = hetero_config();
+  auto sim = SapSimulation::balanced(cfg, 20);
+  for (net::NodeId id = 1; id <= 20; ++id) sim.assign_device_class(id, 2);
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+  // Completion is event-driven, so the round still ends when the last
+  // (fast) token arrives — before the conservative measurement bound.
+  EXPECT_LT(r.t_resp.ns(), (r.t_att + sim.max_attest_time()).ns() +
+                               sim::Duration::from_ms(50).ns());
+}
+
+TEST(Heterogeneous, CompromisedSlowDeviceStillDetected) {
+  auto sim = SapSimulation::balanced(hetero_config(), 30);
+  sim.assign_device_class(9, 1);
+  sim.compromise_device(9);
+  EXPECT_FALSE(sim.run_round().verified);
+}
+
+TEST(Heterogeneous, UnknownClassRejected) {
+  auto sim = SapSimulation::balanced(hetero_config(), 5);
+  EXPECT_THROW(sim.assign_device_class(1, 4), std::out_of_range);
+  EXPECT_NO_THROW(sim.assign_device_class(1, 3));
+  EXPECT_EQ(sim.device_class(1), 3);
+}
+
+TEST(Heterogeneous, HomogeneousConfigUnchanged) {
+  // No extra classes: max_attest_time is the base attest time and class
+  // assignment only accepts 0.
+  SapConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  auto sim = SapSimulation::balanced(cfg, 10);
+  EXPECT_EQ(sim.max_attest_time().ns(), attest_time(cfg).ns());
+  EXPECT_THROW(sim.assign_device_class(1, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cra::sap

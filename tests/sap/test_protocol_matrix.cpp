@@ -1,0 +1,87 @@
+// Property sweep: the protocol invariants must hold across the whole
+// configuration grid — swarm size × tree arity × hash algorithm × QoA.
+//
+// Invariants per cell:
+//   1. an honest round verifies (TCA-Soundness);
+//   2. a round with one random compromised device fails (TCA-Security's
+//      detection direction);
+//   3. chal reaches every device before t_att (Equation 9);
+//   4. U_CA equals the closed form (Lemma 2) in fixed-size-report modes;
+//   5. phases tile the round exactly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "sap/analysis.hpp"
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+namespace {
+
+using MatrixParam =
+    std::tuple<std::uint32_t /*devices*/, std::uint32_t /*arity*/,
+               crypto::HashAlg, QoaMode>;
+
+class ProtocolMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  SapConfig make_config() const {
+    SapConfig cfg;
+    cfg.pmem_size = 2 * 1024;  // fast cells; the model is unchanged
+    cfg.tree_arity = std::get<1>(GetParam());
+    cfg.alg = std::get<2>(GetParam());
+    cfg.qoa = std::get<3>(GetParam());
+    return cfg;
+  }
+  std::uint32_t devices() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(ProtocolMatrix, HonestRoundVerifies) {
+  const SapConfig cfg = make_config();
+  auto sim = SapSimulation::balanced(cfg, devices(), /*seed=*/77);
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+  EXPECT_LE(r.inbound_end.ns(), r.t_att.ns());  // Eq. 9
+  EXPECT_EQ(r.inbound().ns() + r.slack().ns() + r.measurement().ns() +
+                r.outbound().ns(),
+            r.total().ns());
+  if (cfg.qoa != QoaMode::kIdentify) {
+    const std::uint64_t per_link =
+        cfg.chal_size() + cfg.token_size() +
+        (cfg.qoa == QoaMode::kCount ? 4 : 0);
+    EXPECT_EQ(r.u_ca_bytes, per_link * devices());  // Lemma 2
+  }
+}
+
+TEST_P(ProtocolMatrix, SingleCompromiseDetected) {
+  const SapConfig cfg = make_config();
+  auto sim = SapSimulation::balanced(cfg, devices(), /*seed=*/78);
+  Rng rng(static_cast<std::uint64_t>(devices()) * 31 +
+          std::get<1>(GetParam()));
+  const auto victim =
+      static_cast<net::NodeId>(1 + rng.next_below(devices()));
+  sim.compromise_device(victim);
+  EXPECT_FALSE(sim.run_round().verified) << "victim=" << victim;
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto [n, arity, alg, qoa] = info.param;
+  std::string name = "N" + std::to_string(n) + "k" + std::to_string(arity);
+  name += alg == crypto::HashAlg::kSha1 ? "sha1" : "sha256";
+  name += qoa_name(qoa);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolMatrix,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 7u, 33u, 128u),
+        ::testing::Values(2u, 3u, 5u),
+        ::testing::Values(crypto::HashAlg::kSha1, crypto::HashAlg::kSha256),
+        ::testing::Values(QoaMode::kBinary, QoaMode::kCount,
+                          QoaMode::kIdentify)),
+    matrix_name);
+
+}  // namespace
+}  // namespace cra::sap

@@ -1,0 +1,105 @@
+// Quality-of-Attestation modes (§VIII): count and identify, and the
+// bandwidth trade-off against binary aggregation.
+#include <gtest/gtest.h>
+
+#include "sap/analysis.hpp"
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+namespace {
+
+SapConfig qoa_config(QoaMode mode) {
+  SapConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  cfg.qoa = mode;
+  return cfg;
+}
+
+TEST(QoaCount, HonestRoundReportsFullCount) {
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kCount), 40);
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.responded, 40u);
+}
+
+TEST(QoaCount, UnresponsiveSubtreeVisibleInCount) {
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kCount), 62);
+  sim.set_device_unresponsive(2, true);  // subtree of node 2 dark
+  const RoundReport r = sim.run_round();
+  EXPECT_FALSE(r.verified);
+  // Node 2 heads a 31-node subtree of the 62-device tree.
+  EXPECT_EQ(r.responded, 31u);
+}
+
+TEST(QoaCount, CompromisedDeviceStillCounted) {
+  // An infected device responds (with a wrong token): count
+  // distinguishes "infected" from "unresponsive".
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kCount), 20);
+  sim.compromise_device(9);
+  const RoundReport r = sim.run_round();
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.responded, 20u);
+}
+
+TEST(QoaIdentify, PinpointsInfectedDevices) {
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kIdentify), 30);
+  sim.compromise_device(7);
+  sim.compromise_device(23);
+  const RoundReport r = sim.run_round();
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.identify.bad, (std::vector<net::NodeId>{7, 23}));
+  EXPECT_TRUE(r.identify.missing.empty());
+}
+
+TEST(QoaIdentify, PinpointsUnresponsiveDevices) {
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kIdentify), 30);
+  sim.set_device_unresponsive(30, true);
+  const RoundReport r = sim.run_round();
+  EXPECT_FALSE(r.verified);
+  EXPECT_TRUE(r.identify.bad.empty());
+  EXPECT_EQ(r.identify.missing, std::vector<net::NodeId>{30});
+}
+
+TEST(QoaIdentify, DarkSubtreeListedAsMissing) {
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kIdentify), 14);
+  sim.set_device_unresponsive(1, true);  // nodes 1,3,4,7,8,9,10 dark
+  const RoundReport r = sim.run_round();
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.identify.missing,
+            (std::vector<net::NodeId>{1, 3, 4, 7, 8, 9, 10}));
+}
+
+TEST(QoaIdentify, HonestRoundAllGood) {
+  auto sim = SapSimulation::balanced(qoa_config(QoaMode::kIdentify), 25);
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.responded, 25u);
+  EXPECT_TRUE(r.identify.all_good());
+}
+
+TEST(QoaTradeoff, IdentifyCostsMoreBandwidthThanBinary) {
+  // The §VIII QoA discussion: granularity costs network utilization.
+  const std::uint32_t n = 62;
+  auto binary = SapSimulation::balanced(qoa_config(QoaMode::kBinary), n);
+  auto identify = SapSimulation::balanced(qoa_config(QoaMode::kIdentify), n);
+  const auto rb = binary.run_round();
+  const auto ri = identify.run_round();
+  EXPECT_TRUE(rb.verified);
+  EXPECT_TRUE(ri.verified);
+  // Binary: Θ(N·l). Identify: token entries accumulate toward the root,
+  // costing Θ(N·l·depth)-ish — strictly more.
+  EXPECT_GT(ri.u_ca_bytes, 2 * rb.u_ca_bytes);
+}
+
+TEST(QoaTradeoff, CountAddsOnlyConstantPerLink) {
+  const std::uint32_t n = 62;
+  auto binary = SapSimulation::balanced(qoa_config(QoaMode::kBinary), n);
+  auto count = SapSimulation::balanced(qoa_config(QoaMode::kCount), n);
+  const auto rb = binary.run_round();
+  const auto rc = count.run_round();
+  // kCount adds exactly 4 bytes per report link.
+  EXPECT_EQ(rc.u_ca_bytes, rb.u_ca_bytes + 4ull * n);
+}
+
+}  // namespace
+}  // namespace cra::sap

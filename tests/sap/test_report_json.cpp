@@ -1,0 +1,52 @@
+#include "sap/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+namespace {
+
+TEST(ReportJson, HealthyRoundSerializes) {
+  SapConfig cfg;
+  cfg.pmem_size = 2 * 1024;
+  auto sim = SapSimulation::balanced(cfg, 15);
+  const std::string json = report_to_json(sim.run_round());
+  EXPECT_NE(json.find("\"verified\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"devices\":15"), std::string::npos);
+  EXPECT_NE(json.find("\"u_ca_bytes\":600"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"bad\":[]"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJson, IdentifyModeListsDevices) {
+  SapConfig cfg;
+  cfg.pmem_size = 2 * 1024;
+  cfg.qoa = QoaMode::kIdentify;
+  auto sim = SapSimulation::balanced(cfg, 15);
+  sim.compromise_device(7);
+  sim.set_device_unresponsive(15, true);
+  const std::string json = report_to_json(sim.run_round());
+  EXPECT_NE(json.find("\"verified\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\":[7]"), std::string::npos);
+  EXPECT_NE(json.find("\"missing\":[15]"), std::string::npos);
+}
+
+TEST(ReportJson, BalancedBraces) {
+  SapConfig cfg;
+  cfg.pmem_size = 2 * 1024;
+  auto sim = SapSimulation::balanced(cfg, 5);
+  const std::string json = report_to_json(sim.run_round());
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace cra::sap

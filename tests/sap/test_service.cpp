@@ -1,0 +1,140 @@
+// The AttestationService escalation state machine.
+#include "sap/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::sap {
+namespace {
+
+SapConfig cfg() {
+  SapConfig c;
+  c.pmem_size = 2 * 1024;
+  return c;
+}
+
+ServicePolicy fast_policy() {
+  ServicePolicy p;
+  p.period = sim::Duration::from_ms(600);
+  return p;
+}
+
+TEST(Service, HealthyFleetStaysInCheapMode) {
+  auto swarm = SapSimulation::balanced(cfg(), 30);
+  AttestationService service(swarm, fast_policy());
+  const auto events = service.run(5);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, ServiceEvent::Kind::kHealthy);
+    EXPECT_EQ(e.mode, QoaMode::kBinary);
+  }
+  EXPECT_FALSE(service.escalated());
+}
+
+TEST(Service, AlarmEscalatesAndLocalizes) {
+  auto swarm = SapSimulation::balanced(cfg(), 30);
+  AttestationService service(swarm, fast_policy());
+  EXPECT_EQ(service.run_once().kind, ServiceEvent::Kind::kHealthy);
+
+  swarm.compromise_device(19);
+  // Round 2: binary alarm -> escalation armed.
+  const ServiceEvent alarm = service.run_once();
+  EXPECT_EQ(alarm.kind, ServiceEvent::Kind::kAlarm);
+  EXPECT_TRUE(service.escalated());
+  // Round 3: identify round names the device.
+  const ServiceEvent local = service.run_once();
+  EXPECT_EQ(local.kind, ServiceEvent::Kind::kLocalized);
+  EXPECT_EQ(local.bad, std::vector<net::NodeId>{19});
+  EXPECT_EQ(service.suspects(), std::vector<net::NodeId>{19});
+  EXPECT_EQ(service.flag_count(19), 1u);
+}
+
+TEST(Service, DeescalatesAfterRecovery) {
+  auto swarm = SapSimulation::balanced(cfg(), 30);
+  AttestationService service(swarm, fast_policy());
+  swarm.compromise_device(7);
+  service.run_once();  // alarm
+  service.run_once();  // localized
+  swarm.restore_device(7);
+
+  const ServiceEvent r1 = service.run_once();
+  EXPECT_EQ(r1.kind, ServiceEvent::Kind::kRecovering);
+  EXPECT_TRUE(service.escalated());
+  const ServiceEvent r2 = service.run_once();
+  EXPECT_EQ(r2.kind, ServiceEvent::Kind::kDeescalated);
+  EXPECT_FALSE(service.escalated());
+  EXPECT_TRUE(service.suspects().empty());
+  // Back to normal.
+  EXPECT_EQ(service.run_once().kind, ServiceEvent::Kind::kHealthy);
+}
+
+TEST(Service, UnresponsiveDeviceLocalizedAsMissing) {
+  auto swarm = SapSimulation::balanced(cfg(), 30);
+  AttestationService service(swarm, fast_policy());
+  swarm.set_device_unresponsive(30, true);
+  service.run_once();  // alarm
+  const ServiceEvent local = service.run_once();
+  EXPECT_EQ(local.kind, ServiceEvent::Kind::kLocalized);
+  EXPECT_EQ(local.missing, std::vector<net::NodeId>{30});
+}
+
+TEST(Service, EscalationSavesBandwidthOverAlwaysIdentify) {
+  // The policy's point: healthy rounds cost binary-mode bytes; the
+  // identify price is paid only while localizing. Track the actual
+  // per-round utilization through a healthy-infected-healed episode.
+  auto swarm = SapSimulation::balanced(cfg(), 62);
+  AttestationService service(swarm, fast_policy());
+
+  service.run_once();  // healthy (binary)
+  const std::uint64_t binary_bytes = 40u * 62u;
+  EXPECT_EQ(service.log().back().mode, QoaMode::kBinary);
+
+  swarm.compromise_device(9);
+  service.run_once();  // alarm (still binary-priced)
+  const ServiceEvent localized = service.run_once();  // identify-priced
+  EXPECT_EQ(localized.mode, QoaMode::kIdentify);
+  swarm.restore_device(9);
+  service.run_once();
+  service.run_once();  // de-escalated
+  const ServiceEvent steady = service.run_once();
+  EXPECT_EQ(steady.mode, QoaMode::kBinary);
+
+  // Sanity on the price gap that motivates the whole policy.
+  auto identify_cfg = cfg();
+  identify_cfg.qoa = QoaMode::kIdentify;
+  auto identify = SapSimulation::balanced(identify_cfg, 62);
+  EXPECT_LT(binary_bytes, identify.run_round().u_ca_bytes / 2);
+}
+
+TEST(Service, RepeatedFlagsAccumulatePerDevice) {
+  auto swarm = SapSimulation::balanced(cfg(), 20);
+  ServicePolicy policy = fast_policy();
+  policy.healthy_to_deescalate = 99;  // stay escalated
+  AttestationService service(swarm, policy);
+  swarm.compromise_device(4);
+  service.run_once();  // alarm
+  service.run_once();  // localized #1
+  service.run_once();  // localized #2
+  EXPECT_EQ(service.flag_count(4), 2u);
+  EXPECT_EQ(service.flag_count(5), 0u);
+  EXPECT_THROW(service.flag_count(0), std::out_of_range);
+  EXPECT_THROW(service.flag_count(99), std::out_of_range);
+}
+
+TEST(Service, EventLogAccumulates) {
+  auto swarm = SapSimulation::balanced(cfg(), 10);
+  AttestationService service(swarm, fast_policy());
+  service.run(3);
+  EXPECT_EQ(service.log().size(), 3u);
+  EXPECT_EQ(service.log()[0].round, 1u);
+  EXPECT_EQ(service.log()[2].round, 3u);
+  EXPECT_LT(service.log()[0].at.ns(), service.log()[2].at.ns());
+}
+
+TEST(Service, RejectsZeroThresholds) {
+  auto swarm = SapSimulation::balanced(cfg(), 5);
+  ServicePolicy bad = fast_policy();
+  bad.failures_to_escalate = 0;
+  EXPECT_THROW(AttestationService(swarm, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cra::sap

@@ -1,0 +1,121 @@
+#include "sap/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cra::sap {
+namespace {
+
+SapConfig cfg() {
+  SapConfig c;
+  c.pmem_size = 1024;
+  return c;
+}
+
+Verifier make_verifier(std::uint32_t n = 8) {
+  Verifier v(cfg(), n, to_bytes("master-secret"));
+  for (net::NodeId id = 1; id <= n; ++id) {
+    v.set_expected_content(id, to_bytes("cfg-" + std::to_string(id)));
+  }
+  return v;
+}
+
+TEST(Verifier, KeysAreUniqueAndDeterministic) {
+  Verifier v = make_verifier();
+  std::set<Bytes> keys;
+  for (net::NodeId id = 1; id <= 8; ++id) keys.insert(v.device_key(id));
+  EXPECT_EQ(keys.size(), 8u);
+  EXPECT_EQ(v.device_key(3), make_verifier().device_key(3));
+  EXPECT_EQ(v.device_key(1).size(), 20u);  // l/8 for SHA-1
+}
+
+TEST(Verifier, ExpectedResultIsXorOfTokens) {
+  Verifier v = make_verifier(3);
+  const std::uint32_t chal = 55;
+  Bytes acc(20, 0);
+  for (net::NodeId id = 1; id <= 3; ++id) {
+    xor_inplace(acc, v.expected_token(id, chal));
+  }
+  EXPECT_EQ(v.expected_result(chal), acc);
+}
+
+TEST(Verifier, VerifyAcceptsCorrectAggregate) {
+  Verifier v = make_verifier();
+  EXPECT_TRUE(v.verify(v.expected_result(9), 9));
+}
+
+TEST(Verifier, VerifyRejectsCorruptAggregate) {
+  Verifier v = make_verifier();
+  Bytes h = v.expected_result(9);
+  h[0] = static_cast<std::uint8_t>(h[0] ^ 1);
+  EXPECT_FALSE(v.verify(h, 9));
+  EXPECT_FALSE(v.verify(Bytes(20, 0), 9));
+  EXPECT_FALSE(v.verify(Bytes(19, 0), 9));  // wrong length
+}
+
+TEST(Verifier, VerifyIsChallengeSpecific) {
+  Verifier v = make_verifier();
+  EXPECT_FALSE(v.verify(v.expected_result(9), 10));
+}
+
+TEST(Verifier, TokensDependOnContentKeyAndChal) {
+  Verifier v = make_verifier();
+  EXPECT_NE(v.expected_token(1, 5), v.expected_token(2, 5));  // key+content
+  EXPECT_NE(v.expected_token(1, 5), v.expected_token(1, 6));  // chal
+  Verifier v2 = make_verifier();
+  v2.set_expected_content(1, to_bytes("different"));
+  EXPECT_NE(v.expected_token(1, 5), v2.expected_token(1, 5));  // content
+}
+
+TEST(Verifier, IdentifyClassification) {
+  Verifier v = make_verifier(4);
+  std::vector<DeviceReport> reports;
+  reports.push_back({1, v.expected_token(1, 3)});       // good
+  reports.push_back({2, Bytes(20, 0xff)});              // bad token
+  reports.push_back({3, v.expected_token(3, 3)});       // good
+  // device 4 missing
+  const auto outcome = v.verify_identify(reports, 3);
+  EXPECT_EQ(outcome.bad, std::vector<net::NodeId>{2});
+  EXPECT_EQ(outcome.missing, std::vector<net::NodeId>{4});
+  EXPECT_FALSE(outcome.all_good());
+}
+
+TEST(Verifier, IdentifyAllGood) {
+  Verifier v = make_verifier(3);
+  std::vector<DeviceReport> reports;
+  for (net::NodeId id = 1; id <= 3; ++id) {
+    reports.push_back({id, v.expected_token(id, 7)});
+  }
+  EXPECT_TRUE(v.verify_identify(reports, 7).all_good());
+}
+
+TEST(Verifier, IdentifyIgnoresBogusIds) {
+  Verifier v = make_verifier(2);
+  std::vector<DeviceReport> reports;
+  reports.push_back({1, v.expected_token(1, 7)});
+  reports.push_back({2, v.expected_token(2, 7)});
+  reports.push_back({999, Bytes(20, 0)});  // out-of-range id: ignored
+  EXPECT_TRUE(v.verify_identify(reports, 7).all_good());
+}
+
+TEST(Verifier, InputValidation) {
+  EXPECT_THROW(Verifier(cfg(), 0, to_bytes("m")), std::invalid_argument);
+  EXPECT_THROW(Verifier(cfg(), 5, {}), std::invalid_argument);
+  Verifier v = make_verifier(2);
+  EXPECT_THROW(v.device_key(0), std::out_of_range);
+  EXPECT_THROW(v.device_key(3), std::out_of_range);
+  EXPECT_THROW(v.expected_token(3, 1), std::out_of_range);
+}
+
+TEST(Verifier, RequestAuthKeyOnlyWhenEnabled) {
+  Verifier off = make_verifier();
+  EXPECT_TRUE(off.request_auth_key().empty());
+  SapConfig c = cfg();
+  c.authenticate_requests = true;
+  Verifier on(c, 2, to_bytes("m"));
+  EXPECT_EQ(on.request_auth_key().size(), 32u);
+}
+
+}  // namespace
+}  // namespace cra::sap

@@ -1,0 +1,90 @@
+#include "sap/vs_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sap/swarm.hpp"
+
+namespace cra::sap {
+namespace {
+
+SapConfig cfg() {
+  SapConfig c;
+  c.pmem_size = 2 * 1024;
+  return c;
+}
+
+TEST(VsStore, RoundTripThroughString) {
+  auto sim = SapSimulation::balanced(cfg(), 12);
+  const std::string dump = vs_to_string(sim.verifier());
+  EXPECT_NE(dump.find("cra-vs 1"), std::string::npos);
+  EXPECT_NE(dump.find("devices 12"), std::string::npos);
+
+  const auto contents =
+      vs_from_string(dump, crypto::HashAlg::kSha1, 12);
+  ASSERT_EQ(contents.size(), 12u);
+  for (net::NodeId id = 1; id <= 12; ++id) {
+    EXPECT_EQ(contents[id - 1], sim.verifier().expected_content(id));
+  }
+}
+
+TEST(VsStore, RestartedVerifierStillVerifiesTheFleet) {
+  // The operational scenario: the verifier service restarts; VS comes
+  // back from disk, keys come back from the key service (the master
+  // seed); verification must agree across the restart.
+  auto sim = SapSimulation::balanced(cfg(), 20, /*seed=*/5);
+  const std::string path = "/tmp/cra_vs_store_test.vs";
+  save_vs(sim.verifier(), path);
+
+  // Corrupt the in-memory VS, then restore from disk.
+  for (net::NodeId id = 1; id <= 20; ++id) {
+    sim.verifier().set_expected_content(id, to_bytes("garbage"));
+  }
+  EXPECT_FALSE(sim.run_round().verified);  // VS wrong -> mismatch
+  load_vs(sim.verifier(), path);
+  sim.advance_time(sim::Duration::from_ms(50));
+  EXPECT_TRUE(sim.run_round().verified);
+  std::remove(path.c_str());
+}
+
+TEST(VsStore, RejectsMalformedDumps) {
+  EXPECT_THROW(vs_from_string("garbage", crypto::HashAlg::kSha1),
+               std::invalid_argument);
+  EXPECT_THROW(vs_from_string("cra-vs 2\nalg sha1\ndevices 1\n",
+                              crypto::HashAlg::kSha1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      vs_from_string("cra-vs 1\nalg sha256\ndevices 1\ncfg 1 aa\n",
+                     crypto::HashAlg::kSha1),  // alg mismatch
+      std::invalid_argument);
+  EXPECT_THROW(
+      vs_from_string("cra-vs 1\nalg sha1\ndevices 2\ncfg 1 aa\ncfg 1 bb\n",
+                     crypto::HashAlg::kSha1),  // duplicate id
+      std::invalid_argument);
+  EXPECT_THROW(
+      vs_from_string("cra-vs 1\nalg sha1\ndevices 1\ncfg 9 aa\n",
+                     crypto::HashAlg::kSha1),  // id out of range
+      std::invalid_argument);
+  EXPECT_THROW(
+      vs_from_string("cra-vs 1\nalg sha1\ndevices 1\ncfg 1 aa\n",
+                     crypto::HashAlg::kSha1, /*expect_devices=*/7),
+      std::invalid_argument);
+}
+
+TEST(VsStore, FileErrorsSurface) {
+  auto sim = SapSimulation::balanced(cfg(), 3);
+  EXPECT_THROW(save_vs(sim.verifier(), "/nonexistent-dir/x.vs"),
+               std::runtime_error);
+  EXPECT_THROW(load_vs(sim.verifier(), "/nonexistent-dir/x.vs"),
+               std::runtime_error);
+}
+
+TEST(VsStore, DumpIsStableAcrossCalls) {
+  auto sim = SapSimulation::balanced(cfg(), 5, /*seed=*/9);
+  EXPECT_EQ(vs_to_string(sim.verifier()), vs_to_string(sim.verifier()));
+}
+
+}  // namespace
+}  // namespace cra::sap

@@ -1,0 +1,139 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cra::sim {
+namespace {
+
+TEST(Scheduler, DispatchesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_ms(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::from_ms(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::from_ms(20), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::from_ms(30));
+}
+
+TEST(Scheduler, FifoAmongTies) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(SimTime::from_ms(7), [&, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  SimTime inner_seen;
+  s.schedule_at(SimTime::from_ms(5), [&] {
+    s.schedule_after(Duration::from_ms(10),
+                     [&] { inner_seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(inner_seen, SimTime::from_ms(15));
+}
+
+TEST(Scheduler, RejectsPastScheduling) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(SimTime::from_ms(5), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  bool ran = false;
+  const EventHandle h =
+      s.schedule_at(SimTime::from_ms(1), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelTwiceFails) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(SimTime::from_ms(1), [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, CancelAfterDispatchFails) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(SimTime::from_ms(1), [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, InertHandleCancelFails) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(EventHandle{}));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(SimTime::from_ms(1), [&] { ++count; });
+  s.schedule_at(SimTime::from_ms(2), [&] { ++count; });
+  s.schedule_at(SimTime::from_ms(3), [&] { ++count; });
+  EXPECT_EQ(s.run_until(SimTime::from_ms(2)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), SimTime::from_ms(2));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilSkipsCancelledHead) {
+  Scheduler s;
+  bool late_ran = false;
+  const EventHandle h = s.schedule_at(SimTime::from_ms(5), [] {});
+  s.schedule_at(SimTime::from_ms(20), [&] { late_ran = true; });
+  s.cancel(h);
+  // The cancelled event at t=5 must not cause the t=20 event to run
+  // inside run_until(10).
+  EXPECT_EQ(s.run_until(SimTime::from_ms(10)), 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(s.now(), SimTime::from_ms(10));
+}
+
+TEST(Scheduler, StepDispatchesOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(SimTime::from_ms(1), [&] { ++count; });
+  s.schedule_at(SimTime::from_ms(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      s.schedule_after(Duration::from_us(1), recurse);
+    }
+  };
+  s.schedule_at(SimTime::zero(), recurse);
+  EXPECT_EQ(s.run(), 100u);
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), SimTime::from_us(99));
+}
+
+TEST(Scheduler, DispatchedCounterAccumulates) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(1), [] {});
+  s.run();
+  s.schedule_at(SimTime::from_ms(2), [] {});
+  s.run();
+  EXPECT_EQ(s.dispatched(), 2u);
+}
+
+}  // namespace
+}  // namespace cra::sim

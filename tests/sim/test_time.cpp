@@ -1,0 +1,67 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::sim {
+namespace {
+
+TEST(SimTime, Constructors) {
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+  EXPECT_EQ(SimTime::from_ns(5).ns(), 5);
+  EXPECT_EQ(SimTime::from_us(5).ns(), 5'000);
+  EXPECT_EQ(SimTime::from_ms(5).ns(), 5'000'000);
+  EXPECT_EQ(SimTime::from_sec(1.5).ns(), 1'500'000'000);
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t = SimTime::from_ms(1250);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.25);
+  EXPECT_DOUBLE_EQ(t.ms(), 1250.0);
+  EXPECT_DOUBLE_EQ(t.us(), 1'250'000.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::from_ms(3);
+  const SimTime b = SimTime::from_ms(2);
+  EXPECT_EQ((a + b).ms(), 5.0);
+  EXPECT_EQ((a - b).ms(), 1.0);
+  EXPECT_EQ((b * 4).ms(), 8.0);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.ms(), 5.0);
+  c -= a;
+  EXPECT_EQ(c.ms(), 2.0);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::from_ns(1), SimTime::from_ns(2));
+  EXPECT_EQ(SimTime::from_us(1), SimTime::from_ns(1000));
+  EXPECT_GE(SimTime::from_ms(1), SimTime::from_us(1000));
+}
+
+TEST(TransmissionDelay, PaperParameters) {
+  // 20 bytes at 250 kbit/s = 160 bits / 250000 bps = 640 µs.
+  EXPECT_EQ(transmission_delay(160, 250'000).us(), 640.0);
+}
+
+TEST(TransmissionDelay, RoundsUp) {
+  // 1 bit at 3 bps = 333,333,333.3 ns -> rounds up to ...334.
+  EXPECT_EQ(transmission_delay(1, 3).ns(), 333'333'334);
+}
+
+TEST(CyclesToTime, PaperClockRate) {
+  // 24 million cycles at 24 MHz = exactly one second.
+  EXPECT_EQ(cycles_to_time(24'000'000, 24'000'000).sec(), 1.0);
+  // 250,000 cycles (one secure-clock tick) ≈ 10.42 ms.
+  EXPECT_NEAR(cycles_to_time(250'000, 24'000'000).ms(), 10.4167, 0.001);
+}
+
+TEST(CyclesToTime, LargeValuesNoOverflow) {
+  // 10^12 cycles at 1 Hz would overflow 64-bit ns intermediate without
+  // the 128-bit path: 10^12 s = 10^21 ns > 2^63.
+  const Duration d = cycles_to_time(1'000'000'000'000ULL, 1'000'000ULL);
+  EXPECT_EQ(d.sec(), 1'000'000.0);
+}
+
+}  // namespace
+}  // namespace cra::sim

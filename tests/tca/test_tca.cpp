@@ -1,0 +1,115 @@
+// The TCA-Model harness: efficiency (Definition 2), soundness
+// (Definition 3), and the security game (Definition 4).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "tca/efficiency.hpp"
+#include "tca/security.hpp"
+#include "tca/soundness.hpp"
+
+namespace cra::tca {
+namespace {
+
+sap::SapConfig fast_config() {
+  sap::SapConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  return cfg;
+}
+
+TEST(TcaEfficiency, SapSatisfiesDefinition2) {
+  const EfficiencyReport r = run_efficiency_sweep(
+      sap::SapConfig{},  // paper-scale parameters
+      {64, 256, 1024, 4096, 16384, 65536});
+  EXPECT_TRUE(r.degree_constant);
+  EXPECT_LE(r.degree_bound, 3u);  // Lemma 1
+  EXPECT_TRUE(r.utilization_linear) << "r^2=" << r.utilization_fit.r_squared;
+  EXPECT_TRUE(r.delay_logarithmic) << "r^2=" << r.delay_fit.r_squared;
+  EXPECT_TRUE(r.tca_efficient());
+  for (const auto& p : r.points) EXPECT_TRUE(p.verified);
+}
+
+TEST(TcaEfficiency, UtilizationSlopeIsFortyBytesPerDevice) {
+  // Lemma 2 concretely: 2·l bits = 40 bytes per device with SHA-1.
+  const EfficiencyReport r =
+      run_efficiency_sweep(fast_config(), {100, 1000, 10000});
+  EXPECT_NEAR(r.utilization_fit.slope, 40.0, 0.5);
+}
+
+TEST(TcaEfficiency, RejectsTooFewPoints) {
+  EXPECT_THROW(run_efficiency_sweep(fast_config(), {10, 20}),
+               std::invalid_argument);
+}
+
+TEST(TcaSoundness, NoFailuresAcrossShapesAndSizes) {
+  const SoundnessReport r = run_soundness_experiment(
+      fast_config(), {1, 2, 10, 63, 200},
+      {TopologyKind::kBalanced, TopologyKind::kLine, TopologyKind::kRandom},
+      /*trials=*/5);
+  EXPECT_EQ(r.runs, 75u);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_TRUE(r.sound());
+}
+
+class SecurityGameTest : public ::testing::TestWithParam<AdvStrategy> {};
+
+TEST_P(SecurityGameTest, AdversaryNeverWins) {
+  const GameResult r =
+      run_security_game(fast_config(), /*devices=*/30, GetParam(),
+                        /*trials=*/20);
+  EXPECT_EQ(r.trials, 20u);
+  EXPECT_TRUE(r.secure()) << strategy_name(GetParam()) << " won "
+                          << r.adv_wins << " of " << r.trials;
+  if (GetParam() != AdvStrategy::kHonestButLate) {
+    // Every compromised round must also have been *detected*.
+    EXPECT_EQ(r.detected, r.trials);
+  } else {
+    // Clean-at-t_att rounds verify; nothing to detect (yet).
+    EXPECT_EQ(r.detected, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, SecurityGameTest,
+    ::testing::ValuesIn(all_strategies()),
+    [](const ::testing::TestParamInfo<AdvStrategy>& info) {
+      std::string name = strategy_name(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '_') c = '0' + static_cast<char>(info.index % 10);
+      }
+      return name;
+    });
+
+TEST(SecurityGame, LargerSwarmStillSecure) {
+  const GameResult r = run_security_game(
+      fast_config(), /*devices=*/200, AdvStrategy::kGuessToken,
+      /*trials=*/10);
+  EXPECT_TRUE(r.secure());
+}
+
+TEST(SecurityGame, AuthenticatedRequestVariantSecure) {
+  sap::SapConfig cfg = fast_config();
+  cfg.authenticate_requests = true;
+  for (AdvStrategy s : {AdvStrategy::kGuessToken, AdvStrategy::kReplayChal}) {
+    EXPECT_TRUE(run_security_game(cfg, 30, s, 10).secure());
+  }
+}
+
+TEST(SecurityGame, InputValidation) {
+  EXPECT_THROW(run_security_game(fast_config(), 0,
+                                 AdvStrategy::kGuessToken, 1),
+               std::invalid_argument);
+  EXPECT_THROW(run_security_game(fast_config(), 10,
+                                 AdvStrategy::kGuessToken, 0),
+               std::invalid_argument);
+}
+
+TEST(SecurityGame, StrategyNamesDistinct) {
+  std::set<std::string> names;
+  for (AdvStrategy s : all_strategies()) names.insert(strategy_name(s));
+  EXPECT_EQ(names.size(), all_strategies().size());
+}
+
+}  // namespace
+}  // namespace cra::tca
