@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_arity.dir/ablate_arity.cpp.o"
+  "CMakeFiles/ablate_arity.dir/ablate_arity.cpp.o.d"
+  "ablate_arity"
+  "ablate_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_capture.dir/ablate_capture.cpp.o"
+  "CMakeFiles/ablate_capture.dir/ablate_capture.cpp.o.d"
+  "ablate_capture"
+  "ablate_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

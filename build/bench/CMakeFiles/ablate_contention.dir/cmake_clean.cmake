@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_contention.dir/ablate_contention.cpp.o"
+  "CMakeFiles/ablate_contention.dir/ablate_contention.cpp.o.d"
+  "ablate_contention"
+  "ablate_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_heterogeneous.dir/ablate_heterogeneous.cpp.o"
+  "CMakeFiles/ablate_heterogeneous.dir/ablate_heterogeneous.cpp.o.d"
+  "ablate_heterogeneous"
+  "ablate_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

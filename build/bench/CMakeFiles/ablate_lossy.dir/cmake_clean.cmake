@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_lossy.dir/ablate_lossy.cpp.o"
+  "CMakeFiles/ablate_lossy.dir/ablate_lossy.cpp.o.d"
+  "ablate_lossy"
+  "ablate_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

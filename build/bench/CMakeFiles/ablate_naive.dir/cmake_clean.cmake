@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_naive.dir/ablate_naive.cpp.o"
+  "CMakeFiles/ablate_naive.dir/ablate_naive.cpp.o.d"
+  "ablate_naive"
+  "ablate_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_toctou.dir/ablate_toctou.cpp.o"
+  "CMakeFiles/ablate_toctou.dir/ablate_toctou.cpp.o.d"
+  "ablate_toctou"
+  "ablate_toctou.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_toctou.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_phases.dir/fig3b_phases.cpp.o"
+  "CMakeFiles/fig3b_phases.dir/fig3b_phases.cpp.o.d"
+  "fig3b_phases"
+  "fig3b_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

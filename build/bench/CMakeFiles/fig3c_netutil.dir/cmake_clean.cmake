@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_netutil.dir/fig3c_netutil.cpp.o"
+  "CMakeFiles/fig3c_netutil.dir/fig3c_netutil.cpp.o.d"
+  "fig3c_netutil"
+  "fig3c_netutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_netutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

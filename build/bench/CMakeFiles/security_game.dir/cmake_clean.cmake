@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_game.dir/security_game.cpp.o"
+  "CMakeFiles/security_game.dir/security_game.cpp.o.d"
+  "security_game"
+  "security_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundness_sweep.dir/soundness_sweep.cpp.o"
+  "CMakeFiles/soundness_sweep.dir/soundness_sweep.cpp.o.d"
+  "soundness_sweep"
+  "soundness_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hwcost.dir/table2_hwcost.cpp.o"
+  "CMakeFiles/table2_hwcost.dir/table2_hwcost.cpp.o.d"
+  "table2_hwcost"
+  "table2_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

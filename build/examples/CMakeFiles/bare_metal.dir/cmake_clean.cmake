@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bare_metal.dir/bare_metal.cpp.o"
+  "CMakeFiles/bare_metal.dir/bare_metal.cpp.o.d"
+  "bare_metal"
+  "bare_metal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bare_metal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_service.dir/fleet_service.cpp.o"
+  "CMakeFiles/fleet_service.dir/fleet_service.cpp.o.d"
+  "fleet_service"
+  "fleet_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

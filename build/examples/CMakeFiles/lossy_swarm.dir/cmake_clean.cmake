@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_swarm.dir/lossy_swarm.cpp.o"
+  "CMakeFiles/lossy_swarm.dir/lossy_swarm.cpp.o.d"
+  "lossy_swarm"
+  "lossy_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_cli.dir/swarm_cli.cpp.o"
+  "CMakeFiles/swarm_cli.dir/swarm_cli.cpp.o.d"
+  "swarm_cli"
+  "swarm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

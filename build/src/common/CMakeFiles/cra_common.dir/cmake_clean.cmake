@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_common.dir/bytes.cpp.o"
+  "CMakeFiles/cra_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/cra_common.dir/json.cpp.o"
+  "CMakeFiles/cra_common.dir/json.cpp.o.d"
+  "CMakeFiles/cra_common.dir/log.cpp.o"
+  "CMakeFiles/cra_common.dir/log.cpp.o.d"
+  "CMakeFiles/cra_common.dir/rng.cpp.o"
+  "CMakeFiles/cra_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cra_common.dir/stats.cpp.o"
+  "CMakeFiles/cra_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cra_common.dir/table.cpp.o"
+  "CMakeFiles/cra_common.dir/table.cpp.o.d"
+  "libcra_common.a"
+  "libcra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/cra_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/cra_crypto.dir/ct.cpp.o"
+  "CMakeFiles/cra_crypto.dir/ct.cpp.o.d"
+  "CMakeFiles/cra_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/cra_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/cra_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/cra_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/cra_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cra_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/cra_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/cra_crypto.dir/x25519.cpp.o.d"
+  "libcra_crypto.a"
+  "libcra_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/assembler.cpp" "src/device/CMakeFiles/cra_device.dir/assembler.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/assembler.cpp.o.d"
+  "/root/repo/src/device/attest_asm.cpp" "src/device/CMakeFiles/cra_device.dir/attest_asm.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/attest_asm.cpp.o.d"
+  "/root/repo/src/device/attest_tcb.cpp" "src/device/CMakeFiles/cra_device.dir/attest_tcb.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/attest_tcb.cpp.o.d"
+  "/root/repo/src/device/clock.cpp" "src/device/CMakeFiles/cra_device.dir/clock.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/clock.cpp.o.d"
+  "/root/repo/src/device/cpu.cpp" "src/device/CMakeFiles/cra_device.dir/cpu.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/cpu.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/cra_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/disasm.cpp" "src/device/CMakeFiles/cra_device.dir/disasm.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/disasm.cpp.o.d"
+  "/root/repo/src/device/dma.cpp" "src/device/CMakeFiles/cra_device.dir/dma.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/dma.cpp.o.d"
+  "/root/repo/src/device/isa.cpp" "src/device/CMakeFiles/cra_device.dir/isa.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/isa.cpp.o.d"
+  "/root/repo/src/device/memory.cpp" "src/device/CMakeFiles/cra_device.dir/memory.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/memory.cpp.o.d"
+  "/root/repo/src/device/mpu.cpp" "src/device/CMakeFiles/cra_device.dir/mpu.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/mpu.cpp.o.d"
+  "/root/repo/src/device/secure_boot.cpp" "src/device/CMakeFiles/cra_device.dir/secure_boot.cpp.o" "gcc" "src/device/CMakeFiles/cra_device.dir/secure_boot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_device.dir/assembler.cpp.o"
+  "CMakeFiles/cra_device.dir/assembler.cpp.o.d"
+  "CMakeFiles/cra_device.dir/attest_asm.cpp.o"
+  "CMakeFiles/cra_device.dir/attest_asm.cpp.o.d"
+  "CMakeFiles/cra_device.dir/attest_tcb.cpp.o"
+  "CMakeFiles/cra_device.dir/attest_tcb.cpp.o.d"
+  "CMakeFiles/cra_device.dir/clock.cpp.o"
+  "CMakeFiles/cra_device.dir/clock.cpp.o.d"
+  "CMakeFiles/cra_device.dir/cpu.cpp.o"
+  "CMakeFiles/cra_device.dir/cpu.cpp.o.d"
+  "CMakeFiles/cra_device.dir/device.cpp.o"
+  "CMakeFiles/cra_device.dir/device.cpp.o.d"
+  "CMakeFiles/cra_device.dir/disasm.cpp.o"
+  "CMakeFiles/cra_device.dir/disasm.cpp.o.d"
+  "CMakeFiles/cra_device.dir/dma.cpp.o"
+  "CMakeFiles/cra_device.dir/dma.cpp.o.d"
+  "CMakeFiles/cra_device.dir/isa.cpp.o"
+  "CMakeFiles/cra_device.dir/isa.cpp.o.d"
+  "CMakeFiles/cra_device.dir/memory.cpp.o"
+  "CMakeFiles/cra_device.dir/memory.cpp.o.d"
+  "CMakeFiles/cra_device.dir/mpu.cpp.o"
+  "CMakeFiles/cra_device.dir/mpu.cpp.o.d"
+  "CMakeFiles/cra_device.dir/secure_boot.cpp.o"
+  "CMakeFiles/cra_device.dir/secure_boot.cpp.o.d"
+  "libcra_device.a"
+  "libcra_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_hw.dir/hw_cost.cpp.o"
+  "CMakeFiles/cra_hw.dir/hw_cost.cpp.o.d"
+  "libcra_hw.a"
+  "libcra_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

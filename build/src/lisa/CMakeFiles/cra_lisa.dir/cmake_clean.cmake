@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_lisa.dir/lisa.cpp.o"
+  "CMakeFiles/cra_lisa.dir/lisa.cpp.o.d"
+  "libcra_lisa.a"
+  "libcra_lisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_lisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

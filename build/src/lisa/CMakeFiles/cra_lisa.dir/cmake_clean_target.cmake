@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcra_lisa.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cra_lisa.
+# This may be replaced when dependencies are built.

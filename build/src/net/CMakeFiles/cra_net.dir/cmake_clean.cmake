@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_net.dir/network.cpp.o"
+  "CMakeFiles/cra_net.dir/network.cpp.o.d"
+  "CMakeFiles/cra_net.dir/topology.cpp.o"
+  "CMakeFiles/cra_net.dir/topology.cpp.o.d"
+  "libcra_net.a"
+  "libcra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_power.dir/power.cpp.o"
+  "CMakeFiles/cra_power.dir/power.cpp.o.d"
+  "libcra_power.a"
+  "libcra_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sap/analysis.cpp" "src/sap/CMakeFiles/cra_sap.dir/analysis.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/analysis.cpp.o.d"
+  "/root/repo/src/sap/energy.cpp" "src/sap/CMakeFiles/cra_sap.dir/energy.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/energy.cpp.o.d"
+  "/root/repo/src/sap/heartbeat.cpp" "src/sap/CMakeFiles/cra_sap.dir/heartbeat.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/sap/messages.cpp" "src/sap/CMakeFiles/cra_sap.dir/messages.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/messages.cpp.o.d"
+  "/root/repo/src/sap/report_json.cpp" "src/sap/CMakeFiles/cra_sap.dir/report_json.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/report_json.cpp.o.d"
+  "/root/repo/src/sap/service.cpp" "src/sap/CMakeFiles/cra_sap.dir/service.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/service.cpp.o.d"
+  "/root/repo/src/sap/swarm.cpp" "src/sap/CMakeFiles/cra_sap.dir/swarm.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/swarm.cpp.o.d"
+  "/root/repo/src/sap/verifier.cpp" "src/sap/CMakeFiles/cra_sap.dir/verifier.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/verifier.cpp.o.d"
+  "/root/repo/src/sap/vs_store.cpp" "src/sap/CMakeFiles/cra_sap.dir/vs_store.cpp.o" "gcc" "src/sap/CMakeFiles/cra_sap.dir/vs_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cra_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cra_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_sap.dir/analysis.cpp.o"
+  "CMakeFiles/cra_sap.dir/analysis.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/energy.cpp.o"
+  "CMakeFiles/cra_sap.dir/energy.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/heartbeat.cpp.o"
+  "CMakeFiles/cra_sap.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/messages.cpp.o"
+  "CMakeFiles/cra_sap.dir/messages.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/report_json.cpp.o"
+  "CMakeFiles/cra_sap.dir/report_json.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/service.cpp.o"
+  "CMakeFiles/cra_sap.dir/service.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/swarm.cpp.o"
+  "CMakeFiles/cra_sap.dir/swarm.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/verifier.cpp.o"
+  "CMakeFiles/cra_sap.dir/verifier.cpp.o.d"
+  "CMakeFiles/cra_sap.dir/vs_store.cpp.o"
+  "CMakeFiles/cra_sap.dir/vs_store.cpp.o.d"
+  "libcra_sap.a"
+  "libcra_sap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_sap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_seda.dir/seda.cpp.o"
+  "CMakeFiles/cra_seda.dir/seda.cpp.o.d"
+  "libcra_seda.a"
+  "libcra_seda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_seda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cra_seda.
+# This may be replaced when dependencies are built.

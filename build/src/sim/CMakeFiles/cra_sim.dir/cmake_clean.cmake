@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/cra_sim.dir/scheduler.cpp.o.d"
+  "libcra_sim.a"
+  "libcra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cra_tca.dir/efficiency.cpp.o"
+  "CMakeFiles/cra_tca.dir/efficiency.cpp.o.d"
+  "CMakeFiles/cra_tca.dir/security.cpp.o"
+  "CMakeFiles/cra_tca.dir/security.cpp.o.d"
+  "CMakeFiles/cra_tca.dir/soundness.cpp.o"
+  "CMakeFiles/cra_tca.dir/soundness.cpp.o.d"
+  "libcra_tca.a"
+  "libcra_tca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cra_tca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cra_tca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attest_asm.dir/device/test_attest_asm.cpp.o"
+  "CMakeFiles/test_attest_asm.dir/device/test_attest_asm.cpp.o.d"
+  "test_attest_asm"
+  "test_attest_asm.pdb"
+  "test_attest_asm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attest_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

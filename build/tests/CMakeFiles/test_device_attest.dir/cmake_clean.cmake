@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_attest.dir/device/test_device_attest.cpp.o"
+  "CMakeFiles/test_device_attest.dir/device/test_device_attest.cpp.o.d"
+  "test_device_attest"
+  "test_device_attest.pdb"
+  "test_device_attest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

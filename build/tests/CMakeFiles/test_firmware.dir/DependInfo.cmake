@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/device/test_firmware.cpp" "tests/CMakeFiles/test_firmware.dir/device/test_firmware.cpp.o" "gcc" "tests/CMakeFiles/test_firmware.dir/device/test_firmware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cra_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sap/CMakeFiles/cra_sap.dir/DependInfo.cmake"
+  "/root/repo/build/src/seda/CMakeFiles/cra_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisa/CMakeFiles/cra_lisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tca/CMakeFiles/cra_tca.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cra_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

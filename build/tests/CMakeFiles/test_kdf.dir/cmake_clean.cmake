@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kdf.dir/crypto/test_kdf.cpp.o"
+  "CMakeFiles/test_kdf.dir/crypto/test_kdf.cpp.o.d"
+  "test_kdf"
+  "test_kdf.pdb"
+  "test_kdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lisa.dir/lisa/test_lisa.cpp.o"
+  "CMakeFiles/test_lisa.dir/lisa/test_lisa.cpp.o.d"
+  "test_lisa"
+  "test_lisa.pdb"
+  "test_lisa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

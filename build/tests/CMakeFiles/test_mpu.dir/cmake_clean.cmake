@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpu.dir/device/test_mpu.cpp.o"
+  "CMakeFiles/test_mpu.dir/device/test_mpu.cpp.o.d"
+  "test_mpu"
+  "test_mpu.pdb"
+  "test_mpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_dynamic.dir/sap/test_dynamic_topology.cpp.o"
+  "CMakeFiles/test_sap_dynamic.dir/sap/test_dynamic_topology.cpp.o.d"
+  "test_sap_dynamic"
+  "test_sap_dynamic.pdb"
+  "test_sap_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

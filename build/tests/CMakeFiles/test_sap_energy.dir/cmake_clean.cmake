@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_energy.dir/sap/test_energy.cpp.o"
+  "CMakeFiles/test_sap_energy.dir/sap/test_energy.cpp.o.d"
+  "test_sap_energy"
+  "test_sap_energy.pdb"
+  "test_sap_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_extensions.dir/sap/test_extensions.cpp.o"
+  "CMakeFiles/test_sap_extensions.dir/sap/test_extensions.cpp.o.d"
+  "test_sap_extensions"
+  "test_sap_extensions.pdb"
+  "test_sap_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

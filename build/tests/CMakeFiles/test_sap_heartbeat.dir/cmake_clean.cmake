@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_heartbeat.dir/sap/test_heartbeat.cpp.o"
+  "CMakeFiles/test_sap_heartbeat.dir/sap/test_heartbeat.cpp.o.d"
+  "test_sap_heartbeat"
+  "test_sap_heartbeat.pdb"
+  "test_sap_heartbeat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

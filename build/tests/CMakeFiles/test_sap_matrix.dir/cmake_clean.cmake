@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_matrix.dir/sap/test_protocol_matrix.cpp.o"
+  "CMakeFiles/test_sap_matrix.dir/sap/test_protocol_matrix.cpp.o.d"
+  "test_sap_matrix"
+  "test_sap_matrix.pdb"
+  "test_sap_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

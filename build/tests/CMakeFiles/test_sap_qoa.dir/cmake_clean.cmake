@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_qoa.dir/sap/test_qoa.cpp.o"
+  "CMakeFiles/test_sap_qoa.dir/sap/test_qoa.cpp.o.d"
+  "test_sap_qoa"
+  "test_sap_qoa.pdb"
+  "test_sap_qoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_qoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_report_json.dir/sap/test_report_json.cpp.o"
+  "CMakeFiles/test_sap_report_json.dir/sap/test_report_json.cpp.o.d"
+  "test_sap_report_json"
+  "test_sap_report_json.pdb"
+  "test_sap_report_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_report_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_round.dir/sap/test_sap_round.cpp.o"
+  "CMakeFiles/test_sap_round.dir/sap/test_sap_round.cpp.o.d"
+  "test_sap_round"
+  "test_sap_round.pdb"
+  "test_sap_round[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

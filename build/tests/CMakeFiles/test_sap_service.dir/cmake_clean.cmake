@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_service.dir/sap/test_service.cpp.o"
+  "CMakeFiles/test_sap_service.dir/sap/test_service.cpp.o.d"
+  "test_sap_service"
+  "test_sap_service.pdb"
+  "test_sap_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_verifier.dir/sap/test_verifier.cpp.o"
+  "CMakeFiles/test_sap_verifier.dir/sap/test_verifier.cpp.o.d"
+  "test_sap_verifier"
+  "test_sap_verifier.pdb"
+  "test_sap_verifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_vm_integration.dir/sap/test_vm_integration.cpp.o"
+  "CMakeFiles/test_sap_vm_integration.dir/sap/test_vm_integration.cpp.o.d"
+  "test_sap_vm_integration"
+  "test_sap_vm_integration.pdb"
+  "test_sap_vm_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_vm_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap_vs_store.dir/sap/test_vs_store.cpp.o"
+  "CMakeFiles/test_sap_vs_store.dir/sap/test_vs_store.cpp.o.d"
+  "test_sap_vs_store"
+  "test_sap_vs_store.pdb"
+  "test_sap_vs_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap_vs_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_rules.dir/device/test_security_rules.cpp.o"
+  "CMakeFiles/test_security_rules.dir/device/test_security_rules.cpp.o.d"
+  "test_security_rules"
+  "test_security_rules.pdb"
+  "test_security_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seda.dir/seda/test_seda.cpp.o"
+  "CMakeFiles/test_seda.dir/seda/test_seda.cpp.o.d"
+  "test_seda"
+  "test_seda.pdb"
+  "test_seda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seda_edge.dir/seda/test_seda_edge.cpp.o"
+  "CMakeFiles/test_seda_edge.dir/seda/test_seda_edge.cpp.o.d"
+  "test_seda_edge"
+  "test_seda_edge.pdb"
+  "test_seda_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seda_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seda_join.dir/seda/test_seda_join.cpp.o"
+  "CMakeFiles/test_seda_join.dir/seda/test_seda_join.cpp.o.d"
+  "test_seda_join"
+  "test_seda_join.pdb"
+  "test_seda_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seda_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

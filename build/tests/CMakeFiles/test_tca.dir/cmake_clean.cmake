@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tca.dir/tca/test_tca.cpp.o"
+  "CMakeFiles/test_tca.dir/tca/test_tca.cpp.o.d"
+  "test_tca"
+  "test_tca.pdb"
+  "test_tca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_properties.dir/net/test_topology_properties.cpp.o"
+  "CMakeFiles/test_topology_properties.dir/net/test_topology_properties.cpp.o.d"
+  "test_topology_properties"
+  "test_topology_properties.pdb"
+  "test_topology_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
