@@ -1,0 +1,66 @@
+// Shared command-line handling for the bench drivers.
+//
+// Flags:
+//   --threads N   run the simulated rounds on the sharded parallel engine
+//                 with N worker threads (1 = the classic single-threaded
+//                 engine, byte-identical output to the flag-less run)
+//   --devices N   replace the default size sweep with the single size N
+//
+// Wall-clock measurements go to stderr so the stdout tables stay stable
+// (and byte-comparable) across thread counts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cra::benchargs {
+
+struct BenchArgs {
+  std::uint32_t threads = 1;  // simulation worker threads
+  std::uint32_t devices = 0;  // 0 = the bench's default sweep
+};
+
+inline BenchArgs parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    auto value = [&]() -> unsigned long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return std::strtoul(argv[++i], nullptr, 10);
+    };
+    if (std::strcmp(flag, "--threads") == 0) {
+      args.threads = static_cast<std::uint32_t>(value());
+      if (args.threads == 0) args.threads = 1;
+    } else if (std::strcmp(flag, "--devices") == 0) {
+      args.devices = static_cast<std::uint32_t>(value());
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --threads N, --devices N)\n",
+                   flag);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Wall-clock stopwatch for the speedup lines on stderr.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double sec() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cra::benchargs

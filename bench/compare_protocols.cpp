@@ -7,21 +7,29 @@
 // trades between: runtime, network utilization, and quality of
 // attestation.
 #include <cstdio>
+#include <vector>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "lisa/lisa.hpp"
 #include "sap/swarm.hpp"
 #include "seda/seda.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
 
   Table table({"protocol", "N", "time (s)", "U_CA (bytes)", "B/device",
                "QoA", "clock needed"});
 
-  for (std::uint32_t n : {1'000u, 10'000u, 100'000u}) {
+  std::vector<std::uint32_t> sizes = {1'000u, 10'000u, 100'000u};
+  if (args.devices != 0) sizes = {args.devices};
+
+  for (std::uint32_t n : sizes) {
+    const benchargs::WallTimer wall;
     {
       sap::SapConfig cfg;
+      cfg.sim.threads = args.threads;
       auto sim = sap::SapSimulation::balanced(cfg, n);
       const auto r = sim.run_round();
       if (!r.verified) return 1;
@@ -32,6 +40,7 @@ int main() {
     }
     {
       seda::SedaConfig cfg;
+      cfg.sim.threads = args.threads;
       auto sim = seda::SedaSimulation::balanced(cfg, n);
       const auto r = sim.run_round();
       if (!r.verified) return 1;
@@ -65,6 +74,9 @@ int main() {
                      Table::num(static_cast<double>(r.u_ca_bytes) / n, 1),
                      "per-device", "none"});
     }
+    // LISA has no sharded-engine port; its rounds always run serial.
+    std::fprintf(stderr, "wall: N=%u threads=%u all-protocols=%.3fs\n", n,
+                 args.threads, wall.sec());
   }
 
   std::printf("Protocol comparison - identical device/network models\n\n");

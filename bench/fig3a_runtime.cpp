@@ -6,31 +6,64 @@
 // closed form); the last columns give the analytic predictions so model
 // and simulation can be compared at a glance.
 #include <cstdio>
+#include <vector>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/analysis.hpp"
 #include "sap/swarm.hpp"
 #include "seda/seda.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
 
   sap::SapConfig sap_cfg;    // paper parameters
   seda::SedaConfig seda_cfg;
+  sap_cfg.sim.threads = args.threads;
+  seda_cfg.sim.threads = args.threads;
 
   Table table({"N", "depth", "SAP sim (s)", "SEDA sim (s)", "SEDA/SAP",
                "SAP model (s)", "SEDA model (s)"});
 
-  for (std::uint32_t n : {10u, 100u, 1'000u, 10'000u, 100'000u, 1'000'000u}) {
+  std::vector<std::uint32_t> sizes = {10u,      100u,     1'000u,
+                                      10'000u,  100'000u, 1'000'000u};
+  if (args.devices != 0) sizes = {args.devices};
+
+  for (std::uint32_t n : sizes) {
+    const benchargs::WallTimer wall;
     auto sap_sim = sap::SapSimulation::balanced(sap_cfg, n);
     const auto sap_round = sap_sim.run_round();
+    const double sap_wall = wall.sec();
 
     auto seda_sim = seda::SedaSimulation::balanced(seda_cfg, n);
     const auto seda_round = seda_sim.run_round();
+    const double seda_wall = wall.sec() - sap_wall;
 
     if (!sap_round.verified || !seda_round.verified) {
       std::fprintf(stderr, "N=%u: round failed to verify!\n", n);
       return 1;
+    }
+    std::fprintf(stderr, "wall: N=%u threads=%u sap=%.3fs seda=%.3fs\n", n,
+                 args.threads, sap_wall, seda_wall);
+    if (args.threads > 1) {
+      // Speedup vs the classic engine on the same swarm.
+      sap::SapConfig serial_sap = sap_cfg;
+      serial_sap.sim = sim::SimConfig{};
+      seda::SedaConfig serial_seda = seda_cfg;
+      serial_seda.sim = sim::SimConfig{};
+      const benchargs::WallTimer serial_wall;
+      auto sap_serial = sap::SapSimulation::balanced(serial_sap, n);
+      (void)sap_serial.run_round();
+      const double sap_serial_sec = serial_wall.sec();
+      auto seda_serial = seda::SedaSimulation::balanced(serial_seda, n);
+      (void)seda_serial.run_round();
+      const double seda_serial_sec = serial_wall.sec() - sap_serial_sec;
+      std::fprintf(stderr,
+                   "wall: N=%u threads=1 sap=%.3fs seda=%.3fs "
+                   "(speedup sap=%.2fx seda=%.2fx)\n",
+                   n, sap_serial_sec, seda_serial_sec,
+                   sap_serial_sec / sap_wall, seda_serial_sec / seda_wall);
     }
     const double sap_sec = sap_round.total().sec();
     const double seda_sec = seda_round.total_time().sec();

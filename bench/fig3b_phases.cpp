@@ -6,24 +6,35 @@
 // N; the measurement phase is constant — every device attests in
 // parallel at t_att — and dominates.
 #include <cstdio>
+#include <vector>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/swarm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
 
   sap::SapConfig cfg;  // paper parameters
+  cfg.sim.threads = args.threads;
   Table table({"N", "inbound (ms)", "slack (ms)", "measurement (ms)",
                "outbound (ms)", "total (s)"});
 
-  for (std::uint32_t n : {100u, 1'000u, 10'000u, 100'000u, 1'000'000u}) {
+  std::vector<std::uint32_t> sizes = {100u, 1'000u, 10'000u, 100'000u,
+                                      1'000'000u};
+  if (args.devices != 0) sizes = {args.devices};
+
+  for (std::uint32_t n : sizes) {
+    const benchargs::WallTimer wall;
     auto sim = sap::SapSimulation::balanced(cfg, n);
     const auto r = sim.run_round();
     if (!r.verified) {
       std::fprintf(stderr, "N=%u: round failed to verify!\n", n);
       return 1;
     }
+    std::fprintf(stderr, "wall: N=%u threads=%u sap=%.3fs\n", n, args.threads,
+                 wall.sec());
     table.add_row({Table::count(n), Table::num(r.inbound().ms(), 2),
                    Table::num(r.slack().ms(), 2),
                    Table::num(r.measurement().ms(), 1),

@@ -28,7 +28,7 @@ sim::Duration Network::link_delay(std::size_t payload_bytes) const noexcept {
 
 void Network::deliver(Message msg, sim::Duration delay,
                       std::uint32_t charged_hops) {
-  if (!handler_) {
+  if (!handler_ && !router_) {
     throw std::logic_error("Network: handler not set before send");
   }
   const std::uint64_t wire_bytes =
@@ -59,6 +59,10 @@ void Network::deliver(Message msg, sim::Duration delay,
   bytes_transmitted_ += wire_bytes;
   if (per_link_accounting_) {
     per_link_bytes_[link_key(msg.src, msg.dst)] += wire_bytes;
+  }
+  if (router_) {
+    router_(std::move(msg), scheduler_.now() + delay);
+    return;
   }
   scheduler_.schedule_after(
       delay, [this, m = std::move(msg)]() mutable { handler_(m); });
@@ -117,6 +121,7 @@ void Network::set_loss_rate(double p, std::uint64_t seed) {
     throw std::invalid_argument("set_loss_rate: p must be in [0,1]");
   }
   loss_rate_ = p;
+  loss_seed_ = seed;
   loss_rng_ = Rng(seed ^ 0x106f5f2d1c0ffee5ULL);
 }
 

@@ -61,6 +61,12 @@ class Network {
  public:
   using Handler = std::function<void(const Message&)>;
   using TamperHook = std::function<TamperResult(const Message&)>;
+  /// Delivery override for the sharded engine: receives the message and
+  /// its absolute arrival time instead of the default schedule-on-own-
+  /// scheduler path. The router owns getting the message to the
+  /// destination's shard (sim::ParallelScheduler::post) and invoking the
+  /// protocol handler there.
+  using Router = std::function<void(Message msg, sim::SimTime deliver_at)>;
 
   Network(sim::Scheduler& scheduler, LinkParams params);
 
@@ -70,6 +76,11 @@ class Network {
   /// Deliver callback for all nodes; the protocol driver dispatches on
   /// Message::dst. Must be set before any send().
   void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Route deliveries through the sharded engine instead of this
+  /// network's own scheduler (loss, tamper and accounting still happen
+  /// here, on the sending side). Unset = classic single-queue delivery.
+  void set_router(Router router) { router_ = std::move(router); }
 
   /// Send over one direct link (src and dst adjacent). Delay is
   /// transmission (size/µ) + per-hop latency; bytes are charged to the
@@ -96,6 +107,10 @@ class Network {
   /// --- Fault / adversary injection ---
   void set_loss_rate(double p, std::uint64_t seed = 0);
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
+  double loss_rate() const noexcept { return loss_rate_; }
+  std::uint64_t loss_seed() const noexcept { return loss_seed_; }
+  bool has_tamper_hook() const noexcept { return static_cast<bool>(tamper_); }
+  bool per_link_accounting() const noexcept { return per_link_accounting_; }
 
   /// Delay model exposed for analytical checks: time for one message of
   /// `payload_bytes` to cross one link.
@@ -110,8 +125,10 @@ class Network {
   sim::Scheduler& scheduler_;
   LinkParams params_;
   Handler handler_;
+  Router router_;
   TamperHook tamper_;
   double loss_rate_ = 0.0;
+  std::uint64_t loss_seed_ = 0;
   Rng loss_rng_{0};
   bool per_link_accounting_ = false;
   std::uint64_t bytes_transmitted_ = 0;

@@ -14,6 +14,7 @@
 #include "crypto/hmac.hpp"
 #include "device/attest_tcb.hpp"
 #include "net/network.hpp"
+#include "sim/parallel.hpp"
 #include "sim/time.hpp"
 
 namespace cra::sap {
@@ -87,6 +88,13 @@ struct SapConfig {
   /// deadline re-poll the child (one retry round) before flushing.
   bool retransmit = false;
   std::uint32_t max_retries = 2;
+
+  /// Simulation engine knobs. threads=1 (default) is the classic
+  /// single-threaded engine, bit-for-bit identical to previous
+  /// behavior; threads>1 shards the swarm across a worker pool
+  /// (conservative lookahead = link.per_hop_latency — see
+  /// docs/simulation.md for the determinism guarantees).
+  sim::SimConfig sim{};
 
   std::size_t token_size() const noexcept {
     return crypto::digest_size(alg);

@@ -48,6 +48,62 @@ SapSimulation::SapSimulation(SapConfig config, net::Tree tree,
     pos_of_[i] = i;
   }
   recompute_subtree_sizes();
+  setup_engine();
+}
+
+void SapSimulation::setup_engine() {
+  // Sharding needs a positive conservative lookahead: the minimum
+  // latency of any message is the per-hop processing latency (payloads
+  // can be empty, transmission time can round to zero). A zero-latency
+  // link admits no lookahead, so such configs stay single-threaded.
+  if (!config_.sim.sharded() || config_.link.per_hop_latency <= sim::Duration::zero()) {
+    shard_stats_.resize(1);
+    return;
+  }
+  engine_ = std::make_unique<sim::ParallelScheduler>(
+      tree_.size(), config_.sim, config_.link.per_hop_latency);
+  shard_stats_.resize(engine_->shard_count());
+  shard_nets_.reserve(engine_->shard_count());
+  for (std::uint32_t s = 0; s < engine_->shard_count(); ++s) {
+    auto net = std::make_unique<net::Network>(engine_->shard(s), config_.link);
+    net->set_handler([this](const net::Message& m) { on_message(m); });
+    // Deliveries cross shard boundaries through the engine's mailboxes;
+    // the arrival time carries the full link delay, which is >= the
+    // engine's lookahead by construction.
+    net->set_router([this](net::Message m, sim::SimTime at) {
+      engine_->post(m.dst, at,
+                    [this, m = std::move(m)] { on_message(m); });
+    });
+    shard_nets_.push_back(std::move(net));
+  }
+}
+
+void SapSimulation::sync_shard_networks() {
+  // network_ is the public configuration surface; mirror its fault
+  // settings onto the per-shard networks each round. Loss draws come
+  // from per-shard deterministic sub-streams (seeded by shard index and
+  // round), so a lossy parallel run is a pure function of (seed, shard
+  // count) — independent of thread count and OS scheduling.
+  if (network_.has_tamper_hook()) {
+    throw std::logic_error(
+        "SapSimulation: tamper hooks require the single-threaded engine "
+        "(construct with config.sim.threads == 1)");
+  }
+  if (network_.per_link_accounting()) {
+    throw std::logic_error(
+        "SapSimulation: per-link accounting requires the single-threaded "
+        "engine (construct with config.sim.threads == 1)");
+  }
+  for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    shard_nets_[s]->reset_accounting();
+    if (network_.loss_rate() > 0.0) {
+      SplitMix64 mix(network_.loss_seed() +
+                     0x9e3779b97f4a7c15ULL * (s + 1) + rounds_run_);
+      shard_nets_[s]->set_loss_rate(network_.loss_rate(), mix.next());
+    } else {
+      shard_nets_[s]->set_loss_rate(0.0);
+    }
+  }
 }
 
 void SapSimulation::recompute_subtree_sizes() {
@@ -128,7 +184,7 @@ void SapSimulation::set_device_unresponsive(net::NodeId id,
 void SapSimulation::set_clock_skew(net::NodeId id, sim::Duration skew) {
   dev(id).skew_ns = skew.ns();
   if (dev(id).vm != nullptr) {
-    dev(id).vm->sync_clock(scheduler_.now(), skew);
+    dev(id).vm->sync_clock(current_time(), skew);
   }
 }
 
@@ -173,6 +229,10 @@ void SapSimulation::attach_vm(net::NodeId id, device::Device* vm) {
 }
 
 void SapSimulation::advance_time(sim::Duration d) {
+  if (engine_) {
+    engine_->run_until(engine_->now() + d);
+    return;
+  }
   scheduler_.run_until(scheduler_.now() + d);
 }
 
@@ -183,19 +243,21 @@ void SapSimulation::set_qoa(QoaMode mode) {
   config_.qoa = mode;
 }
 
-Bytes SapSimulation::compute_token(net::NodeId id, std::uint32_t tick) {
+Bytes SapSimulation::compute_token(net::NodeId pos, std::uint32_t tick) {
+  const net::NodeId id = dev_at_[pos];
   Dev& d = dev(id);
+  const sim::SimTime now = sched(pos).now();
   if (d.vm != nullptr) {
     // Full-fidelity path: synchronize the VM's secure clock with global
     // time (the network-wide clock), then run the real attest TCB.
-    d.vm->sync_clock(scheduler_.now(), sim::Duration(d.skew_ns));
+    d.vm->sync_clock(now, sim::Duration(d.skew_ns));
     d.vm->invoke_attest(tick);
     return d.vm->read_token();
   }
   // Synthetic path: the device's clock check, then
   // HMAC_{K}(content || chal) — content stands in for PMEM(mi, t).
   const std::uint32_t local_tick = clock_.read_at_time(
-      scheduler_.now(), sim::Duration(d.skew_ns));
+      now, sim::Duration(d.skew_ns));
   if (local_tick != tick) {
     return Bytes(config_.token_size(), 0);
   }
@@ -231,15 +293,18 @@ RoundReport SapSimulation::run_round() {
   root_waiting_ = static_cast<std::uint32_t>(tree_.children(0).size());
   root_count_ = 0;
   root_got_children_.clear();
-  repolls_ = 0;
   root_token_.assign(config_.token_size(), 0);
   root_reports_.clear();
   network_.reset_accounting();
+  if (engine_) sync_shard_networks();
 
   RoundReport report;
   report.devices = device_count();
-  report.t_chal = scheduler_.now();
-  inbound_end_ = report.t_chal;
+  report.t_chal = current_time();
+  for (ShardStat& st : shard_stats_) {
+    st.inbound_end = report.t_chal;
+    st.repolls = 0;
+  }
 
   // request: pick t_att per Equation 9 (+ slack), quantized to the next
   // secure-clock tick, and flood chal down the tree.
@@ -254,7 +319,7 @@ RoundReport SapSimulation::run_round() {
   const Bytes chal =
       encode_chal(round_tick_, auth_key_, config_.chal_size());
   for (net::NodeId child : tree_.children(0)) {
-    network_.send(0, child, kChalMsg, chal);
+    net_of(0).send(0, child, kChalMsg, chal);
   }
 
   // Give-up deadline for Vrf (covers lost subtrees and repolls).
@@ -267,17 +332,36 @@ RoundReport SapSimulation::run_round() {
       config_.report_margin *
           static_cast<std::int64_t>(tree_.max_depth() + 2);
   t_resp_ = vrf_deadline;
-  root_deadline_ = scheduler_.schedule_at(
+  root_deadline_ = sched(0).schedule_at(
       vrf_deadline, [this] { root_complete(); });
 
-  scheduler_.run();
+  if (engine_) {
+    engine_->run();
+  } else {
+    scheduler_.run();
+  }
+  ++rounds_run_;
 
-  report.inbound_end = inbound_end_;
+  report.inbound_end = report.t_chal;
+  report.repolls = 0;
+  for (const ShardStat& st : shard_stats_) {
+    if (st.inbound_end > report.inbound_end) {
+      report.inbound_end = st.inbound_end;
+    }
+    report.repolls += st.repolls;
+  }
   report.t_resp = t_resp_;
-  report.u_ca_bytes = network_.bytes_transmitted();
-  report.messages = network_.messages_sent();
-  report.dropped = network_.messages_dropped();
-  report.repolls = repolls_;
+  if (engine_) {
+    for (const auto& net : shard_nets_) {
+      report.u_ca_bytes += net->bytes_transmitted();
+      report.messages += net->messages_sent();
+      report.dropped += net->messages_dropped();
+    }
+  } else {
+    report.u_ca_bytes = network_.bytes_transmitted();
+    report.messages = network_.messages_sent();
+    report.dropped = network_.messages_dropped();
+  }
 
   switch (config_.qoa) {
     case QoaMode::kBinary:
@@ -338,24 +422,25 @@ void SapSimulation::handle_chal(net::NodeId pos, const net::Message& msg) {
   // the monotonically increasing clock buys in §V-C: chal can never
   // repeat, because a tick in the local past is plainly unanswerable —
   // no global round state needed).
+  const sim::SimTime now = sched(pos).now();
   const std::uint32_t local_now =
-      clock_.read_at_time(scheduler_.now(), sim::Duration(d.skew_ns));
+      clock_.read_at_time(now, sim::Duration(d.skew_ns));
   if (chal->tick < local_now) return;
   d.got_chal = true;
   d.tick = chal->tick;
-  if (scheduler_.now() > inbound_end_) inbound_end_ = scheduler_.now();
+  ShardStat& st = stat(pos);
+  if (now > st.inbound_end) st.inbound_end = now;
 
   // Forward chal immediately to all children.
   for (net::NodeId child : tree_.children(pos)) {
-    network_.send(pos, child, kChalMsg, msg.payload);
+    net_of(pos).send(pos, child, kChalMsg, msg.payload);
   }
 
   // Schedule attest when the device's own clock reaches the tick.
   const sim::SimTime fire_global =
       clock_.tick_to_time(chal->tick) - sim::Duration(d.skew_ns);
-  const sim::SimTime when =
-      fire_global > scheduler_.now() ? fire_global : scheduler_.now();
-  scheduler_.schedule_at(when, [this, pos] { run_attest(pos); });
+  const sim::SimTime when = fire_global > now ? fire_global : now;
+  sched(pos).schedule_at(when, [this, pos] { run_attest(pos); });
 
   // Inner nodes arm a report deadline in case children go silent.
   if (!tree_.children(pos).empty()) {
@@ -367,10 +452,10 @@ void SapSimulation::run_attest(net::NodeId pos) {
   const net::NodeId id = dev_at_[pos];
   Dev& d = dev(id);
   if (d.unresponsive) return;
-  Bytes token = compute_token(id, d.tick);
+  Bytes token = compute_token(pos, d.tick);
   // Token is ready T_att after invocation (per this device's hardware
   // class); aggregation happens then.
-  scheduler_.schedule_after(
+  sched(pos).schedule_after(
       attest_time_for(id),
       [this, pos, t = std::move(token)]() mutable {
         accumulate_self(pos, std::move(t));
@@ -428,7 +513,7 @@ void SapSimulation::handle_repoll(net::NodeId pos) {
   if (!d.got_chal) return;  // never saw the round
   if (!d.sent_payload.empty()) {
     // Resend the cached report.
-    network_.send(pos, tree_.parent(pos), kTokenMsg, d.sent_payload);
+    net_of(pos).send(pos, tree_.parent(pos), kTokenMsg, d.sent_payload);
   }
   // If not yet flushed, the pending deadline/forward path will answer.
 }
@@ -436,7 +521,7 @@ void SapSimulation::handle_repoll(net::NodeId pos) {
 void SapSimulation::try_forward(net::NodeId pos) {
   Dev& d = dev_at_pos(pos);
   if (d.sent || !d.responded_self || d.waiting != 0) return;
-  scheduler_.cancel(d.deadline);
+  sched(pos).cancel(d.deadline);
   send_report(pos);
 }
 
@@ -445,14 +530,14 @@ void SapSimulation::flush(net::NodeId pos) {
   if (d.sent) return;
   if (config_.retransmit && d.retries < config_.max_retries) {
     ++d.retries;
-    ++repolls_;
+    ++stat(pos).repolls;
     for (net::NodeId child : tree_.children(pos)) {
       // Re-poll only children whose token never arrived — a duplicate
       // answer from a healthy child would be discarded anyway, so don't
       // burn bandwidth asking for it.
       if (std::find(d.got_children.begin(), d.got_children.end(), child) ==
           d.got_children.end()) {
-        network_.send(pos, child, kRepollMsg, Bytes{});
+        net_of(pos).send(pos, child, kRepollMsg, Bytes{});
       }
     }
     schedule_deadline(pos);
@@ -487,15 +572,15 @@ void SapSimulation::send_report(net::NodeId pos) {
   d.sent = true;
   d.sent_payload = payload;
   const net::NodeId parent = tree_.parent(pos);
-  scheduler_.schedule_after(agg, [this, pos, parent,
+  sched(pos).schedule_after(agg, [this, pos, parent,
                                   p = std::move(payload)]() mutable {
-    network_.send(pos, parent, kTokenMsg, std::move(p));
+    net_of(pos).send(pos, parent, kTokenMsg, std::move(p));
   });
 }
 
 void SapSimulation::schedule_deadline(net::NodeId pos) {
   Dev& d = dev_at_pos(pos);
-  d.deadline = scheduler_.schedule_at(node_deadline(pos),
+  d.deadline = sched(pos).schedule_at(node_deadline(pos),
                                       [this, pos] { flush(pos); });
 }
 
@@ -576,7 +661,7 @@ void SapSimulation::root_receive(const net::Message& msg) {
   }
   if (root_waiting_ > 0) --root_waiting_;
   if (root_waiting_ == 0) {
-    scheduler_.cancel(root_deadline_);
+    sched(0).cancel(root_deadline_);
     root_complete();
   }
 }
@@ -584,7 +669,7 @@ void SapSimulation::root_receive(const net::Message& msg) {
 void SapSimulation::root_complete() {
   if (root_done_) return;
   root_done_ = true;
-  t_resp_ = scheduler_.now();
+  t_resp_ = sched(0).now();
 }
 
 }  // namespace cra::sap

@@ -33,6 +33,7 @@
 #include "sap/config.hpp"
 #include "sap/report.hpp"
 #include "sap/verifier.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 
 namespace cra::sap {
@@ -59,6 +60,18 @@ class SapSimulation {
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   const device::SecureClock& clock() const noexcept { return clock_; }
   std::uint32_t device_count() const noexcept { return tree_.device_count(); }
+
+  /// True when rounds execute on the sharded engine (config().sim asked
+  /// for more than one shard and the link latency admits a lookahead).
+  bool parallel() const noexcept { return engine_ != nullptr; }
+  /// The sharded engine, or nullptr in classic single-threaded mode.
+  const sim::ParallelScheduler* engine() const noexcept {
+    return engine_.get();
+  }
+  /// Current simulated time regardless of engine mode.
+  sim::SimTime current_time() const noexcept {
+    return engine_ ? engine_->now() : scheduler_.now();
+  }
 
   // --- Adversary / fault injection (between rounds) ---
   /// Infect device `id`: its actual content diverges from cfg_i.
@@ -143,10 +156,34 @@ class SapSimulation {
     sim::EventHandle deadline;
   };
 
+  /// Per-shard round accounting. Every field is written only by the
+  /// shard's own worker (protocol handlers are shard-confined), then
+  /// reduced on the main thread after the run; cacheline-aligned so
+  /// neighbouring shards never share a line.
+  struct alignas(64) ShardStat {
+    sim::SimTime inbound_end;
+    std::uint32_t repolls = 0;
+  };
+
   Dev& dev(net::NodeId id) { return devices_[id - 1]; }
   const Dev& dev(net::NodeId id) const { return devices_[id - 1]; }
   /// Device state of the occupant of tree position `pos`.
   Dev& dev_at_pos(net::NodeId pos) { return dev(dev_at_[pos]); }
+
+  // Engine routing: protocol handlers never touch scheduler_/network_
+  // directly — they go through the shard owning the tree position, which
+  // in single-threaded mode is always the classic single pair.
+  sim::Scheduler& sched(net::NodeId pos) noexcept {
+    return engine_ ? engine_->shard_for(pos) : scheduler_;
+  }
+  net::Network& net_of(net::NodeId pos) noexcept {
+    return engine_ ? *shard_nets_[engine_->shard_of(pos)] : network_;
+  }
+  ShardStat& stat(net::NodeId pos) noexcept {
+    return shard_stats_[engine_ ? engine_->shard_of(pos) : 0];
+  }
+  void setup_engine();
+  void sync_shard_networks();
 
   // Protocol handlers are keyed by tree *position*; identity-bound state
   // (keys, content) is reached through the position->device map.
@@ -169,12 +206,21 @@ class SapSimulation {
   void root_receive(const net::Message& msg);
   void root_complete();
 
-  Bytes compute_token(net::NodeId id, std::uint32_t tick);
+  Bytes compute_token(net::NodeId pos, std::uint32_t tick);
 
   SapConfig config_;
   net::Tree tree_;
   sim::Scheduler scheduler_;
   net::Network network_;
+  // Sharded engine (only when config_.sim asks for >1 shard): one
+  // Scheduler per shard inside engine_, plus one Network per shard bound
+  // to that shard's scheduler, all routing deliveries through the
+  // engine's mailboxes. network_ stays the configuration surface (loss
+  // rate etc.) and is mirrored into the shard networks each round.
+  std::unique_ptr<sim::ParallelScheduler> engine_;
+  std::vector<std::unique_ptr<net::Network>> shard_nets_;
+  std::vector<ShardStat> shard_stats_;
+  std::uint64_t rounds_run_ = 0;
   device::SecureClock clock_;
   Verifier verifier_;
   Bytes auth_key_;
@@ -183,17 +229,16 @@ class SapSimulation {
   std::vector<net::NodeId> dev_at_;          // position -> device id
   std::vector<net::NodeId> pos_of_;          // device id -> position
 
-  // Round bookkeeping.
+  // Round bookkeeping. Root state is only ever touched by the shard
+  // owning tree position 0; per-shard counters live in shard_stats_.
   bool round_active_ = false;
   std::uint32_t round_tick_ = 0;
   sim::SimTime t_att_time_;
-  sim::SimTime inbound_end_;
   sim::SimTime t_resp_;
   bool root_done_ = false;
   std::uint32_t root_waiting_ = 0;
   std::uint32_t root_count_ = 0;
   std::vector<net::NodeId> root_got_children_;
-  std::uint32_t repolls_ = 0;
   Bytes root_token_;
   std::vector<DeviceReport> root_reports_;
   sim::EventHandle root_deadline_;

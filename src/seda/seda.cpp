@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/rng.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/ct.hpp"
 #include "crypto/kdf.hpp"
@@ -47,6 +48,7 @@ SedaSimulation::SedaSimulation(SedaConfig config, net::Tree tree,
     d.static_pk = crypto::x25519_base(d.static_sk);
   }
   network_.set_handler([this](const net::Message& m) { on_message(m); });
+  setup_engine();
 }
 
 SedaSimulation SedaSimulation::balanced(SedaConfig config,
@@ -54,6 +56,69 @@ SedaSimulation SedaSimulation::balanced(SedaConfig config,
                                         std::uint64_t seed) {
   return SedaSimulation(
       config, net::balanced_kary_tree(devices, config.tree_arity), seed);
+}
+
+void SedaSimulation::setup_engine() {
+  // Sharding needs a positive conservative lookahead: the minimum
+  // latency of any message is the per-hop processing latency. Configs
+  // with zero-latency links stay single-threaded.
+  if (!config_.sim.sharded() ||
+      config_.link.per_hop_latency <= sim::Duration::zero()) {
+    shard_stats_.resize(1);
+    return;
+  }
+  engine_ = std::make_unique<sim::ParallelScheduler>(
+      tree_.size(), config_.sim, config_.link.per_hop_latency);
+  shard_stats_.resize(engine_->shard_count());
+  shard_nets_.reserve(engine_->shard_count());
+  for (std::uint32_t s = 0; s < engine_->shard_count(); ++s) {
+    auto net = std::make_unique<net::Network>(engine_->shard(s), config_.link);
+    net->set_handler([this](const net::Message& m) { on_message(m); });
+    // Deliveries cross shard boundaries through the engine's mailboxes;
+    // the arrival time carries the full link delay, which is >= the
+    // engine's lookahead by construction.
+    net->set_router([this](net::Message m, sim::SimTime at) {
+      engine_->post(m.dst, at,
+                    [this, m = std::move(m)] { on_message(m); });
+    });
+    shard_nets_.push_back(std::move(net));
+  }
+}
+
+void SedaSimulation::sync_shard_networks() {
+  // network_ is the public configuration surface; mirror its fault
+  // settings onto the per-shard networks before each run. Loss draws
+  // come from per-shard deterministic sub-streams so a lossy parallel
+  // run is a pure function of (seed, shard count).
+  if (network_.has_tamper_hook()) {
+    throw std::logic_error(
+        "SedaSimulation: tamper hooks require the single-threaded engine "
+        "(construct with config.sim.threads == 1)");
+  }
+  if (network_.per_link_accounting()) {
+    throw std::logic_error(
+        "SedaSimulation: per-link accounting requires the single-threaded "
+        "engine (construct with config.sim.threads == 1)");
+  }
+  for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    shard_nets_[s]->reset_accounting();
+    if (network_.loss_rate() > 0.0) {
+      SplitMix64 mix(network_.loss_seed() +
+                     0x9e3779b97f4a7c15ULL * (s + 1) + rounds_run_);
+      shard_nets_[s]->set_loss_rate(network_.loss_rate(), mix.next());
+    } else {
+      shard_nets_[s]->set_loss_rate(0.0);
+    }
+  }
+}
+
+void SedaSimulation::run_engine() {
+  if (engine_) {
+    engine_->run();
+  } else {
+    scheduler_.run();
+  }
+  ++rounds_run_;
 }
 
 void SedaSimulation::compromise_device(net::NodeId id) {
@@ -70,6 +135,10 @@ void SedaSimulation::set_device_unresponsive(net::NodeId id,
 }
 
 void SedaSimulation::advance_time(sim::Duration d) {
+  if (engine_) {
+    engine_->run_until(engine_->now() + d);
+    return;
+  }
   scheduler_.run_until(scheduler_.now() + d);
 }
 
@@ -156,20 +225,34 @@ bool SedaSimulation::report_authentic(net::NodeId child,
 
 SedaJoinReport SedaSimulation::run_join() {
   network_.reset_accounting();
+  if (engine_) sync_shard_networks();
   join_acks_done_ = 0;
-  const sim::SimTime start = scheduler_.now();
+  for (ShardStat& st : shard_stats_) {
+    st.join_acks = 0;
+  }
+  const sim::SimTime start = current_time();
   // Vrf invites its children, carrying its public key; invites cascade.
   for (net::NodeId child : tree_.children(0)) {
     Bytes invite = vrf_pk_;
-    network_.send(0, child, kJoinInviteMsg, std::move(invite));
+    net_of(0).send(0, child, kJoinInviteMsg, std::move(invite));
   }
-  scheduler_.run();
+  run_engine();
 
+  for (const ShardStat& st : shard_stats_) {
+    join_acks_done_ += st.join_acks;
+  }
   SedaJoinReport report;
   report.edges = device_count();
-  report.total_time = scheduler_.now() - start;
-  report.bytes = network_.bytes_transmitted();
-  report.messages = network_.messages_sent();
+  report.total_time = current_time() - start;
+  if (engine_) {
+    for (const auto& net : shard_nets_) {
+      report.bytes += net->bytes_transmitted();
+      report.messages += net->messages_sent();
+    }
+  } else {
+    report.bytes = network_.bytes_transmitted();
+    report.messages = network_.messages_sent();
+  }
   report.complete = join_acks_done_ == device_count();
   for (net::NodeId id = 1; id <= device_count() && report.complete; ++id) {
     report.complete = dev(id).joined;
@@ -190,11 +273,11 @@ void SedaSimulation::handle_join_invite(net::NodeId id,
   d.parent_pk = msg.payload;
   // Cascade the invite with OUR public key before grinding the DH.
   for (net::NodeId child : tree_.children(id)) {
-    network_.send(id, child, kJoinInviteMsg, d.static_pk);
+    net_of(id).send(id, child, kJoinInviteMsg, d.static_pk);
   }
   const sim::Duration dh =
       sim::cycles_to_time(config_.dh_cycles, config_.device_hz);
-  scheduler_.schedule_after(dh, [this, id] {
+  sched(id).schedule_after(dh, [this, id] {
     Dev& dd = dev(id);
     const Bytes shared = crypto::x25519(dd.static_sk, dd.parent_pk);
     dd.key_to_parent = crypto::hkdf(shared, /*salt=*/{},
@@ -202,7 +285,7 @@ void SedaSimulation::handle_join_invite(net::NodeId id,
                                     crypto::digest_size(config_.alg));
     dd.joined = true;
     // Ack upward with our public key so the parent can derive its half.
-    network_.send(id, tree_.parent(id), kJoinAckMsg, dd.static_pk);
+    net_of(id).send(id, tree_.parent(id), kJoinAckMsg, dd.static_pk);
   });
 }
 
@@ -217,19 +300,19 @@ void SedaSimulation::handle_join_ack(net::NodeId parent,
     key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
                                          to_bytes("seda-pairwise"),
                                          crypto::digest_size(config_.alg));
-    ++join_acks_done_;
+    ++stat(0).join_acks;
     return;
   }
   if (dev(parent).unresponsive) return;
   const Bytes child_pk = msg.payload;
   const sim::Duration dh =
       sim::cycles_to_time(config_.dh_cycles, config_.device_hz);
-  scheduler_.schedule_after(dh, [this, parent, child, child_pk] {
+  sched(parent).schedule_after(dh, [this, parent, child, child_pk] {
     const Bytes shared = crypto::x25519(dev(parent).static_sk, child_pk);
     key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
                                          to_bytes("seda-pairwise"),
                                          crypto::digest_size(config_.alg));
-    ++join_acks_done_;
+    ++stat(parent).join_acks;
   });
 }
 
@@ -256,41 +339,55 @@ SedaRoundReport SedaSimulation::run_round() {
   root_passed_ = 0;
   root_got_children_.clear();
   mac_failures_ = 0;
+  for (ShardStat& st : shard_stats_) {
+    st.mac_failures = 0;
+  }
   network_.reset_accounting();
+  if (engine_) sync_shard_networks();
 
   SedaRoundReport report;
   report.devices = device_count();
-  report.t_req = scheduler_.now();
+  report.t_req = current_time();
 
   // Fresh nonce + (modelled) signature from Vrf.
   crypto::SecureRandom nonce_rng(
-      static_cast<std::uint64_t>(scheduler_.now().ns()) ^ 0x6e6f6e6365ULL);
+      static_cast<std::uint64_t>(current_time().ns()) ^ 0x6e6f6e6365ULL);
   round_nonce_ = nonce_rng.bytes(config_.nonce_size);
   Bytes request = round_nonce_;
   request.resize(config_.request_size(), 0xa5);  // signature placeholder
 
   for (net::NodeId child : tree_.children(0)) {
-    network_.send(0, child, kRequestMsg, request);
+    net_of(0).send(0, child, kRequestMsg, request);
   }
 
   // Vrf give-up deadline.
   const sim::SimTime give_up =
-      scheduler_.now() +
+      current_time() +
       predicted_total(tree_.max_depth() == 0 ? 1 : tree_.max_depth()) +
       config_.report_margin *
           static_cast<std::int64_t>(tree_.max_depth() + 2);
   t_resp_ = give_up;
-  root_deadline_ = scheduler_.schedule_at(give_up, [this] { root_complete(); });
+  root_deadline_ = sched(0).schedule_at(give_up, [this] { root_complete(); });
 
-  scheduler_.run();
+  run_engine();
 
+  for (const ShardStat& st : shard_stats_) {
+    mac_failures_ += st.mac_failures;
+  }
   report.t_resp = t_resp_;
   report.total = root_total_;
   report.passed = root_passed_;
   report.verified =
       root_total_ == device_count() && root_passed_ == device_count();
-  report.u_ca_bytes = network_.bytes_transmitted();
-  report.messages = network_.messages_sent();
+  if (engine_) {
+    for (const auto& net : shard_nets_) {
+      report.u_ca_bytes += net->bytes_transmitted();
+      report.messages += net->messages_sent();
+    }
+  } else {
+    report.u_ca_bytes = network_.bytes_transmitted();
+    report.messages = network_.messages_sent();
+  }
   report.mac_failures = mac_failures_;
   round_active_ = false;
   return report;
@@ -332,10 +429,10 @@ void SedaSimulation::handle_request(net::NodeId id, const net::Message& msg) {
   // Forward to children immediately; signature verification and the
   // self-measurement then occupy this device's CPU.
   for (net::NodeId child : tree_.children(id)) {
-    network_.send(id, child, kRequestMsg, msg.payload);
+    net_of(id).send(id, child, kRequestMsg, msg.payload);
   }
-  scheduler_.schedule_after(sig_verify_time() + attest_time(),
-                            [this, id] { self_attested(id); });
+  sched(id).schedule_after(sig_verify_time() + attest_time(),
+                           [this, id] { self_attested(id); });
 
   if (!tree_.children(id).empty()) {
     const std::uint32_t levels_below = tree_.max_depth() - tree_.depth(id);
@@ -347,14 +444,14 @@ void SedaSimulation::handle_request(net::NodeId id, const net::Message& msg) {
     const sim::Duration agg =
         sim::cycles_to_time(config_.aggregate_cycles, config_.device_hz);
     const sim::SimTime deadline =
-        scheduler_.now() +
+        sched(id).now() +
         hop_req * static_cast<std::int64_t>(levels_below) +
         sig_verify_time() + attest_time() +
         (hop_rep + verify + agg) * static_cast<std::int64_t>(levels_below) +
         // Height-scaled margin: a descendant flushing at its own deadline
         // must still beat ours (see sap::SapSimulation::node_deadline).
         config_.report_margin * static_cast<std::int64_t>(levels_below + 1);
-    d.deadline = scheduler_.schedule_at(deadline, [this, id] { flush(id); });
+    d.deadline = sched(id).schedule_at(deadline, [this, id] { flush(id); });
   }
 }
 
@@ -382,11 +479,11 @@ void SedaSimulation::handle_report(net::NodeId id, const net::Message& msg) {
   const Bytes payload = msg.payload;
   const sim::Duration verify =
       mac_time(config_, config_.report_size() + config_.nonce_size);
-  scheduler_.schedule_after(verify, [this, id, child, payload] {
+  sched(id).schedule_after(verify, [this, id, child, payload] {
     Dev& dd = dev(id);
     if (dd.sent) return;
     if (!report_authentic(child, payload)) {
-      ++mac_failures_;  // forged/tampered report: drop it
+      ++stat(id).mac_failures;  // forged/tampered report: drop it
     } else {
       dd.total += read_u32le(payload, 0);
       dd.passed += read_u32le(payload, 4);
@@ -399,7 +496,7 @@ void SedaSimulation::handle_report(net::NodeId id, const net::Message& msg) {
 void SedaSimulation::try_forward(net::NodeId id) {
   Dev& d = dev(id);
   if (d.sent || !d.self_done || d.waiting != 0) return;
-  scheduler_.cancel(d.deadline);
+  sched(id).cancel(d.deadline);
   send_report(id);
 }
 
@@ -416,8 +513,8 @@ void SedaSimulation::send_report(net::NodeId id) {
       sim::cycles_to_time(config_.aggregate_cycles, config_.device_hz);
   const Bytes payload = report_payload(id, d.total, d.passed);
   const net::NodeId parent = tree_.parent(id);
-  scheduler_.schedule_after(agg, [this, id, parent, payload] {
-    network_.send(id, parent, kReportMsg, payload);
+  sched(id).schedule_after(agg, [this, id, parent, payload] {
+    net_of(id).send(id, parent, kReportMsg, payload);
   });
 }
 
@@ -429,14 +526,14 @@ void SedaSimulation::root_receive(const net::Message& msg) {
   }
   root_got_children_.push_back(msg.src);
   if (!report_authentic(msg.src, msg.payload)) {
-    ++mac_failures_;
+    ++stat(0).mac_failures;
   } else {
     root_total_ += read_u32le(msg.payload, 0);
     root_passed_ += read_u32le(msg.payload, 4);
   }
   if (root_waiting_ > 0) --root_waiting_;
   if (root_waiting_ == 0) {
-    scheduler_.cancel(root_deadline_);
+    sched(0).cancel(root_deadline_);
     root_complete();
   }
 }
@@ -444,7 +541,7 @@ void SedaSimulation::root_receive(const net::Message& msg) {
 void SedaSimulation::root_complete() {
   if (root_done_) return;
   root_done_ = true;
-  t_resp_ = scheduler_.now();
+  t_resp_ = sched(0).now();
 }
 
 }  // namespace cra::seda

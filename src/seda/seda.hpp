@@ -27,12 +27,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 
 namespace cra::seda {
@@ -65,6 +67,11 @@ struct SedaConfig {
   std::uint32_t report_mac_size = 12;
 
   sim::Duration report_margin = sim::Duration::from_ms(20);
+
+  /// Simulation engine knobs (same semantics as sap::SapConfig::sim):
+  /// threads=1 keeps the classic single-threaded engine; threads>1
+  /// shards the swarm with conservative lookahead = link.per_hop_latency.
+  sim::SimConfig sim{};
 
   std::size_t request_size() const noexcept { return nonce_size + sig_size; }
   std::size_t report_size() const noexcept { return 8 + report_mac_size; }
@@ -109,6 +116,18 @@ class SedaSimulation {
   net::Network& network() noexcept { return network_; }
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   std::uint32_t device_count() const noexcept { return tree_.device_count(); }
+
+  /// True when rounds execute on the sharded engine (config().sim asked
+  /// for more than one shard and the link latency admits a lookahead).
+  bool parallel() const noexcept { return engine_ != nullptr; }
+  /// The sharded engine, or nullptr in classic single-threaded mode.
+  const sim::ParallelScheduler* engine() const noexcept {
+    return engine_.get();
+  }
+  /// Current simulated time regardless of engine mode.
+  sim::SimTime current_time() const noexcept {
+    return engine_ ? engine_->now() : scheduler_.now();
+  }
 
   void compromise_device(net::NodeId id);
   void restore_device(net::NodeId id);
@@ -157,7 +176,32 @@ class SedaSimulation {
     sim::EventHandle deadline;
   };
 
+  /// Per-shard round accounting. Each field is written only by the
+  /// shard's own worker (handlers are shard-confined), then reduced on
+  /// the main thread after the run; cacheline-aligned so neighbouring
+  /// shards never share a line.
+  struct alignas(64) ShardStat {
+    std::uint32_t mac_failures = 0;
+    std::uint32_t join_acks = 0;
+  };
+
   Dev& dev(net::NodeId id) { return devices_[id - 1]; }
+
+  // Engine routing: protocol handlers never touch scheduler_/network_
+  // directly — they go through the shard owning the node id, which in
+  // single-threaded mode is always the classic single pair.
+  sim::Scheduler& sched(net::NodeId id) noexcept {
+    return engine_ ? engine_->shard_for(id) : scheduler_;
+  }
+  net::Network& net_of(net::NodeId id) noexcept {
+    return engine_ ? *shard_nets_[engine_->shard_of(id)] : network_;
+  }
+  ShardStat& stat(net::NodeId id) noexcept {
+    return shard_stats_[engine_ ? engine_->shard_of(id) : 0];
+  }
+  void setup_engine();
+  void sync_shard_networks();
+  void run_engine();
 
   Bytes edge_key(net::NodeId child) const;
   void handle_join_invite(net::NodeId id, const net::Message& msg);
@@ -180,6 +224,14 @@ class SedaSimulation {
   net::Tree tree_;
   sim::Scheduler scheduler_;
   net::Network network_;
+  // Sharded engine (only when config_.sim asks for >1 shard): one
+  // Scheduler per shard inside engine_, plus one Network per shard bound
+  // to that shard's scheduler. network_ stays the configuration surface
+  // and is mirrored into the shard networks each round.
+  std::unique_ptr<sim::ParallelScheduler> engine_;
+  std::vector<std::unique_ptr<net::Network>> shard_nets_;
+  std::vector<ShardStat> shard_stats_;
+  std::uint64_t rounds_run_ = 0;
   Bytes master_;
   Bytes round_nonce_;
   std::vector<Dev> devices_;

@@ -1,0 +1,239 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace cra::sim {
+namespace {
+
+// Identifies the engine (and shard) the current thread is executing for,
+// so post() can tell same-shard scheduling from cross-shard mailbox
+// traffic. Thread-locals rather than members: workers of nested or
+// concurrent engines must not observe each other.
+thread_local const ParallelScheduler* tls_engine = nullptr;
+thread_local std::uint32_t tls_shard = 0;
+
+}  // namespace
+
+ParallelScheduler::ParallelScheduler(std::uint32_t entities, SimConfig config,
+                                     Duration lookahead)
+    : lookahead_(lookahead) {
+  if (entities == 0) entities = 1;
+  std::uint32_t shards = config.effective_shards();
+  if (shards == 0) shards = 1;
+  shard_count_ = std::min(shards, entities);
+  threads_ = std::max<std::uint32_t>(1, std::min(config.threads, shard_count_));
+  if (shard_count_ > 1 && lookahead_ <= Duration::zero()) {
+    throw std::invalid_argument(
+        "ParallelScheduler: sharding requires positive lookahead");
+  }
+  block_ = (entities + shard_count_ - 1) / shard_count_;
+  shards_.reserve(shard_count_);
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  lanes_.reserve(static_cast<std::size_t>(shard_count_) * shard_count_);
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(shard_count_) * shard_count_; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+SimTime ParallelScheduler::now() const noexcept {
+  SimTime t = SimTime::zero();
+  for (const auto& s : shards_) {
+    if (s->sched.now() > t) t = s->sched.now();
+  }
+  return t;
+}
+
+std::uint64_t ParallelScheduler::dispatched() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->sched.dispatched();
+  return n;
+}
+
+std::uint64_t ParallelScheduler::cross_shard_posts() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->cross_posts;
+  return n;
+}
+
+void ParallelScheduler::post(std::uint32_t entity, SimTime at, Callback cb) {
+  const std::uint32_t to = shard_of(entity);
+  if (running_ && tls_engine == this && tls_shard != to) {
+    if (at < horizon_) {
+      throw std::logic_error(
+          "ParallelScheduler: cross-shard event inside the lookahead "
+          "window — source latency is below the configured lookahead");
+    }
+    lane(tls_shard, to).items.push_back(Posted{at, std::move(cb)});
+    ++shards_[tls_shard]->cross_posts;
+    return;
+  }
+  // Same shard, or the engine is idle (round setup): schedule directly,
+  // preserving the scheduler's local FIFO order.
+  shard(to).schedule_at(at, std::move(cb));
+}
+
+void ParallelScheduler::drain_into(std::uint32_t s) {
+  for (std::uint32_t from = 0; from < shard_count_; ++from) {
+    Lane& l = lane(from, s);
+    for (Posted& p : l.items) {
+      shards_[s]->sched.schedule_at(p.at, std::move(p.cb));
+    }
+    l.items.clear();
+  }
+}
+
+void ParallelScheduler::sync_clocks() {
+  const SimTime target = now();
+  for (auto& s : shards_) {
+    if (s->sched.now() < target) s->sched.run_until(target);
+  }
+}
+
+std::size_t ParallelScheduler::run() {
+  if (shard_count_ == 1) return shards_[0]->sched.run();
+  for (auto& s : shards_) s->dispatched_run = 0;
+  const std::size_t n = threads_ > 1 ? run_threaded()
+                                     : run_serial_epochs(std::nullopt);
+  sync_clocks();
+  return n;
+}
+
+std::size_t ParallelScheduler::run_until(SimTime until) {
+  if (shard_count_ == 1) return shards_[0]->sched.run_until(until);
+  for (auto& s : shards_) s->dispatched_run = 0;
+  const std::size_t n = run_serial_epochs(until);
+  for (auto& s : shards_) s->sched.run_until(until);
+  return n;
+}
+
+std::size_t ParallelScheduler::run_serial_epochs(
+    std::optional<SimTime> until) {
+  running_ = true;
+  tls_engine = this;
+  // Reset the running flag and the thread-local even when a handler (or
+  // a lookahead-violation check) throws out of the epoch loop.
+  struct Cleanup {
+    ParallelScheduler* self;
+    ~Cleanup() {
+      self->running_ = false;
+      tls_engine = nullptr;
+    }
+  } cleanup{this};
+  std::size_t n = 0;
+  for (;;) {
+    std::optional<SimTime> min_next;
+    for (std::uint32_t s = 0; s < shard_count_; ++s) {
+      tls_shard = s;
+      drain_into(s);
+      const auto next = shards_[s]->sched.peek_next_time();
+      if (next && (!min_next || *next < *min_next)) min_next = next;
+    }
+    if (!min_next || (until && *min_next > *until)) break;
+    horizon_ = *min_next + lookahead_;
+    if (until && horizon_ > *until + Duration::from_ns(1)) {
+      horizon_ = *until + Duration::from_ns(1);  // run_before is exclusive
+    }
+    for (std::uint32_t s = 0; s < shard_count_; ++s) {
+      tls_shard = s;
+      n += shards_[s]->sched.run_before(horizon_);
+    }
+    ++epochs_;
+  }
+  return n;
+}
+
+std::size_t ParallelScheduler::run_threaded() {
+  running_ = true;
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  done_ = false;
+
+  auto record_error = [&]() noexcept {
+    const std::lock_guard<std::mutex> lock(error_mu);
+    if (!error) error = std::current_exception();
+    abort.store(true, std::memory_order_relaxed);
+  };
+
+  // Completion step: runs on exactly one thread while every worker is
+  // parked at a barrier, so it may read all shard `next` fields and
+  // publish the epoch horizon without atomics. std::barrier invokes it
+  // at BOTH the phase-A and phase-B barriers; only the phase-A
+  // completion (when fresh `next` values were just published) computes.
+  bool phase_a = true;
+  auto completion = [this, &abort, &phase_a]() noexcept {
+    if (!phase_a) {
+      phase_a = true;
+      return;
+    }
+    phase_a = false;
+    std::optional<SimTime> min_next;
+    for (const auto& s : shards_) {
+      if (s->next && (!min_next || *s->next < *min_next)) min_next = s->next;
+    }
+    if (!min_next || abort.load(std::memory_order_relaxed)) {
+      done_ = true;
+      return;
+    }
+    horizon_ = *min_next + lookahead_;
+    ++epochs_;
+  };
+  std::barrier sync(threads_, completion);
+
+  auto worker_loop = [this, &sync, &abort, &record_error](std::uint32_t w) {
+    tls_engine = this;
+    for (;;) {
+      // Phase A: drain inbound lanes, publish earliest local event.
+      for (std::uint32_t s = w; s < shard_count_; s += threads_) {
+        tls_shard = s;
+        try {
+          drain_into(s);
+        } catch (...) {
+          record_error();
+        }
+        shards_[s]->next = shards_[s]->sched.peek_next_time();
+      }
+      sync.arrive_and_wait();
+      if (done_) break;
+      // Phase B: execute one lookahead window on each owned shard.
+      for (std::uint32_t s = w; s < shard_count_; s += threads_) {
+        tls_shard = s;
+        try {
+          shards_[s]->dispatched_run += shards_[s]->sched.run_before(horizon_);
+        } catch (...) {
+          record_error();
+        }
+      }
+      sync.arrive_and_wait();
+    }
+    tls_engine = nullptr;
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads_ - 1);
+    for (std::uint32_t w = 1; w < threads_; ++w) {
+      pool.emplace_back(worker_loop, w);
+    }
+    worker_loop(0);
+  }  // jthread joins here
+
+  running_ = false;
+  if (error) std::rethrow_exception(error);
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->dispatched_run;
+  return n;
+}
+
+}  // namespace cra::sim

@@ -1,0 +1,162 @@
+// Sharded parallel discrete-event engine (conservative PDES).
+//
+// The single-threaded Scheduler dispatches a global event queue in time
+// order; a million-device SAP round schedules a few million events on
+// one core. This engine partitions simulation endpoints ("entities" —
+// for the protocol layers, tree positions) into contiguous shards, one
+// classic Scheduler per shard, and runs the shards concurrently over a
+// worker pool. Correctness rests on the classic conservative-lookahead
+// argument (Chandy/Misra/Bryant):
+//
+//   every cross-shard interaction is a message with latency >= L
+//   (the network's minimum link latency), so if no shard holds an
+//   event earlier than T, no cross-shard event can arrive before
+//   T + L — and every shard may safely execute its local events in
+//   [T, T + L) without hearing from anyone.
+//
+// Execution proceeds in epochs. Each epoch has two phases separated by
+// barriers: (A) every shard drains its inbound mailboxes and reports
+// the time of its earliest event; a completion step reduces these to
+// the global minimum T and publishes the horizon T + L; (B) every shard
+// runs run_before(horizon). Events posted across shards during (B) go
+// into per-(source, destination) mailbox lanes — each lane has exactly
+// one writer (the source shard's worker) and one reader (the
+// destination shard's worker), and the phases alternate under a
+// barrier, so the lanes need no locks or atomics at all.
+//
+// Determinism: each shard is a deterministic Scheduler (FIFO among
+// same-time events), mailbox lanes are drained in fixed source-shard
+// order, and the horizon sequence depends only on event timestamps —
+// so a run is a pure function of (inputs, shard count), independent of
+// the number of worker threads and of OS scheduling. With one shard
+// the engine *is* the classic Scheduler: run() forwards directly, so
+// threads=1 reproduces the single-threaded event order bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace cra::sim {
+
+/// Execution knobs for the simulation engine, carried by protocol
+/// configs (sap::SapConfig::sim, seda::SedaConfig::sim).
+struct SimConfig {
+  /// Worker threads. 1 = run on the calling thread (with shards=0 this
+  /// is exactly the classic single-queue engine).
+  std::uint32_t threads = 1;
+  /// Shard count; 0 = one shard per thread. Results are a function of
+  /// the shard count, not the thread count: fix `shards` and any
+  /// `threads` value reproduces the same run (see docs/simulation.md).
+  std::uint32_t shards = 0;
+
+  std::uint32_t effective_shards() const noexcept {
+    return shards != 0 ? shards : threads;
+  }
+  bool sharded() const noexcept { return effective_shards() > 1; }
+};
+
+class ParallelScheduler {
+ public:
+  using Callback = Scheduler::Callback;
+
+  /// Partitions entities 0..entities-1 into contiguous blocks, one per
+  /// shard. `lookahead` is the minimum cross-shard event latency and
+  /// must be positive when more than one shard is configured.
+  ParallelScheduler(std::uint32_t entities, SimConfig config,
+                    Duration lookahead);
+  ~ParallelScheduler();
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  std::uint32_t shard_count() const noexcept { return shard_count_; }
+  std::uint32_t threads() const noexcept { return threads_; }
+  Duration lookahead() const noexcept { return lookahead_; }
+
+  std::uint32_t shard_of(std::uint32_t entity) const noexcept {
+    const std::uint32_t s = entity / block_;
+    return s < shard_count_ ? s : shard_count_ - 1;
+  }
+  Scheduler& shard(std::uint32_t s) noexcept { return shards_[s]->sched; }
+  Scheduler& shard_for(std::uint32_t entity) noexcept {
+    return shard(shard_of(entity));
+  }
+
+  /// Global clock: the maximum of the shard clocks. run()/run_until()
+  /// synchronize every shard to this value on completion, so between
+  /// runs all shards agree on the time.
+  SimTime now() const noexcept;
+
+  /// Schedule `cb` at absolute time `at` on `entity`'s shard. Safe to
+  /// call from any shard's worker while the engine runs: same-shard
+  /// posts schedule directly (preserving local FIFO order); cross-shard
+  /// posts go through the mailbox lanes and must respect the lookahead
+  /// (`at` >= the current epoch horizon), which holds by construction
+  /// for any message of latency >= lookahead. Violations throw
+  /// std::logic_error rather than silently racing.
+  void post(std::uint32_t entity, SimTime at, Callback cb);
+
+  /// Run all shards to global quiescence; returns events dispatched.
+  std::size_t run();
+
+  /// Run events with time <= `until`; every shard clock advances to
+  /// `until`. Single-threaded (used to idle between rounds).
+  std::size_t run_until(SimTime until);
+
+  /// Total events dispatched over the engine's lifetime.
+  std::uint64_t dispatched() const noexcept;
+  /// Barrier windows executed (observability: epochs × 2 barrier waits).
+  std::uint64_t epochs() const noexcept { return epochs_; }
+  /// Events that crossed a shard boundary through the mailbox lanes.
+  std::uint64_t cross_shard_posts() const noexcept;
+
+ private:
+  struct Posted {
+    SimTime at;
+    Callback cb;
+  };
+  // Shards and lanes are heap-allocated and cacheline-aligned so that
+  // workers hammering their own shard never share a line.
+  struct alignas(64) Shard {
+    Scheduler sched;
+    std::optional<SimTime> next;     // written by owner in phase A
+    std::size_t dispatched_run = 0;  // events run in the current run()
+    std::uint64_t cross_posts = 0;   // lane posts originated here
+  };
+  struct alignas(64) Lane {
+    std::vector<Posted> items;  // one writer (src), one reader (dst)
+  };
+
+  Lane& lane(std::uint32_t from, std::uint32_t to) noexcept {
+    return *lanes_[from * shard_count_ + to];
+  }
+  /// Move every lane targeting shard `s` into its scheduler, in fixed
+  /// source-shard order (this is what keeps drains deterministic).
+  void drain_into(std::uint32_t s);
+  void sync_clocks();
+  std::size_t run_serial_epochs(std::optional<SimTime> until);
+  std::size_t run_threaded();
+
+  std::uint32_t shard_count_;
+  std::uint32_t threads_;
+  std::uint32_t block_;
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  // Epoch state: written only while every worker is parked at a barrier
+  // (completion step) or by the single thread of the serial path; the
+  // barrier provides the happens-before for workers reading them.
+  SimTime horizon_;
+  bool done_ = false;
+  bool running_ = false;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace cra::sim

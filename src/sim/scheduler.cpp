@@ -62,6 +62,22 @@ std::size_t Scheduler::run_until(SimTime until) {
   return n;
 }
 
+std::size_t Scheduler::run_before(SimTime limit) {
+  std::size_t n = 0;
+  purge_cancelled();
+  while (!queue_.empty() && queue_.top().at < limit) {
+    if (dispatch_next()) ++n;
+    purge_cancelled();
+  }
+  return n;
+}
+
+std::optional<SimTime> Scheduler::peek_next_time() {
+  purge_cancelled();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().at;
+}
+
 void Scheduler::purge_cancelled() {
   while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
     const std::uint64_t id = queue_.top().id;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -62,10 +63,32 @@ class Scheduler {
   /// advances to `until`). Returns the number dispatched.
   std::size_t run_until(SimTime until);
 
+  /// Run events with time strictly < `limit`. Unlike run_until(), now()
+  /// is NOT dragged to the horizon — it stays at the last dispatched
+  /// event — so a later event may still be scheduled anywhere in
+  /// [now(), limit). This is the epoch step of the conservative parallel
+  /// engine (see sim/parallel.hpp): each shard executes one lookahead
+  /// window, and cross-shard messages land exactly at the horizon.
+  std::size_t run_before(SimTime limit);
+
+  /// Time of the earliest live (non-cancelled) event, or nullopt when
+  /// the queue is empty. Purges cancelled head events as a side effect.
+  std::optional<SimTime> peek_next_time();
+
   /// Dispatch exactly one event if available; returns false on empty.
   bool step();
 
-  std::size_t pending() const noexcept { return queue_.size() - cancelled_.size(); }
+  /// Number of events that would still dispatch (live minus pending
+  /// cancellations). Counted from the live-id set, not the raw queue, so
+  /// the result can never underflow even if a cancelled event has been
+  /// purged from the queue while its id lingers in cancelled_.
+  std::size_t pending() const noexcept {
+    std::size_t cancelled_live = 0;
+    for (const std::uint64_t id : cancelled_) {
+      cancelled_live += live_.count(id);
+    }
+    return live_.size() - cancelled_live;
+  }
 
   /// Total events dispatched over the scheduler's lifetime.
   std::uint64_t dispatched() const noexcept { return dispatched_; }

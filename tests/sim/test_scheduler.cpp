@@ -135,5 +135,69 @@ TEST(Scheduler, DispatchedCounterAccumulates) {
   EXPECT_EQ(s.dispatched(), 2u);
 }
 
+TEST(Scheduler, PendingCountsLiveMinusCancelled) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(1), [] {});
+  const EventHandle h = s.schedule_at(SimTime::from_ms(2), [] {});
+  s.schedule_at(SimTime::from_ms(3), [] {});
+  EXPECT_EQ(s.pending(), 3u);
+  s.cancel(h);
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(Scheduler, PendingNoUnderflowAfterCancelledHeadPurged) {
+  // Regression: pending() used to subtract the raw cancelled-id count,
+  // which underflowed to a huge value once a cancelled event had been
+  // purged from the queue while bookkeeping lagged.
+  Scheduler s;
+  const EventHandle h = s.schedule_at(SimTime::from_ms(5), [] {});
+  s.schedule_at(SimTime::from_ms(20), [] {});
+  s.cancel(h);
+  s.run_until(SimTime::from_ms(10));  // purges the cancelled head
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, PendingZeroAfterRunConsumesCancellations) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(1), [] {});
+  const EventHandle h = s.schedule_at(SimTime::from_ms(2), [] {});
+  s.cancel(h);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  s.schedule_at(SimTime::from_ms(9), [] {});
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RunBeforeLimitIsExclusive) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(SimTime::from_ms(1), [&] { ++count; });
+  s.schedule_at(SimTime::from_ms(2), [&] { ++count; });
+  s.schedule_at(SimTime::from_ms(3), [&] { ++count; });
+  EXPECT_EQ(s.run_before(SimTime::from_ms(3)), 2u);
+  EXPECT_EQ(count, 2);
+  // Unlike run_until, now() stays at the last dispatched event: a
+  // cross-shard arrival may still land anywhere in [now, limit).
+  EXPECT_EQ(s.now(), SimTime::from_ms(2));
+  EXPECT_NO_THROW(s.schedule_at(SimTime::from_ms(2), [] {}));
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(Scheduler, RunBeforeOnEmptyQueueIsNoop) {
+  Scheduler s;
+  EXPECT_EQ(s.run_before(SimTime::from_ms(100)), 0u);
+  EXPECT_EQ(s.now(), SimTime::zero());
+}
+
+TEST(Scheduler, PeekNextTimeSkipsCancelled) {
+  Scheduler s;
+  EXPECT_FALSE(s.peek_next_time().has_value());
+  const EventHandle h = s.schedule_at(SimTime::from_ms(5), [] {});
+  s.schedule_at(SimTime::from_ms(7), [] {});
+  EXPECT_EQ(s.peek_next_time(), SimTime::from_ms(5));
+  s.cancel(h);
+  EXPECT_EQ(s.peek_next_time(), SimTime::from_ms(7));
+}
+
 }  // namespace
 }  // namespace cra::sim
