@@ -5,14 +5,18 @@
 // per-device reports — full diagnosability at Θ(N·l·depth) transport.
 // This is the "XOR vs concatenation" design choice DESIGN.md calls out.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/swarm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
-  constexpr std::uint32_t kDevices = 4094;
+  const std::uint32_t kDevices = args.devices != 0 ? args.devices : 4094;
 
   Table table({"aggregation (QoA)", "U_CA (bytes)", "B/device",
                "total (s)", "verifier learns"});
@@ -25,12 +29,14 @@ int main() {
                             sap::QoaMode::kIdentify}) {
     sap::SapConfig cfg;
     cfg.qoa = mode;
+    cfg.sim.threads = args.threads;
     auto sim = sap::SapSimulation::balanced(cfg, kDevices);
     const auto r = sim.run_round();
     if (!r.verified) {
       std::fprintf(stderr, "%s failed to verify\n", sap::qoa_name(mode));
       return 1;
     }
+    obs.capture(sim.metrics(), std::string("qoa=") + sap::qoa_name(mode) + "/");
     table.add_row({sap::qoa_name(mode), Table::count(r.u_ca_bytes),
                    Table::num(static_cast<double>(r.u_ca_bytes) / kDevices,
                               1),

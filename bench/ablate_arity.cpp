@@ -7,26 +7,32 @@
 // in the arity — so binary keeps the strongest degree guarantee at no
 // meaningful runtime cost, which is exactly Lemma 1's point.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/swarm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
-  constexpr std::uint32_t kDevices = 100'000;
+  const std::uint32_t kDevices = args.devices != 0 ? args.devices : 100'000;
   Table table({"arity", "depth", "max degree", "total (s)", "T_CA (s)",
                "U_CA (bytes)"});
 
   for (std::uint32_t arity : {2u, 3u, 4u, 8u, 16u}) {
     sap::SapConfig cfg;
     cfg.tree_arity = arity;
+    cfg.sim.threads = args.threads;
     auto sim = sap::SapSimulation::balanced(cfg, kDevices);
     const auto r = sim.run_round();
     if (!r.verified) {
       std::fprintf(stderr, "arity=%u failed to verify\n", arity);
       return 1;
     }
+    obs.capture(sim.metrics(), "arity=" + std::to_string(arity) + "/");
     table.add_row({std::to_string(arity),
                    std::to_string(sim.tree().max_depth()),
                    std::to_string(sim.tree().max_degree()),

@@ -8,6 +8,7 @@
 // period varies.
 #include <cstdio>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/heartbeat.hpp"
 
@@ -21,15 +22,22 @@ struct Cell {
 };
 
 Cell run_cell(sim::Duration period, sim::Duration capture_len,
-              std::uint32_t devices, int trials) {
+              std::uint32_t devices, int trials,
+              benchargs::ObsSession& obs) {
   int detected = 0;
   double overhead = 0;
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "period=%lldms/capture=%lldms/",
+                static_cast<long long>(period.ms()),
+                static_cast<long long>(capture_len.ms()));
   for (int t = 0; t < trials; ++t) {
     sap::HeartbeatConfig cfg;
     cfg.period = period;
     cfg.absence_threshold = sim::Duration(period.ns() * 5 / 2);  // 2.5 periods
     auto hb = sap::HeartbeatSimulation::balanced(
         cfg, devices, static_cast<std::uint64_t>(t) + 1);
+    obs::MetricsRegistry hb_metrics;
+    hb.network().bind_metrics(&hb_metrics);
     Rng rng(static_cast<std::uint64_t>(t) * 77 + 5);
     const auto victim =
         static_cast<net::NodeId>(1 + rng.next_below(devices));
@@ -49,6 +57,7 @@ Cell run_cell(sim::Duration period, sim::Duration capture_len,
     const double sim_sec = 0.6 + capture_len.sec();
     overhead += static_cast<double>(hb.network().bytes_transmitted()) /
                 devices / sim_sec;
+    obs.capture(hb_metrics, prefix);
   }
   return {static_cast<double>(detected) / trials,
           overhead / trials};
@@ -56,8 +65,10 @@ Cell run_cell(sim::Duration period, sim::Duration capture_len,
 
 }  // namespace
 
-int main() {
-  constexpr std::uint32_t kDevices = 62;
+int main(int argc, char** argv) {
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
+  const std::uint32_t kDevices = args.devices != 0 ? args.devices : 62;
   constexpr int kTrials = 10;
 
   Table table({"beat period (ms)", "capture 100 ms", "capture 500 ms",
@@ -65,11 +76,11 @@ int main() {
   for (std::int64_t period_ms : {50, 100, 250, 1000}) {
     const auto period = sim::Duration::from_ms(period_ms);
     const Cell c100 =
-        run_cell(period, sim::Duration::from_ms(100), kDevices, kTrials);
+        run_cell(period, sim::Duration::from_ms(100), kDevices, kTrials, obs);
     const Cell c500 =
-        run_cell(period, sim::Duration::from_ms(500), kDevices, kTrials);
+        run_cell(period, sim::Duration::from_ms(500), kDevices, kTrials, obs);
     const Cell c2000 =
-        run_cell(period, sim::Duration::from_sec(2.0), kDevices, kTrials);
+        run_cell(period, sim::Duration::from_sec(2.0), kDevices, kTrials, obs);
     table.add_row({std::to_string(period_ms),
                    Table::num(c100.detect_rate, 2),
                    Table::num(c500.detect_rate, 2),

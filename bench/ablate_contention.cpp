@@ -8,7 +8,9 @@
 // LISAα relays every descendant's report individually through each
 // ancestor's radio, so its near-root transmitters saturate.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "lisa/lisa.hpp"
 #include "sap/swarm.hpp"
@@ -17,13 +19,16 @@ namespace {
 
 using namespace cra;
 
-double sap_time(std::uint32_t n, bool contention) {
+double sap_time(std::uint32_t n, bool contention,
+                benchargs::ObsSession& obs) {
   sap::SapConfig cfg;
   cfg.pmem_size = 8 * 1024;
   cfg.link.serialize_tx = contention;
   auto sim = sap::SapSimulation::balanced(cfg, n);
   const auto r = sim.run_round();
   if (!r.verified) std::abort();
+  obs.capture(sim.metrics(), "sap/n=" + std::to_string(n) +
+                                 (contention ? "/radio/" : "/ideal/"));
   return r.total().sec();
 }
 
@@ -39,12 +44,14 @@ double lisa_alpha_time(std::uint32_t n, bool contention) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
   Table table({"N", "SAP ideal (s)", "SAP radio (s)", "LISA-a ideal (s)",
                "LISA-a radio (s)", "LISA-a slowdown"});
   for (std::uint32_t n : {62u, 254u, 1022u, 4094u}) {
-    const double sap_ideal = sap_time(n, false);
-    const double sap_radio = sap_time(n, true);
+    const double sap_ideal = sap_time(n, false, obs);
+    const double sap_radio = sap_time(n, true, obs);
     const double la_ideal = lisa_alpha_time(n, false);
     const double la_radio = lisa_alpha_time(n, true);
     table.add_row({Table::count(n), Table::num(sap_ideal),

@@ -7,15 +7,19 @@
 // vulnerability windows" concern §II raises — and what upgrading it
 // buys.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/analysis.hpp"
 #include "sap/swarm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
-  constexpr std::uint32_t kDevices = 10'000;
+  const std::uint32_t kDevices = args.devices != 0 ? args.devices : 10'000;
 
   struct Mix {
     const char* label;
@@ -51,6 +55,7 @@ int main() {
       }
     }
     const auto r = sim.run_round();
+    obs.capture(sim.metrics(), std::string(mix.label) + "/");
     const std::uint64_t blocks =
         crypto::hmac_compression_calls(cfg.alg, cfg.pmem_size + 4);
     const sim::Duration slow_t_att = sim::cycles_to_time(

@@ -7,7 +7,9 @@
 // claws back report-path losses — quantifying the paper's remark that
 // lossy networks need a relaxed soundness notion.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/swarm.hpp"
 
@@ -16,16 +18,22 @@ namespace {
 using namespace cra;
 
 double false_alarm_rate(double loss, bool retransmit, std::uint32_t devices,
-                        int rounds) {
+                        int rounds, benchargs::ObsSession& obs) {
   sap::SapConfig cfg;
   cfg.pmem_size = 8 * 1024;
   cfg.retransmit = retransmit;
   cfg.max_retries = 3;
   auto swarm = sap::SapSimulation::balanced(cfg, devices, /*seed=*/17);
   swarm.network().set_loss_rate(loss, /*seed=*/17);
+  // Round counters reset each round; accumulating every round into the
+  // cell's namespace gives per-cell totals (bytes, drops, repolls).
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "loss=%.4f/%s/", loss,
+                retransmit ? "repoll" : "plain");
   int failures = 0;
   for (int i = 0; i < rounds; ++i) {
     if (!swarm.run_round().verified) ++failures;
+    obs.capture(swarm.metrics(), prefix);
     swarm.advance_time(sim::Duration::from_ms(100));
   }
   return static_cast<double>(failures) / rounds;
@@ -33,8 +41,10 @@ double false_alarm_rate(double loss, bool retransmit, std::uint32_t devices,
 
 }  // namespace
 
-int main() {
-  constexpr std::uint32_t kDevices = 254;
+int main(int argc, char** argv) {
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
+  const std::uint32_t kDevices = args.devices != 0 ? args.devices : 254;
   constexpr int kRounds = 40;
 
   Table table({"loss rate", "plain false-alarm rate",
@@ -42,9 +52,9 @@ int main() {
   for (double loss : {0.0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02}) {
     table.add_row({Table::num(loss, 4),
                    Table::num(false_alarm_rate(loss, false, kDevices,
-                                               kRounds), 2),
+                                               kRounds, obs), 2),
                    Table::num(false_alarm_rate(loss, true, kDevices,
-                                               kRounds), 2)});
+                                               kRounds, obs), 2)});
   }
 
   std::printf("Ablation - packet loss vs soundness (N=%u, %d rounds per "

@@ -16,7 +16,9 @@
 //     serializes N receptions at its own radio, so its round time grows
 //     linearly once N·l/µ dominates.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
@@ -35,10 +37,13 @@ struct NaiveResult {
 };
 
 /// One naive round: per-device challenge out, per-device token back.
-NaiveResult run_naive(std::uint32_t devices, const sap::SapConfig& cfg) {
+NaiveResult run_naive(std::uint32_t devices, const sap::SapConfig& cfg,
+                      benchargs::ObsSession& obs) {
   const net::Tree tree = net::balanced_kary_tree(devices, cfg.tree_arity);
   sim::Scheduler scheduler;
   net::Network network(scheduler, cfg.link);
+  obs::MetricsRegistry naive_metrics;
+  network.bind_metrics(&naive_metrics);
 
   const std::size_t msg_size = cfg.chal_size();  // chal and token: l bits
   const sim::Duration attest = sap::attest_time(cfg);
@@ -88,21 +93,26 @@ NaiveResult run_naive(std::uint32_t devices, const sap::SapConfig& cfg) {
   if (pending != 0) std::abort();
   result.total_sec = last_resp.sec();
   result.u_ca_bytes = network.bytes_transmitted();
+  obs.capture(naive_metrics, "naive/n=" + std::to_string(devices) + "/");
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
   sap::SapConfig cfg;  // paper parameters
+  cfg.sim.threads = args.threads;
 
   Table table({"N", "naive time (s)", "SAP time (s)", "naive U_CA (B)",
                "SAP U_CA (B)", "naive root-link (B)", "SAP root-link (B)"});
 
   for (std::uint32_t n : {10u, 100u, 1'000u, 10'000u, 100'000u}) {
-    const NaiveResult naive = run_naive(n, cfg);
+    const NaiveResult naive = run_naive(n, cfg, obs);
     auto sap_sim = sap::SapSimulation::balanced(cfg, n);
     const auto sap_round = sap_sim.run_round();
+    obs.capture(sap_sim.metrics(), "sap/n=" + std::to_string(n) + "/");
     // SAP's root links carry one chal down + one token up, per child.
     const std::uint64_t sap_root_bytes =
         2ULL * cfg.chal_size() *

@@ -10,6 +10,7 @@
 // each round, so the victim's state at that instant is set precisely.
 #include <cstdio>
 
+#include "bench_args.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "sap/analysis.hpp"
@@ -19,7 +20,8 @@ namespace {
 
 using namespace cra;
 
-double detection_rate(double window_over_period, int trials) {
+double detection_rate(double window_over_period, int trials,
+                      benchargs::ObsSession& obs) {
   const sim::Duration period = sim::Duration::from_sec(2.0);
   const auto window =
       sim::Duration(static_cast<std::int64_t>(
@@ -64,6 +66,9 @@ double detection_rate(double window_over_period, int trials) {
         dirty = false;
       }
       if (!swarm.run_round().verified) caught = true;
+      char prefix[48];
+      std::snprintf(prefix, sizeof prefix, "window=%.2f/", window_over_period);
+      obs.capture(swarm.metrics(), prefix);
     }
     if (caught) ++detected;
   }
@@ -72,12 +77,14 @@ double detection_rate(double window_over_period, int trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
   constexpr int kTrials = 40;
   Table table({"window / period", "detection rate", "theory min(1, D/P)"});
   for (double ratio : {0.1, 0.25, 0.5, 0.75, 1.0, 1.5}) {
     table.add_row({Table::num(ratio, 2),
-                   Table::num(detection_rate(ratio, kTrials), 2),
+                   Table::num(detection_rate(ratio, kTrials, obs), 2),
                    Table::num(ratio >= 1.0 ? 1.0 : ratio, 2)});
   }
   std::printf("Ablation - TOCTOU window vs attestation period (N=30, "

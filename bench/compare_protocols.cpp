@@ -7,6 +7,7 @@
 // trades between: runtime, network utilization, and quality of
 // attestation.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_args.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace cra;
   const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   Table table({"protocol", "N", "time (s)", "U_CA (bytes)", "B/device",
                "QoA", "clock needed"});
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
       auto sim = sap::SapSimulation::balanced(cfg, n);
       const auto r = sim.run_round();
       if (!r.verified) return 1;
+      obs.capture(sim.metrics(), "sap/n=" + std::to_string(n) + "/");
       table.add_row({"SAP", Table::count(n), Table::num(r.total().sec()),
                      Table::count(r.u_ca_bytes),
                      Table::num(static_cast<double>(r.u_ca_bytes) / n, 1),
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
       auto sim = seda::SedaSimulation::balanced(cfg, n);
       const auto r = sim.run_round();
       if (!r.verified) return 1;
+      obs.capture(sim.metrics(), "seda/n=" + std::to_string(n) + "/");
       table.add_row({"SEDA", Table::count(n),
                      Table::num(r.total_time().sec()),
                      Table::count(r.u_ca_bytes),

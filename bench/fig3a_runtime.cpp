@@ -6,6 +6,7 @@
 // closed form); the last columns give the analytic predictions so model
 // and simulation can be compared at a glance.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_args.hpp"
@@ -17,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace cra;
   const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   sap::SapConfig sap_cfg;    // paper parameters
   seda::SedaConfig seda_cfg;
@@ -35,10 +37,12 @@ int main(int argc, char** argv) {
     auto sap_sim = sap::SapSimulation::balanced(sap_cfg, n);
     const auto sap_round = sap_sim.run_round();
     const double sap_wall = wall.sec();
+    obs.capture(sap_sim.metrics(), "sap/n=" + std::to_string(n) + "/");
 
     auto seda_sim = seda::SedaSimulation::balanced(seda_cfg, n);
     const auto seda_round = seda_sim.run_round();
     const double seda_wall = wall.sec() - sap_wall;
+    obs.capture(seda_sim.metrics(), "seda/n=" + std::to_string(n) + "/");
 
     if (!sap_round.verified || !seda_round.verified) {
       std::fprintf(stderr, "N=%u: round failed to verify!\n", n);

@@ -6,6 +6,7 @@
 // N; the measurement phase is constant — every device attests in
 // parallel at t_att — and dominates.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_args.hpp"
@@ -15,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace cra;
   const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   sap::SapConfig cfg;  // paper parameters
   cfg.sim.threads = args.threads;
@@ -35,6 +37,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wall: N=%u threads=%u sap=%.3fs\n", n, args.threads,
                  wall.sec());
+    // Phase timings land in the export as gauges next to the round's
+    // merged net.*/sap.* instruments, one namespace per sweep point.
+    const std::string pre = "n=" + std::to_string(n) + "/";
+    obs.capture(sim.metrics(), pre);
+    obs.registry().gauge(pre + "phase.inbound_ns").set(r.inbound().ns());
+    obs.registry().gauge(pre + "phase.slack_ns").set(r.slack().ns());
+    obs.registry().gauge(pre + "phase.measurement_ns").set(r.measurement().ns());
+    obs.registry().gauge(pre + "phase.outbound_ns").set(r.outbound().ns());
+    obs.registry().gauge(pre + "phase.total_ns").set(r.total().ns());
     table.add_row({Table::count(n), Table::num(r.inbound().ms(), 2),
                    Table::num(r.slack().ms(), 2),
                    Table::num(r.measurement().ms(), 1),

@@ -3,26 +3,39 @@
 // Paper: linear in N — 40 bytes per device for SAP (|chal| + |token| =
 // 2·l bits per link), ≈ 40 MB at N = 10^6; SEDA about twice SAP.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "sap/analysis.hpp"
 #include "sap/swarm.hpp"
 #include "seda/seda.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   sap::SapConfig sap_cfg;
   seda::SedaConfig seda_cfg;
+  sap_cfg.sim.threads = args.threads;
+  seda_cfg.sim.threads = args.threads;
 
   Table table({"N", "SAP U_CA (bytes)", "B/device", "SEDA U_CA (bytes)",
                "SEDA/SAP", "Lemma 2 prediction"});
 
-  for (std::uint32_t n : {10u, 100u, 1'000u, 10'000u, 100'000u, 1'000'000u}) {
+  std::vector<std::uint32_t> sizes = {10u,      100u,     1'000u,
+                                      10'000u,  100'000u, 1'000'000u};
+  if (args.devices != 0) sizes = {args.devices};
+
+  for (std::uint32_t n : sizes) {
     auto sap_sim = sap::SapSimulation::balanced(sap_cfg, n);
     const auto sap_round = sap_sim.run_round();
+    obs.capture(sap_sim.metrics(), "sap/n=" + std::to_string(n) + "/");
     auto seda_sim = seda::SedaSimulation::balanced(seda_cfg, n);
     const auto seda_round = seda_sim.run_round();
+    obs.capture(seda_sim.metrics(), "seda/n=" + std::to_string(n) + "/");
 
     table.add_row(
         {Table::count(n), Table::count(sap_round.u_ca_bytes),

@@ -6,12 +6,16 @@
 // "detected" column is 0; every other strategy's compromised rounds are
 // all detected.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "tca/security.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   sap::SapConfig cfg;
   cfg.pmem_size = 8 * 1024;  // the game is about tokens, not PMEM size
@@ -24,6 +28,10 @@ int main() {
     const tca::GameResult r =
         tca::run_security_game(cfg, kDevices, s, kTrials);
     all_secure = all_secure && r.secure();
+    const std::string pre = std::string("game/") + tca::strategy_name(s) + "/";
+    obs.registry().counter(pre + "trials").inc(r.trials);
+    obs.registry().counter(pre + "adv_wins").inc(r.adv_wins);
+    obs.registry().counter(pre + "detected").inc(r.detected);
     table.add_row({tca::strategy_name(s), std::to_string(r.trials),
                    std::to_string(r.adv_wins), std::to_string(r.detected)});
   }

@@ -5,13 +5,17 @@
 // verify. Efficiency: the measured sweep must fit Lemmas 1-3 — constant
 // degree, linear U_CA (slope = 2l bits/device), logarithmic T_CA.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "tca/efficiency.hpp"
 #include "tca/soundness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   sap::SapConfig cfg;  // paper parameters
 
@@ -30,8 +34,16 @@ int main() {
   const tca::EfficiencyReport eff = tca::run_efficiency_sweep(
       cfg, {64, 256, 1024, 4096, 16384, 65536, 262144});
 
+  obs.registry().counter("tca.soundness.runs").inc(sound.runs);
+  obs.registry().counter("tca.soundness.failures").inc(sound.failures);
+
   Table table({"N", "depth", "max degree", "T_CA (s)", "U_CA (bytes)"});
   for (const auto& p : eff.points) {
+    const std::string pre = "eff/n=" + std::to_string(p.devices) + "/";
+    obs.registry().gauge(pre + "u_ca_bytes")
+        .set(static_cast<std::int64_t>(p.u_ca_bytes));
+    obs.registry().gauge(pre + "t_ca_us")
+        .set(static_cast<std::int64_t>(p.t_ca_sec * 1e6));
     table.add_row({Table::count(p.devices), std::to_string(p.tree_depth),
                    std::to_string(p.max_degree), Table::num(p.t_ca_sec),
                    Table::count(p.u_ca_bytes)});

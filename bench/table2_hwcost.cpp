@@ -5,14 +5,22 @@
 // tables.
 #include <cstdio>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "hw/hw_cost.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   const hw::ResourceCount base = hw::trustlite_baseline();
   const hw::ResourceCount total = hw::sap_total();
+  // Analytic bench: export the headline resource counts as gauges.
+  obs.registry().gauge("hw.baseline.registers").set(base.registers);
+  obs.registry().gauge("hw.baseline.luts").set(base.luts);
+  obs.registry().gauge("hw.sap.registers").set(total.registers);
+  obs.registry().gauge("hw.sap.luts").set(total.luts);
 
   Table table({"Design", "Registers", "Look-up Tables"});
   table.add_row({"TrustLite (baseline)", Table::count(base.registers),

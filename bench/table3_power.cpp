@@ -4,17 +4,27 @@
 // |chal| = |token| = 20 bytes:
 //   MICAz  0.3372 / 0.5516 mW,  TelosB 0.369 / 0.6282 mW.
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "power/power.hpp"
 #include "sap/energy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cra;
+  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  benchargs::ObsSession obs(args);
 
   Table table({"Device", "Leaf (mW)", "Inner node (mW)"});
   for (const auto& mote : power::paper_motes()) {
     const power::PowerEstimate e = power::estimate(mote, 20, 20);
+    // Analytic bench: export in microwatts (gauges are integral).
+    const std::string pre = std::string("power/") + mote.name + "/";
+    obs.registry().gauge(pre + "leaf_uw")
+        .set(static_cast<std::int64_t>(e.leaf_mw * 1000.0));
+    obs.registry().gauge(pre + "inner_uw")
+        .set(static_cast<std::int64_t>(e.inner_mw * 1000.0));
     table.add_row({mote.name, Table::num(e.leaf_mw, 4),
                    Table::num(e.inner_mw, 4)});
   }

@@ -22,8 +22,11 @@ void Summary::add(double x) noexcept {
 }
 
 double Summary::variance() const noexcept {
-  if (count_ == 0) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  // Sample variance (Bessel's correction): the benches feed repetitions
+  // of a stochastic run and report spread as an estimate of the
+  // population's, so dividing by n would bias every error bar low.
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
 }
 
 double Summary::stddev() const noexcept { return std::sqrt(variance()); }

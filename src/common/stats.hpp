@@ -19,7 +19,8 @@ class Summary {
   void add(double x) noexcept;
   std::size_t count() const noexcept { return count_; }
   double mean() const noexcept { return mean_; }
-  double variance() const noexcept;  // population variance
+  /// Sample variance (Bessel-corrected, m2/(n-1)); 0 for n < 2.
+  double variance() const noexcept;
   double stddev() const noexcept;
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }

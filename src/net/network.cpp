@@ -26,6 +26,29 @@ sim::Duration Network::link_delay(std::size_t payload_bytes) const noexcept {
          params_.per_hop_latency;
 }
 
+void Network::charge(const Message& msg, std::uint64_t wire_bytes,
+                     bool delivered) {
+  bytes_transmitted_ += wire_bytes;
+  if (per_link_accounting_) {
+    // Dropped/tampered messages burned the same air time as delivered
+    // ones; charging them here keeps sum(per-link) == total, which is
+    // what fig3c's utilization breakdown relies on under loss.
+    per_link_bytes_[link_key(msg.src, msg.dst)] += wire_bytes;
+  }
+  if (delivered) {
+    ++messages_sent_;
+  } else {
+    ++messages_dropped_;
+  }
+  if (metrics_ != nullptr) {
+    m_bytes_->inc(wire_bytes);
+    m_attempts_->inc();
+    (delivered ? m_sent_ : m_dropped_)->inc();
+    if (per_link_accounting_) m_link_bytes_->inc(wire_bytes);
+    m_payload_->record(msg.payload.size());
+  }
+}
+
 void Network::deliver(Message msg, sim::Duration delay,
                       std::uint32_t charged_hops) {
   if (!handler_ && !router_) {
@@ -39,8 +62,7 @@ void Network::deliver(Message msg, sim::Duration delay,
     TamperResult t = tamper_(msg);
     switch (t.action) {
       case TamperAction::kDrop:
-        ++messages_dropped_;
-        bytes_transmitted_ += wire_bytes;  // bits still crossed the air
+        charge(msg, wire_bytes, /*delivered=*/false);
         return;
       case TamperAction::kDeliverModified:
         msg.payload = std::move(t.modified_payload);
@@ -50,16 +72,11 @@ void Network::deliver(Message msg, sim::Duration delay,
     }
   }
   if (loss_rate_ > 0.0 && loss_rng_.next_bool(loss_rate_)) {
-    ++messages_dropped_;
-    bytes_transmitted_ += wire_bytes;
+    charge(msg, wire_bytes, /*delivered=*/false);
     return;
   }
 
-  ++messages_sent_;
-  bytes_transmitted_ += wire_bytes;
-  if (per_link_accounting_) {
-    per_link_bytes_[link_key(msg.src, msg.dst)] += wire_bytes;
-  }
+  charge(msg, wire_bytes, /*delivered=*/true);
   if (router_) {
     router_(std::move(msg), scheduler_.now() + delay);
     return;
@@ -109,11 +126,53 @@ void Network::reset_accounting() noexcept {
   messages_sent_ = 0;
   messages_dropped_ = 0;
   per_link_bytes_.clear();
+  // Radio reservations are part of the measurement window too: without
+  // this, a contention sweep's second repetition starts with the radios
+  // still queued behind the previous window's backlog.
+  radio_free_.clear();
+  if (metrics_ != nullptr) {
+    m_bytes_->reset();
+    m_sent_->reset();
+    m_dropped_->reset();
+    m_attempts_->reset();
+    m_link_bytes_->reset();
+    m_payload_->reset();
+  }
 }
 
 std::uint64_t Network::bytes_on_link(NodeId src, NodeId dst) const {
   const auto it = per_link_bytes_.find(link_key(src, dst));
   return it == per_link_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t Network::per_link_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, bytes] : per_link_bytes_) total += bytes;
+  return total;
+}
+
+void Network::assert_ledgers_consistent() const {
+  if (!per_link_accounting_) return;
+  if (per_link_total() != bytes_transmitted_) {
+    throw std::logic_error(
+        "Network: per-link byte ledger diverged from bytes_transmitted "
+        "(was per-link accounting toggled mid-window?)");
+  }
+}
+
+void Network::bind_metrics(obs::MetricsRegistry* reg) {
+  metrics_ = reg;
+  if (reg == nullptr) {
+    m_bytes_ = m_sent_ = m_dropped_ = m_attempts_ = m_link_bytes_ = nullptr;
+    m_payload_ = nullptr;
+    return;
+  }
+  m_bytes_ = &reg->counter("net.bytes_transmitted");
+  m_sent_ = &reg->counter("net.messages_sent");
+  m_dropped_ = &reg->counter("net.messages_dropped");
+  m_attempts_ = &reg->counter("net.messages_attempted");
+  m_link_bytes_ = &reg->counter("net.per_link_bytes");
+  m_payload_ = &reg->histogram("net.payload_bytes");
 }
 
 void Network::set_loss_rate(double p, std::uint64_t seed) {

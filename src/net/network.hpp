@@ -22,6 +22,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 
 namespace cra::net {
@@ -94,15 +95,44 @@ class Network {
                      std::uint32_t kind, Bytes payload);
 
   /// --- Accounting (Equation 7) ---
+  /// Clears the byte/message ledgers, the per-link map, AND the
+  /// radio-contention backlog (serialize_tx reservations) — a reset
+  /// starts the next measurement window from a quiet network, so
+  /// benchmark repetitions don't inherit queued radios.
   void reset_accounting() noexcept;
   std::uint64_t bytes_transmitted() const noexcept { return bytes_transmitted_; }
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  /// Every send attempt lands in exactly one ledger:
+  /// messages_sent() + messages_dropped() == messages_attempted().
+  std::uint64_t messages_attempted() const noexcept {
+    return messages_sent_ + messages_dropped_;
+  }
 
   /// Per-link byte counts (keyed by directed (src,dst)); only recorded
   /// when enabled — the map is too heavy for million-node sweeps.
+  /// Dropped/tampered messages still burn air time, so they are charged
+  /// here exactly as they are to bytes_transmitted(): with accounting
+  /// enabled for a whole window, sum(per-link) == total.
   void enable_per_link_accounting(bool on) { per_link_accounting_ = on; }
   std::uint64_t bytes_on_link(NodeId src, NodeId dst) const;
+  /// Sum of the per-link ledger.
+  std::uint64_t per_link_total() const noexcept;
+  /// Throws std::logic_error if per-link accounting is on and the two
+  /// byte ledgers disagree (they cannot, unless accounting was toggled
+  /// mid-window); cheap no-op when per-link accounting is off.
+  void assert_ledgers_consistent() const;
+
+  /// --- Metrics (obs layer) ---
+  /// Register this network's instruments in `reg` (names below) and
+  /// mirror all subsequent accounting into them; the registry must
+  /// outlive the network (or be unbound with nullptr first). Counters:
+  /// net.bytes_transmitted, net.messages_sent, net.messages_dropped,
+  /// net.messages_attempted, net.per_link_bytes (per-link mode only).
+  /// Histogram: net.payload_bytes (log2 buckets of payload sizes).
+  /// reset_accounting() zeroes the bound instruments too, keeping both
+  /// views of the window in lock-step.
+  void bind_metrics(obs::MetricsRegistry* reg);
 
   /// --- Fault / adversary injection ---
   void set_loss_rate(double p, std::uint64_t seed = 0);
@@ -118,6 +148,10 @@ class Network {
 
  private:
   void deliver(Message msg, sim::Duration delay, std::uint32_t charged_hops);
+  /// One send attempt hit the air: charge every ledger (total bytes,
+  /// per-link bytes, sent-or-dropped message count) and the bound
+  /// metrics in one place, so the ledgers cannot diverge.
+  void charge(const Message& msg, std::uint64_t wire_bytes, bool delivered);
   /// With serialize_tx: when src's radio can start this transmission
   /// (and reserve it). Returns the extra queueing delay.
   sim::Duration reserve_radio(NodeId src, sim::Duration tx_time);
@@ -136,6 +170,16 @@ class Network {
   std::uint64_t messages_dropped_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> per_link_bytes_;
   std::unordered_map<NodeId, sim::SimTime> radio_free_;  // serialize_tx
+
+  // Bound metric handles (null when no registry is attached). Resolved
+  // once in bind_metrics(); hot-path updates are plain increments.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_attempts_ = nullptr;
+  obs::Counter* m_link_bytes_ = nullptr;
+  obs::Histogram* m_payload_ = nullptr;
 };
 
 }  // namespace cra::net

@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace cra::obs {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+// Lanes in the exported trace: Chrome/Perfetto group events by pid, so
+// wall-clock and simulated-time spans become two named "processes" that
+// can be compared side by side without the axes fighting each other.
+constexpr std::uint32_t kWallPid = 1;
+constexpr std::uint32_t kSimPid = 2;
+
+void write_complete_event(JsonWriter& w, const std::string& name,
+                          std::uint32_t pid, std::uint32_t tid, double ts_us,
+                          double dur_us) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("ph", "X");
+  w.field("pid", static_cast<std::uint64_t>(pid));
+  w.field("tid", static_cast<std::uint64_t>(tid));
+  w.field("ts", ts_us);
+  w.field("dur", dur_us);
+  w.end_object();
+}
+
+void write_process_name(JsonWriter& w, std::uint32_t pid, const char* name) {
+  w.begin_object();
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", static_cast<std::uint64_t>(pid));
+  w.field("tid", std::uint64_t{0});
+  w.key("args").begin_object();
+  w.field("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceSink::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSink::record(TraceEvent ev) {
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint32_t tid = 0;
+  for (; tid < thread_ids_.size(); ++tid) {
+    if (thread_ids_[tid] == self) break;
+  }
+  if (tid == thread_ids_.size()) thread_ids_.push_back(self);
+  ev.tid = tid;
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::sim_span(std::string name, std::int64_t begin_ns,
+                         std::int64_t end_ns) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.sim_ts_ns = begin_ns;
+  ev.sim_dur_ns = end_ns - begin_ns;
+  record(std::move(ev));
+}
+
+std::size_t TraceSink::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceSink::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  write_process_name(w, kWallPid, "wall clock");
+  write_process_name(w, kSimPid, "simulated time");
+  for (const TraceEvent& ev : events_) {
+    if (ev.wall_ts_us >= 0.0) {
+      write_complete_event(w, ev.name, kWallPid, ev.tid, ev.wall_ts_us,
+                           ev.wall_dur_us);
+    }
+    if (ev.sim_ts_ns >= 0) {
+      write_complete_event(w, ev.name, kSimPid, ev.tid,
+                           static_cast<double>(ev.sim_ts_ns) / 1e3,
+                           static_cast<double>(ev.sim_dur_ns) / 1e3);
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = n == doc.size() && std::fclose(f) == 0;
+  if (!ok && n != doc.size()) std::fclose(f);
+  return ok;
+}
+
+TraceSink* global_sink() noexcept {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void set_global_sink(TraceSink* sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+Span::Span(const char* name, TraceSink* sink) : sink_(sink), name_(name) {
+  if (sink_ != nullptr) start_us_ = sink_->now_us();
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.wall_ts_us = start_us_;
+  ev.wall_dur_us = sink_->now_us() - start_us_;
+  ev.sim_ts_ns = sim_begin_ns_;
+  ev.sim_dur_ns = sim_end_ns_ - sim_begin_ns_;
+  sink_->record(std::move(ev));
+}
+
+}  // namespace cra::obs

@@ -1,0 +1,110 @@
+// Phase-scoped tracing with Chrome trace_event export.
+//
+// A TraceSink collects "complete" events carrying BOTH clocks that
+// matter to a simulator: wall time (how long the host actually took —
+// what you optimize) and simulated time (what the protocol experienced —
+// what the paper reports). Export is the Chrome trace_event JSON format,
+// so a million-device sweep opens directly in chrome://tracing or
+// Perfetto: wall-clock spans land in the "wall clock" process lane,
+// simulated-time spans in the "simulated time" lane (its microsecond
+// axis reads as simulated microseconds).
+//
+// Spans are scoped: `OBS_SPAN("sap.round")` records the wall-clock
+// duration of the enclosing block into the process-wide sink, tagging
+// it with the recording thread; `span.sim_range(begin, end)` attaches
+// the simulated-time window so the same span shows up on both lanes.
+// With no sink installed (the default — benches install one only under
+// --trace-out) a span is a pointer test and two clock reads; protocol
+// hot paths (per-message handlers) are deliberately not spanned.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cra::obs {
+
+struct TraceEvent {
+  std::string name;
+  // Wall-clock complete event: microseconds since the sink was created.
+  // Negative ts = no wall-clock component.
+  double wall_ts_us = -1.0;
+  double wall_dur_us = 0.0;
+  // Simulated-time complete event, nanoseconds of simulation time.
+  // Negative ts = no simulated-time component.
+  std::int64_t sim_ts_ns = -1;
+  std::int64_t sim_dur_ns = 0;
+  std::uint32_t tid = 0;  // assigned per recording thread
+};
+
+class TraceSink {
+ public:
+  TraceSink();
+
+  /// Thread-safe append; `ev.tid` is overwritten with the stable index
+  /// of the calling thread (first-record order).
+  void record(TraceEvent ev);
+
+  /// Record a simulated-time-only span (no wall component) — used for
+  /// protocol phases, whose boundaries are simulation timestamps known
+  /// after the run rather than host-clock scopes.
+  void sim_span(std::string name, std::int64_t begin_ns, std::int64_t end_ns);
+
+  std::size_t size() const;
+  /// Microseconds of wall time since the sink's epoch.
+  double now_us() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string to_json() const;
+  /// Write to_json() to `path`; returns false (and leaves no partial
+  /// file guarantee) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::thread::id> thread_ids_;  // index = stable tid
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Process-wide sink used by OBS_SPAN and the protocol layers. Null by
+/// default; benches install one when --trace-out is given (before any
+/// worker threads exist) and uninstall it before the sink dies.
+TraceSink* global_sink() noexcept;
+void set_global_sink(TraceSink* sink) noexcept;
+
+/// RAII wall-clock span; see the header comment. Records on destruction
+/// iff a sink is attached.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, global_sink()) {}
+  Span(const char* name, TraceSink* sink);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach the simulated-time window this scope covered.
+  void sim_range(std::int64_t begin_ns, std::int64_t end_ns) noexcept {
+    sim_begin_ns_ = begin_ns;
+    sim_end_ns_ = end_ns;
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  double start_us_ = 0.0;
+  std::int64_t sim_begin_ns_ = -1;
+  std::int64_t sim_end_ns_ = -1;
+};
+
+#define CRA_OBS_CONCAT2(a, b) a##b
+#define CRA_OBS_CONCAT(a, b) CRA_OBS_CONCAT2(a, b)
+/// Scoped span recording the enclosing block into the global sink.
+#define OBS_SPAN(name) \
+  ::cra::obs::Span CRA_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+}  // namespace cra::obs

@@ -5,6 +5,7 @@
 
 #include "crypto/chacha20.hpp"
 #include "crypto/kdf.hpp"
+#include "obs/trace.hpp"
 #include "sap/analysis.hpp"
 
 namespace cra::sap {
@@ -57,13 +58,20 @@ void SapSimulation::setup_engine() {
   // can be empty, transmission time can round to zero). A zero-latency
   // link admits no lookahead, so such configs stay single-threaded.
   if (!config_.sim.sharded() || config_.link.per_hop_latency <= sim::Duration::zero()) {
-    shard_stats_.resize(1);
+    // Classic mode: metrics_ is the live registry for everything.
+    network_.bind_metrics(&metrics_);
+    repoll_ctrs_ = {&metrics_.counter("sap.repolls")};
+    inbound_gauges_ = {&metrics_.gauge("sap.inbound_end_ns")};
     return;
   }
   engine_ = std::make_unique<sim::ParallelScheduler>(
       tree_.size(), config_.sim, config_.link.per_hop_latency);
-  shard_stats_.resize(engine_->shard_count());
+  // network_ stays the configuration surface but carries no traffic in
+  // engine mode — its instruments would only shadow the shard ones.
+  network_.bind_metrics(nullptr);
   shard_nets_.reserve(engine_->shard_count());
+  repoll_ctrs_.reserve(engine_->shard_count());
+  inbound_gauges_.reserve(engine_->shard_count());
   for (std::uint32_t s = 0; s < engine_->shard_count(); ++s) {
     auto net = std::make_unique<net::Network>(engine_->shard(s), config_.link);
     net->set_handler([this](const net::Message& m) { on_message(m); });
@@ -74,6 +82,13 @@ void SapSimulation::setup_engine() {
       engine_->post(m.dst, at,
                     [this, m = std::move(m)] { on_message(m); });
     });
+    // Shard-confined accounting: the shard's network and the protocol's
+    // per-shard instruments write to the shard's own registry; they are
+    // merged into metrics_ after every run() (see run_round).
+    obs::MetricsRegistry& reg = engine_->shard_metrics(s);
+    net->bind_metrics(&reg);
+    repoll_ctrs_.push_back(&reg.counter("sap.repolls"));
+    inbound_gauges_.push_back(&reg.gauge("sap.inbound_end_ns"));
     shard_nets_.push_back(std::move(net));
   }
 }
@@ -89,12 +104,12 @@ void SapSimulation::sync_shard_networks() {
         "SapSimulation: tamper hooks require the single-threaded engine "
         "(construct with config.sim.threads == 1)");
   }
-  if (network_.per_link_accounting()) {
-    throw std::logic_error(
-        "SapSimulation: per-link accounting requires the single-threaded "
-        "engine (construct with config.sim.threads == 1)");
-  }
   for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    // Each shard network keeps its own per-link map (a link's sender
+    // lives in exactly one shard, so the maps never overlap); merged
+    // totals come out of the metrics layer.
+    shard_nets_[s]->enable_per_link_accounting(
+        network_.per_link_accounting());
     shard_nets_[s]->reset_accounting();
     if (network_.loss_rate() > 0.0) {
       SplitMix64 mix(network_.loss_seed() +
@@ -271,6 +286,12 @@ RoundReport SapSimulation::run_round() {
     throw std::logic_error("run_round: round already active");
   }
   round_active_ = true;
+  obs::Span round_span("sap.round");
+
+  // Round boundary: zero every instrument (registrations and cached
+  // handles survive), classic and per-shard alike.
+  metrics_.reset_values();
+  if (engine_) engine_->reset_shard_metrics();
 
   // Reset per-round device state.
   for (net::NodeId id = 1; id <= device_count(); ++id) {
@@ -301,10 +322,6 @@ RoundReport SapSimulation::run_round() {
   RoundReport report;
   report.devices = device_count();
   report.t_chal = current_time();
-  for (ShardStat& st : shard_stats_) {
-    st.inbound_end = report.t_chal;
-    st.repolls = 0;
-  }
 
   // request: pick t_att per Equation 9 (+ slack), quantized to the next
   // secure-clock tick, and flood chal down the tree.
@@ -342,26 +359,26 @@ RoundReport SapSimulation::run_round() {
   }
   ++rounds_run_;
 
+  // Reduce per-shard registries into the merged view (fixed shard
+  // order, engine quiescent) — the single source every report field
+  // below reads from. In classic mode metrics_ is already live.
+  if (engine_) engine_->merge_metrics_into(metrics_);
+  network_.assert_ledgers_consistent();
+  for (const auto& net : shard_nets_) net->assert_ledgers_consistent();
+
   report.inbound_end = report.t_chal;
-  report.repolls = 0;
-  for (const ShardStat& st : shard_stats_) {
-    if (st.inbound_end > report.inbound_end) {
-      report.inbound_end = st.inbound_end;
+  {
+    const obs::Gauge& g = metrics_.gauge("sap.inbound_end_ns");
+    if (g.is_set() && sim::SimTime(g.value()) > report.inbound_end) {
+      report.inbound_end = sim::SimTime(g.value());
     }
-    report.repolls += st.repolls;
   }
+  report.repolls =
+      static_cast<std::uint32_t>(metrics_.counter_value("sap.repolls"));
   report.t_resp = t_resp_;
-  if (engine_) {
-    for (const auto& net : shard_nets_) {
-      report.u_ca_bytes += net->bytes_transmitted();
-      report.messages += net->messages_sent();
-      report.dropped += net->messages_dropped();
-    }
-  } else {
-    report.u_ca_bytes = network_.bytes_transmitted();
-    report.messages = network_.messages_sent();
-    report.dropped = network_.messages_dropped();
-  }
+  report.u_ca_bytes = metrics_.counter_value("net.bytes_transmitted");
+  report.messages = metrics_.counter_value("net.messages_sent");
+  report.dropped = metrics_.counter_value("net.messages_dropped");
 
   switch (config_.qoa) {
     case QoaMode::kBinary:
@@ -382,6 +399,20 @@ RoundReport SapSimulation::run_round() {
   }
 
   round_active_ = false;
+
+  // Trace the round on both clocks: the wall-clock span closes when
+  // round_span dies; the simulated-time lane gets the Figure 3(b)
+  // phase breakdown as one span per phase.
+  round_span.sim_range(report.t_chal.ns(), report.t_resp.ns());
+  if (obs::TraceSink* sink = obs::global_sink()) {
+    sink->sim_span("sap.inbound", report.t_chal.ns(),
+                   report.inbound_end.ns());
+    sink->sim_span("sap.slack", report.inbound_end.ns(), report.t_att.ns());
+    sink->sim_span("sap.measurement", report.t_att.ns(),
+                   report.measurement_end.ns());
+    sink->sim_span("sap.outbound", report.measurement_end.ns(),
+                   report.t_resp.ns());
+  }
   return report;
 }
 
@@ -428,8 +459,7 @@ void SapSimulation::handle_chal(net::NodeId pos, const net::Message& msg) {
   if (chal->tick < local_now) return;
   d.got_chal = true;
   d.tick = chal->tick;
-  ShardStat& st = stat(pos);
-  if (now > st.inbound_end) st.inbound_end = now;
+  inbound_gauge(pos).max_in(now.ns());
 
   // Forward chal immediately to all children.
   for (net::NodeId child : tree_.children(pos)) {
@@ -530,7 +560,7 @@ void SapSimulation::flush(net::NodeId pos) {
   if (d.sent) return;
   if (config_.retransmit && d.retries < config_.max_retries) {
     ++d.retries;
-    ++stat(pos).repolls;
+    repoll_counter(pos).inc();
     for (net::NodeId child : tree_.children(pos)) {
       // Re-poll only children whose token never arrived — a duplicate
       // answer from a healthy child would be discarded anyway, so don't

@@ -30,6 +30,7 @@
 #include "device/device.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sap/config.hpp"
 #include "sap/report.hpp"
 #include "sap/verifier.hpp"
@@ -72,6 +73,14 @@ class SapSimulation {
   sim::SimTime current_time() const noexcept {
     return engine_ ? engine_->now() : scheduler_.now();
   }
+
+  /// The merged metrics view of the last round: net.* instruments from
+  /// the (per-shard) networks plus the protocol's own sap.* instruments
+  /// (sap.repolls counter, sap.inbound_end_ns gauge). Reset at every
+  /// round start; in sharded mode the per-shard registries are reduced
+  /// into this one in shard order after run(), so its contents are
+  /// independent of worker-thread count.
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
   // --- Adversary / fault injection (between rounds) ---
   /// Infect device `id`: its actual content diverges from cfg_i.
@@ -156,15 +165,6 @@ class SapSimulation {
     sim::EventHandle deadline;
   };
 
-  /// Per-shard round accounting. Every field is written only by the
-  /// shard's own worker (protocol handlers are shard-confined), then
-  /// reduced on the main thread after the run; cacheline-aligned so
-  /// neighbouring shards never share a line.
-  struct alignas(64) ShardStat {
-    sim::SimTime inbound_end;
-    std::uint32_t repolls = 0;
-  };
-
   Dev& dev(net::NodeId id) { return devices_[id - 1]; }
   const Dev& dev(net::NodeId id) const { return devices_[id - 1]; }
   /// Device state of the occupant of tree position `pos`.
@@ -179,8 +179,15 @@ class SapSimulation {
   net::Network& net_of(net::NodeId pos) noexcept {
     return engine_ ? *shard_nets_[engine_->shard_of(pos)] : network_;
   }
-  ShardStat& stat(net::NodeId pos) noexcept {
-    return shard_stats_[engine_ ? engine_->shard_of(pos) : 0];
+  // Per-shard round accounting lives in the shard's MetricsRegistry
+  // (engine mode) or in metrics_ itself (classic mode); handlers reach
+  // their shard's instruments through these cached handles, so the hot
+  // path is an increment — no name lookups, no sharing across shards.
+  obs::Counter& repoll_counter(net::NodeId pos) noexcept {
+    return *repoll_ctrs_[engine_ ? engine_->shard_of(pos) : 0];
+  }
+  obs::Gauge& inbound_gauge(net::NodeId pos) noexcept {
+    return *inbound_gauges_[engine_ ? engine_->shard_of(pos) : 0];
   }
   void setup_engine();
   void sync_shard_networks();
@@ -219,7 +226,11 @@ class SapSimulation {
   // rate etc.) and is mirrored into the shard networks each round.
   std::unique_ptr<sim::ParallelScheduler> engine_;
   std::vector<std::unique_ptr<net::Network>> shard_nets_;
-  std::vector<ShardStat> shard_stats_;
+  // Merged metrics of the last round (see metrics()); in classic mode
+  // also the live registry every instrument writes to directly.
+  obs::MetricsRegistry metrics_;
+  std::vector<obs::Counter*> repoll_ctrs_;    // per shard: "sap.repolls"
+  std::vector<obs::Gauge*> inbound_gauges_;   // "sap.inbound_end_ns"
   std::uint64_t rounds_run_ = 0;
   device::SecureClock clock_;
   Verifier verifier_;

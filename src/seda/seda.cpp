@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "crypto/chacha20.hpp"
+#include "obs/trace.hpp"
 #include "crypto/ct.hpp"
 #include "crypto/kdf.hpp"
 #include "crypto/x25519.hpp"
@@ -64,16 +65,27 @@ void SedaSimulation::setup_engine() {
   // with zero-latency links stay single-threaded.
   if (!config_.sim.sharded() ||
       config_.link.per_hop_latency <= sim::Duration::zero()) {
-    shard_stats_.resize(1);
+    // Classic mode: metrics_ is the live registry for everything.
+    network_.bind_metrics(&metrics_);
+    mac_ctrs_ = {&metrics_.counter("seda.mac_failures")};
+    join_ctrs_ = {&metrics_.counter("seda.join_acks")};
     return;
   }
   engine_ = std::make_unique<sim::ParallelScheduler>(
       tree_.size(), config_.sim, config_.link.per_hop_latency);
-  shard_stats_.resize(engine_->shard_count());
+  // Engine mode: network_ is only the configuration surface — every
+  // instrument lives in its shard's registry and metrics_ holds the
+  // post-run merge.
+  network_.bind_metrics(nullptr);
   shard_nets_.reserve(engine_->shard_count());
+  mac_ctrs_.reserve(engine_->shard_count());
+  join_ctrs_.reserve(engine_->shard_count());
   for (std::uint32_t s = 0; s < engine_->shard_count(); ++s) {
     auto net = std::make_unique<net::Network>(engine_->shard(s), config_.link);
     net->set_handler([this](const net::Message& m) { on_message(m); });
+    net->bind_metrics(&engine_->shard_metrics(s));
+    mac_ctrs_.push_back(&engine_->shard_metrics(s).counter("seda.mac_failures"));
+    join_ctrs_.push_back(&engine_->shard_metrics(s).counter("seda.join_acks"));
     // Deliveries cross shard boundaries through the engine's mailboxes;
     // the arrival time carries the full link delay, which is >= the
     // engine's lookahead by construction.
@@ -95,12 +107,10 @@ void SedaSimulation::sync_shard_networks() {
         "SedaSimulation: tamper hooks require the single-threaded engine "
         "(construct with config.sim.threads == 1)");
   }
-  if (network_.per_link_accounting()) {
-    throw std::logic_error(
-        "SedaSimulation: per-link accounting requires the single-threaded "
-        "engine (construct with config.sim.threads == 1)");
-  }
   for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    // Per-link accounting shards cleanly: bytes are charged on the
+    // sender's shard, so each directed link lives in exactly one map.
+    shard_nets_[s]->enable_per_link_accounting(network_.per_link_accounting());
     shard_nets_[s]->reset_accounting();
     if (network_.loss_rate() > 0.0) {
       SplitMix64 mix(network_.loss_seed() +
@@ -224,12 +234,12 @@ bool SedaSimulation::report_authentic(net::NodeId child,
 }
 
 SedaJoinReport SedaSimulation::run_join() {
+  obs::Span join_span("seda.join");
+  metrics_.reset_values();
+  if (engine_) engine_->reset_shard_metrics();
   network_.reset_accounting();
   if (engine_) sync_shard_networks();
   join_acks_done_ = 0;
-  for (ShardStat& st : shard_stats_) {
-    st.join_acks = 0;
-  }
   const sim::SimTime start = current_time();
   // Vrf invites its children, carrying its public key; invites cascade.
   for (net::NodeId child : tree_.children(0)) {
@@ -238,25 +248,21 @@ SedaJoinReport SedaSimulation::run_join() {
   }
   run_engine();
 
-  for (const ShardStat& st : shard_stats_) {
-    join_acks_done_ += st.join_acks;
-  }
+  if (engine_) engine_->merge_metrics_into(metrics_);
+  network_.assert_ledgers_consistent();
+  for (const auto& net : shard_nets_) net->assert_ledgers_consistent();
+  join_acks_done_ =
+      static_cast<std::uint32_t>(metrics_.counter_value("seda.join_acks"));
   SedaJoinReport report;
   report.edges = device_count();
   report.total_time = current_time() - start;
-  if (engine_) {
-    for (const auto& net : shard_nets_) {
-      report.bytes += net->bytes_transmitted();
-      report.messages += net->messages_sent();
-    }
-  } else {
-    report.bytes = network_.bytes_transmitted();
-    report.messages = network_.messages_sent();
-  }
+  report.bytes = metrics_.counter_value("net.bytes_transmitted");
+  report.messages = metrics_.counter_value("net.messages_sent");
   report.complete = join_acks_done_ == device_count();
   for (net::NodeId id = 1; id <= device_count() && report.complete; ++id) {
     report.complete = dev(id).joined;
   }
+  join_span.sim_range(start.ns(), current_time().ns());
   return report;
 }
 
@@ -300,7 +306,7 @@ void SedaSimulation::handle_join_ack(net::NodeId parent,
     key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
                                          to_bytes("seda-pairwise"),
                                          crypto::digest_size(config_.alg));
-    ++stat(0).join_acks;
+    join_ack_counter(0).inc();
     return;
   }
   if (dev(parent).unresponsive) return;
@@ -312,7 +318,7 @@ void SedaSimulation::handle_join_ack(net::NodeId parent,
     key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
                                          to_bytes("seda-pairwise"),
                                          crypto::digest_size(config_.alg));
-    ++stat(parent).join_acks;
+    join_ack_counter(parent).inc();
   });
 }
 
@@ -339,9 +345,9 @@ SedaRoundReport SedaSimulation::run_round() {
   root_passed_ = 0;
   root_got_children_.clear();
   mac_failures_ = 0;
-  for (ShardStat& st : shard_stats_) {
-    st.mac_failures = 0;
-  }
+  obs::Span round_span("seda.round");
+  metrics_.reset_values();
+  if (engine_) engine_->reset_shard_metrics();
   network_.reset_accounting();
   if (engine_) sync_shard_networks();
 
@@ -371,25 +377,21 @@ SedaRoundReport SedaSimulation::run_round() {
 
   run_engine();
 
-  for (const ShardStat& st : shard_stats_) {
-    mac_failures_ += st.mac_failures;
-  }
+  if (engine_) engine_->merge_metrics_into(metrics_);
+  network_.assert_ledgers_consistent();
+  for (const auto& net : shard_nets_) net->assert_ledgers_consistent();
+  mac_failures_ =
+      static_cast<std::uint32_t>(metrics_.counter_value("seda.mac_failures"));
   report.t_resp = t_resp_;
   report.total = root_total_;
   report.passed = root_passed_;
   report.verified =
       root_total_ == device_count() && root_passed_ == device_count();
-  if (engine_) {
-    for (const auto& net : shard_nets_) {
-      report.u_ca_bytes += net->bytes_transmitted();
-      report.messages += net->messages_sent();
-    }
-  } else {
-    report.u_ca_bytes = network_.bytes_transmitted();
-    report.messages = network_.messages_sent();
-  }
+  report.u_ca_bytes = metrics_.counter_value("net.bytes_transmitted");
+  report.messages = metrics_.counter_value("net.messages_sent");
   report.mac_failures = mac_failures_;
   round_active_ = false;
+  round_span.sim_range(report.t_req.ns(), report.t_resp.ns());
   return report;
 }
 
@@ -483,7 +485,7 @@ void SedaSimulation::handle_report(net::NodeId id, const net::Message& msg) {
     Dev& dd = dev(id);
     if (dd.sent) return;
     if (!report_authentic(child, payload)) {
-      ++stat(id).mac_failures;  // forged/tampered report: drop it
+      mac_failure_counter(id).inc();  // forged/tampered report: drop it
     } else {
       dd.total += read_u32le(payload, 0);
       dd.passed += read_u32le(payload, 4);
@@ -526,7 +528,7 @@ void SedaSimulation::root_receive(const net::Message& msg) {
   }
   root_got_children_.push_back(msg.src);
   if (!report_authentic(msg.src, msg.payload)) {
-    ++stat(0).mac_failures;
+    mac_failure_counter(0).inc();
   } else {
     root_total_ += read_u32le(msg.payload, 0);
     root_passed_ += read_u32le(msg.payload, 4);

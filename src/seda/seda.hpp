@@ -34,6 +34,7 @@
 #include "crypto/hmac.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 
@@ -129,6 +130,11 @@ class SedaSimulation {
     return engine_ ? engine_->now() : scheduler_.now();
   }
 
+  /// Merged metrics of the last run_join()/run_round(): net.* from the
+  /// (per-shard) networks plus seda.mac_failures / seda.join_acks.
+  /// Same determinism contract as sap::SapSimulation::metrics().
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
   void compromise_device(net::NodeId id);
   void restore_device(net::NodeId id);
   void set_device_unresponsive(net::NodeId id, bool unresponsive);
@@ -176,15 +182,6 @@ class SedaSimulation {
     sim::EventHandle deadline;
   };
 
-  /// Per-shard round accounting. Each field is written only by the
-  /// shard's own worker (handlers are shard-confined), then reduced on
-  /// the main thread after the run; cacheline-aligned so neighbouring
-  /// shards never share a line.
-  struct alignas(64) ShardStat {
-    std::uint32_t mac_failures = 0;
-    std::uint32_t join_acks = 0;
-  };
-
   Dev& dev(net::NodeId id) { return devices_[id - 1]; }
 
   // Engine routing: protocol handlers never touch scheduler_/network_
@@ -196,8 +193,15 @@ class SedaSimulation {
   net::Network& net_of(net::NodeId id) noexcept {
     return engine_ ? *shard_nets_[engine_->shard_of(id)] : network_;
   }
-  ShardStat& stat(net::NodeId id) noexcept {
-    return shard_stats_[engine_ ? engine_->shard_of(id) : 0];
+  // Per-shard round accounting lives in the shard's MetricsRegistry
+  // (engine mode) or in metrics_ (classic mode); handlers update their
+  // shard's instruments through cached handles — shard-confined, so no
+  // locks, and merged deterministically after the run.
+  obs::Counter& mac_failure_counter(net::NodeId id) noexcept {
+    return *mac_ctrs_[engine_ ? engine_->shard_of(id) : 0];
+  }
+  obs::Counter& join_ack_counter(net::NodeId id) noexcept {
+    return *join_ctrs_[engine_ ? engine_->shard_of(id) : 0];
   }
   void setup_engine();
   void sync_shard_networks();
@@ -230,7 +234,11 @@ class SedaSimulation {
   // and is mirrored into the shard networks each round.
   std::unique_ptr<sim::ParallelScheduler> engine_;
   std::vector<std::unique_ptr<net::Network>> shard_nets_;
-  std::vector<ShardStat> shard_stats_;
+  // Merged metrics of the last run (see metrics()); the live registry
+  // for everything in classic mode.
+  obs::MetricsRegistry metrics_;
+  std::vector<obs::Counter*> mac_ctrs_;   // per shard: "seda.mac_failures"
+  std::vector<obs::Counter*> join_ctrs_;  // per shard: "seda.join_acks"
   std::uint64_t rounds_run_ = 0;
   Bytes master_;
   Bytes round_nonce_;

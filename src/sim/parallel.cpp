@@ -66,6 +66,14 @@ std::uint64_t ParallelScheduler::cross_shard_posts() const noexcept {
   return n;
 }
 
+void ParallelScheduler::merge_metrics_into(obs::MetricsRegistry& out) const {
+  for (const auto& s : shards_) out.merge_from(s->metrics);
+}
+
+void ParallelScheduler::reset_shard_metrics() noexcept {
+  for (auto& s : shards_) s->metrics.reset_values();
+}
+
 void ParallelScheduler::post(std::uint32_t entity, SimTime at, Callback cb) {
   const std::uint32_t to = shard_of(entity);
   if (running_ && tls_engine == this && tls_shard != to) {

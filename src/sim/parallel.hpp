@@ -39,6 +39,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -116,6 +117,27 @@ class ParallelScheduler {
   /// Events that crossed a shard boundary through the mailbox lanes.
   std::uint64_t cross_shard_posts() const noexcept;
 
+  /// --- Per-shard metrics (obs layer) ---
+  /// Each shard carries its own MetricsRegistry, written only by the
+  /// worker that owns the shard (same confinement as the shard's
+  /// Scheduler), so instrument updates need no locks or atomics. The
+  /// registries are reduced with merge_metrics_into() on the caller's
+  /// thread once run() has returned — i.e. at the final barrier, when
+  /// every worker is quiescent — always in ascending shard order, so
+  /// the merged view is a deterministic function of the run itself, not
+  /// of thread interleaving.
+  obs::MetricsRegistry& shard_metrics(std::uint32_t s) noexcept {
+    return shards_[s]->metrics;
+  }
+  const obs::MetricsRegistry& shard_metrics(std::uint32_t s) const noexcept {
+    return shards_[s]->metrics;
+  }
+  /// Fold every shard registry into `out` in shard order (deterministic;
+  /// see shard_metrics). Call only while the engine is idle.
+  void merge_metrics_into(obs::MetricsRegistry& out) const;
+  /// Zero every shard registry's instruments (round boundary).
+  void reset_shard_metrics() noexcept;
+
  private:
   struct Posted {
     SimTime at;
@@ -128,6 +150,7 @@ class ParallelScheduler {
     std::optional<SimTime> next;     // written by owner in phase A
     std::size_t dispatched_run = 0;  // events run in the current run()
     std::uint64_t cross_posts = 0;   // lane posts originated here
+    obs::MetricsRegistry metrics;    // written only by the owning worker
   };
   struct alignas(64) Lane {
     std::vector<Posted> items;  // one writer (src), one reader (dst)

@@ -12,11 +12,22 @@ TEST(Summary, BasicMoments) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
-  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  // Sample variance: m2 = 32 over n-1 = 7 (the population figure would
+  // be 4.0 — Bessel's correction is what the repetition benches need).
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, TwoSamplesUseBessel) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);  // ((1-2)^2 + (3-2)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.0));
 }
 
 TEST(Summary, EmptyIsSafe) {

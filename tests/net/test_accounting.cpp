@@ -1,0 +1,104 @@
+// Accounting invariants under loss, tamper, and random traffic.
+//
+// The observability layer leans on two exact identities of the network's
+// ledgers, whatever the fault injection does:
+//
+//   (1) sum over links of per_link_bytes == bytes_transmitted
+//   (2) messages_sent + messages_dropped == messages_attempted
+//
+// Both were violated before the per-link drop-charging fix; this suite
+// hammers them with randomized traffic so they stay invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cra::net {
+namespace {
+
+struct TrafficTotals {
+  std::uint64_t attempts = 0;
+};
+
+TrafficTotals random_traffic(Network& n, sim::Scheduler& sched, std::uint64_t seed) {
+  Rng rng(seed);
+  TrafficTotals totals;
+  const std::uint32_t nodes = 16;
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(nodes));
+    auto dst = static_cast<NodeId>(rng.next_below(nodes));
+    if (dst == src) dst = (dst + 1) % nodes;
+    const std::size_t size = 1 + rng.next_below(64);
+    if (rng.next_below(8) == 0) {
+      const std::uint32_t hops = 1 + static_cast<std::uint32_t>(
+          rng.next_below(4));
+      n.send_multihop(src, dst, hops, 1, Bytes(size, 0x5a));
+    } else {
+      n.send(src, dst, 1, Bytes(size, 0x5a));
+    }
+    ++totals.attempts;
+  }
+  sched.run();
+  return totals;
+}
+
+class LossyAccounting : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyAccounting, LedgersAgreeUnderRandomTraffic) {
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    sim::Scheduler sched;
+    LinkParams params;
+    params.header_bytes = 4;
+    Network n(sched, params);
+    n.set_handler([](const Message&) {});
+    n.enable_per_link_accounting(true);
+    n.set_loss_rate(GetParam(), seed * 13 + 1);
+    const TrafficTotals totals = random_traffic(n, sched, seed);
+
+    EXPECT_EQ(n.per_link_total(), n.bytes_transmitted());
+    EXPECT_NO_THROW(n.assert_ledgers_consistent());
+    EXPECT_EQ(n.messages_sent() + n.messages_dropped(),
+              n.messages_attempted());
+    EXPECT_EQ(n.messages_attempted(), totals.attempts);
+    if (GetParam() == 0.0) EXPECT_EQ(n.messages_dropped(), 0u);
+    if (GetParam() == 1.0) EXPECT_EQ(n.messages_sent(), 0u);
+  }
+}
+
+TEST_P(LossyAccounting, BoundMetricsMatchLedgersUnderRandomTraffic) {
+  sim::Scheduler sched;
+  Network n(sched, LinkParams{});
+  n.set_handler([](const Message&) {});
+  obs::MetricsRegistry reg;
+  n.bind_metrics(&reg);
+  n.enable_per_link_accounting(true);
+  n.set_loss_rate(GetParam(), /*seed=*/99);
+  random_traffic(n, sched, /*seed=*/42);
+
+  EXPECT_EQ(reg.counter_value("net.bytes_transmitted"),
+            n.bytes_transmitted());
+  EXPECT_EQ(reg.counter_value("net.per_link_bytes"), n.per_link_total());
+  EXPECT_EQ(reg.counter_value("net.messages_attempted"),
+            n.messages_attempted());
+  EXPECT_EQ(reg.counter_value("net.messages_sent") +
+                reg.counter_value("net.messages_dropped"),
+            reg.counter_value("net.messages_attempted"));
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossyAccounting,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0));
+
+TEST(Accounting, ConsistencyCheckIsNoopWithoutPerLink) {
+  sim::Scheduler sched;
+  Network n(sched, LinkParams{});
+  n.set_handler([](const Message&) {});
+  n.send(1, 2, 1, Bytes(20, 0));
+  sched.run();
+  EXPECT_EQ(n.per_link_total(), 0u);  // map never populated
+  EXPECT_NO_THROW(n.assert_ledgers_consistent());
+}
+
+}  // namespace
+}  // namespace cra::net

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 
 namespace cra::net {
@@ -184,6 +185,98 @@ TEST(Network, SerializeTxOffIsTheTcaModel) {
   n.send(1, 3, 1, Bytes(20, 0));
   f.scheduler.run();
   EXPECT_EQ(f.scheduler.now(), sim::SimTime::from_us(640));
+}
+
+TEST(Network, DropsChargedToPerLinkLedger) {
+  // Regression: lost messages burn air time and were charged to
+  // bytes_transmitted() but NOT to the per-link map, so the two ledgers
+  // disagreed under loss.
+  Fixture f;
+  Network n = f.make();
+  n.enable_per_link_accounting(true);
+  n.set_loss_rate(1.0);
+  n.send(1, 2, 1, Bytes(20, 0));
+  f.scheduler.run();
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(n.bytes_transmitted(), 20u);
+  EXPECT_EQ(n.bytes_on_link(1, 2), 20u);
+  EXPECT_EQ(n.per_link_total(), n.bytes_transmitted());
+  EXPECT_NO_THROW(n.assert_ledgers_consistent());
+}
+
+TEST(Network, TamperDropChargedToPerLinkLedger) {
+  Fixture f;
+  Network n = f.make();
+  n.enable_per_link_accounting(true);
+  n.set_tamper_hook([](const Message&) {
+    return TamperResult{TamperAction::kDrop, {}};
+  });
+  n.send(1, 2, 1, Bytes(12, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.bytes_on_link(1, 2), 12u);
+  EXPECT_EQ(n.per_link_total(), n.bytes_transmitted());
+  EXPECT_NO_THROW(n.assert_ledgers_consistent());
+}
+
+TEST(Network, AttemptsSplitExactlyIntoSentAndDropped) {
+  Fixture f;
+  Network n = f.make();
+  n.set_loss_rate(0.3, /*seed=*/7);
+  for (int i = 0; i < 500; ++i) n.send(0, 1, 1, Bytes(4, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.messages_attempted(), 500u);
+  EXPECT_EQ(n.messages_sent() + n.messages_dropped(), n.messages_attempted());
+  EXPECT_EQ(f.delivered.size(), n.messages_sent());
+}
+
+TEST(Network, ResetAccountingClearsRadioBacklog) {
+  // Regression: reset_accounting() left serialize_tx radio reservations
+  // in place, so the next measurement window inherited queued radios.
+  Fixture f;
+  f.params.serialize_tx = true;
+  f.params.per_hop_latency = sim::Duration::zero();
+  Network n = f.make();
+  // Two 20-byte sends reserve node 1's radio until 1280 µs.
+  n.send(1, 2, 1, Bytes(20, 0));
+  n.send(1, 3, 1, Bytes(20, 0));
+  n.reset_accounting();
+  // A fresh window: this send must start immediately (640 µs), not queue
+  // behind the pre-reset backlog (which would deliver at 1920 µs).
+  n.send(1, 4, 1, Bytes(20, 0));
+  f.scheduler.run();
+  ASSERT_EQ(f.delivered.size(), 3u);
+  EXPECT_EQ(f.scheduler.now(), sim::SimTime::from_us(1280));
+}
+
+TEST(Network, BindMetricsMirrorsLedgers) {
+  Fixture f;
+  Network n = f.make();
+  obs::MetricsRegistry reg;
+  n.bind_metrics(&reg);
+  n.enable_per_link_accounting(true);
+  n.send(1, 2, 1, Bytes(20, 0));
+  n.send(2, 1, 1, Bytes(10, 0));
+  f.scheduler.run();
+  EXPECT_EQ(reg.counter_value("net.bytes_transmitted"), n.bytes_transmitted());
+  EXPECT_EQ(reg.counter_value("net.messages_sent"), n.messages_sent());
+  EXPECT_EQ(reg.counter_value("net.messages_dropped"), n.messages_dropped());
+  EXPECT_EQ(reg.counter_value("net.messages_attempted"),
+            n.messages_attempted());
+  EXPECT_EQ(reg.counter_value("net.per_link_bytes"), n.per_link_total());
+  const obs::Histogram* h = reg.find_histogram("net.payload_bytes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->sum(), 30u);
+  // reset_accounting keeps both views in lock-step.
+  n.reset_accounting();
+  EXPECT_EQ(reg.counter_value("net.bytes_transmitted"), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  // Unbinding stops the mirroring without touching the internal ledgers.
+  n.bind_metrics(nullptr);
+  n.send(1, 2, 1, Bytes(8, 0));
+  f.scheduler.run();
+  EXPECT_EQ(n.bytes_transmitted(), 8u);
+  EXPECT_EQ(reg.counter_value("net.bytes_transmitted"), 0u);
 }
 
 TEST(Network, SendWithoutHandlerThrows) {

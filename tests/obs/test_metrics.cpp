@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cra::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndMaxIn) {
+  Gauge g;
+  EXPECT_FALSE(g.is_set());
+  EXPECT_EQ(g.value(), 0);
+  g.max_in(5);  // unset gauge takes any value, even a smaller one later
+  EXPECT_TRUE(g.is_set());
+  EXPECT_EQ(g.value(), 5);
+  g.max_in(3);
+  EXPECT_EQ(g.value(), 5);
+  g.max_in(9);
+  EXPECT_EQ(g.value(), 9);
+  g.set(-2);  // set overwrites unconditionally
+  EXPECT_EQ(g.value(), -2);
+  g.reset();
+  EXPECT_FALSE(g.is_set());
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram h;
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u}) h.record(v);
+  // bit_width: 0->0, 1->1, {2,3}->2, 4->3.
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, FullRangeWithoutOverflow) {
+  Histogram h;
+  h.record(~0ULL);
+  EXPECT_EQ(h.buckets()[64], 1u);
+  EXPECT_EQ(h.max(), ~0ULL);
+}
+
+TEST(Histogram, MergeFoldsMomentsAndBuckets) {
+  Histogram a, b;
+  a.record(2);
+  a.record(100);
+  b.record(1);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 103u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100u);
+  Histogram empty;
+  a.merge_from(empty);  // merging an empty histogram must not touch min
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossRegistrations) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  a.inc();
+  // Registering many more names must not move the earlier handle.
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  Counter& a2 = reg.counter("a");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_EQ(reg.counter_value("a"), 1u);
+}
+
+TEST(MetricsRegistry, MissingNamesReadAsZero) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+  EXPECT_EQ(reg.gauge_value("nope"), 0);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(MetricsRegistry, MergeIsCommutativeOnTotals) {
+  MetricsRegistry a, b;
+  a.counter("x").inc(3);
+  a.gauge("t").max_in(10);
+  a.histogram("h").record(4);
+  b.counter("x").inc(5);
+  b.counter("y").inc(1);
+  b.gauge("t").max_in(20);
+  b.histogram("h").record(8);
+
+  MetricsRegistry ab, ba;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  EXPECT_EQ(ab.counter_value("x"), 8u);
+  EXPECT_EQ(ab.counter_value("y"), 1u);
+  EXPECT_EQ(ab.gauge_value("t"), 20);
+  EXPECT_EQ(ab.find_histogram("h")->count(), 2u);
+}
+
+TEST(MetricsRegistry, MergeWithPrefixNamespaces) {
+  MetricsRegistry shard, out;
+  shard.counter("net.bytes").inc(7);
+  out.merge_from(shard, "round1/");
+  EXPECT_EQ(out.counter_value("round1/net.bytes"), 7u);
+  EXPECT_EQ(out.counter_value("net.bytes"), 0u);
+}
+
+TEST(MetricsRegistry, MergeSkipsUnsetGauges) {
+  MetricsRegistry a, b;
+  a.gauge("g");  // registered, never set
+  b.merge_from(a);
+  EXPECT_FALSE(b.gauge("g").is_set());
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.inc(9);
+  Gauge& g = reg.gauge("g");
+  g.set(4);
+  reg.histogram("h").record(2);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);       // the cached handle still works
+  EXPECT_FALSE(g.is_set());
+  EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
+  c.inc();
+  EXPECT_EQ(reg.counter_value("c"), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsSortedAndStable) {
+  MetricsRegistry reg;
+  reg.counter("zeta").inc(1);
+  reg.counter("alpha").inc(2);
+  reg.gauge("g").set(-5);
+  reg.histogram("h").record(3);
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"alpha\":2,\"zeta\":1},"
+            "\"gauges\":{\"g\":-5},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"min\":3,"
+            "\"max\":3,\"buckets\":{\"2\":1}}}}");
+  // Registration order must not matter.
+  MetricsRegistry reg2;
+  reg2.histogram("h").record(3);
+  reg2.gauge("g").set(-5);
+  reg2.counter("alpha").inc(2);
+  reg2.counter("zeta").inc(1);
+  EXPECT_EQ(reg2.to_json(), json);
+}
+
+}  // namespace
+}  // namespace cra::obs

@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace cra::obs {
+namespace {
+
+TEST(TraceSink, RecordsSpansWithStableTids) {
+  TraceSink sink;
+  {
+    Span s("phase.a", &sink);
+  }
+  {
+    Span s("phase.b", &sink);
+    s.sim_range(1'000, 5'000);
+  }
+  EXPECT_EQ(sink.size(), 2u);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"phase.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.b\""), std::string::npos);
+  // Both process lanes are named.
+  EXPECT_NE(json.find("\"wall clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulated time\""), std::string::npos);
+}
+
+TEST(TraceSink, SimSpanLandsInSimLaneOnly) {
+  TraceSink sink;
+  sink.sim_span("sap.inbound", 2'000, 10'000);
+  const std::string json = sink.to_json();
+  // 2000 ns begin -> ts 2 µs, 8000 ns -> dur 8 µs, in pid 2.
+  EXPECT_NE(json.find("\"name\":\"sap.inbound\",\"ph\":\"X\",\"pid\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2,\"dur\":8"), std::string::npos);
+}
+
+TEST(TraceSink, WallSpanHasNonNegativeDuration) {
+  TraceSink sink;
+  { Span s("w", &sink); }
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+TEST(TraceSink, WriteFileRoundTrips) {
+  TraceSink sink;
+  sink.sim_span("x", 0, 1'000);
+  const std::string path =
+      testing::TempDir() + "cra_trace_test.json";
+  ASSERT_TRUE(sink.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 14, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, sink.to_json());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(GlobalSink, NullByDefaultAndSpansAreNoops) {
+  ASSERT_EQ(global_sink(), nullptr);
+  { OBS_SPAN("ignored"); }  // must not crash with no sink installed
+  TraceSink sink;
+  set_global_sink(&sink);
+  { OBS_SPAN("seen"); }
+  set_global_sink(nullptr);
+  { OBS_SPAN("ignored.again"); }
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_NE(sink.to_json().find("\"seen\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cra::obs
