@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -38,18 +39,42 @@ struct BenchArgs {
   std::string trace_out;      // empty = no tracing
 };
 
-inline BenchArgs parse(int argc, char** argv) {
+/// Bench-specific flag hook: called with (flag, value_fn) for flags the
+/// shared parser does not know. Return true if the flag was consumed;
+/// call value_fn() (at most once) to pull the flag's argument.
+using ExtraFlag = std::function<bool(
+    std::string_view, const std::function<const char*()>&)>;
+
+inline void print_usage(const char* prog, const char* extra_usage = nullptr) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --threads N         worker threads for the sharded engine "
+               "(1 = classic)\n"
+               "  --devices N         override the bench's size sweep with N\n"
+               "  --metrics-json PATH write merged metrics JSON to PATH\n"
+               "  --trace-out PATH    write Chrome trace_event JSON to PATH\n"
+               "  --help              show this message\n",
+               prog);
+  if (extra_usage != nullptr) std::fprintf(stderr, "%s", extra_usage);
+}
+
+inline BenchArgs parse(int argc, char** argv, const ExtraFlag& extra = {},
+                       const char* extra_usage = nullptr) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const char* flag = argv[i];
-    auto value = [&]() -> const char* {
+    const std::function<const char*()> value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", flag);
+        print_usage(argv[0], extra_usage);
         std::exit(2);
       }
       return argv[++i];
     };
-    if (std::strcmp(flag, "--threads") == 0) {
+    if (std::strcmp(flag, "--help") == 0 || std::strcmp(flag, "-h") == 0) {
+      print_usage(argv[0], extra_usage);
+      std::exit(0);
+    } else if (std::strcmp(flag, "--threads") == 0) {
       args.threads = static_cast<std::uint32_t>(
           std::strtoul(value(), nullptr, 10));
       if (args.threads == 0) args.threads = 1;
@@ -60,11 +85,11 @@ inline BenchArgs parse(int argc, char** argv) {
       args.metrics_json = value();
     } else if (std::strcmp(flag, "--trace-out") == 0) {
       args.trace_out = value();
+    } else if (extra && extra(flag, value)) {
+      // consumed by the bench's own flag table
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s (supported: --threads N, --devices N, "
-                   "--metrics-json PATH, --trace-out PATH)\n",
-                   flag);
+      std::fprintf(stderr, "unknown flag %s\n", flag);
+      print_usage(argv[0], extra_usage);
       std::exit(2);
     }
   }

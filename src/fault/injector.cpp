@@ -1,0 +1,89 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace cra::fault {
+
+void FaultTally::count(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: ++crashes; break;
+    case FaultKind::kReboot: ++reboots; break;
+    case FaultKind::kSleep: ++sleeps; break;
+    case FaultKind::kWake: ++wakes; break;
+    case FaultKind::kLinkDown: ++links_down; break;
+    case FaultKind::kLinkUp: ++links_up; break;
+    case FaultKind::kPartition: ++partitions; break;
+    case FaultKind::kHeal: ++heals; break;
+    case FaultKind::kLossSpike: ++loss_spikes; break;
+    case FaultKind::kLossClear: ++loss_clears; break;
+    case FaultKind::kClockSkew: ++clock_skews; break;
+  }
+}
+
+const char* fault_metric_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "fault.crashes";
+    case FaultKind::kReboot: return "fault.reboots";
+    case FaultKind::kSleep: return "fault.sleeps";
+    case FaultKind::kWake: return "fault.wakes";
+    case FaultKind::kLinkDown: return "fault.links_down";
+    case FaultKind::kLinkUp: return "fault.links_up";
+    case FaultKind::kPartition: return "fault.partitions";
+    case FaultKind::kHeal: return "fault.heals";
+    case FaultKind::kLossSpike: return "fault.loss_spikes";
+    case FaultKind::kLossClear: return "fault.loss_clears";
+    case FaultKind::kClockSkew: return "fault.clock_skews";
+  }
+  return "fault.unknown";
+}
+
+void observe_event(obs::MetricsRegistry& reg, const FaultEvent& ev) {
+  // Arming happens on the driver thread before the window runs, so these
+  // writes land in the central registry and survive the shard merge
+  // (merge adds counters).
+  reg.counter(fault_metric_name(ev.kind)).inc();
+  if (ev.duration > sim::Duration::zero()) {
+    if (obs::TraceSink* sink = obs::global_sink()) {
+      std::string name = "fault.";
+      name += fault_kind_name(ev.kind);
+      sink->sim_span(name, ev.at.ns(), (ev.at + ev.duration).ns());
+    }
+  }
+}
+
+std::vector<std::pair<net::NodeId, net::NodeId>> partition_cut(
+    const net::Tree& tree, const std::vector<net::NodeId>& island) {
+  std::vector<bool> inside(tree.size(), false);
+  for (net::NodeId pos : island) {
+    if (pos < tree.size()) inside[pos] = true;
+  }
+  std::vector<std::pair<net::NodeId, net::NodeId>> cut;
+  for (net::NodeId pos : island) {
+    if (pos == 0 || pos >= tree.size()) continue;
+    const net::NodeId parent = tree.parent(pos);
+    if (!inside[parent]) cut.emplace_back(pos, parent);
+    for (net::NodeId child : tree.children(pos)) {
+      if (!inside[child]) cut.emplace_back(pos, child);
+    }
+  }
+  return cut;
+}
+
+std::size_t FaultInjector::arm_until(
+    sim::SimTime horizon,
+    const std::function<void(const FaultEvent&)>& arm) {
+  const std::vector<FaultEvent>& events = plan_.events();
+  std::size_t armed = 0;
+  while (cursor_ < events.size() && events[cursor_].at <= horizon) {
+    const FaultEvent& ev = events[cursor_];
+    tally_.count(ev.kind);
+    arm(ev);
+    ++cursor_;
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace cra::fault

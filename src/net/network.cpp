@@ -71,6 +71,14 @@ void Network::deliver(Message msg, sim::Duration delay,
         break;
     }
   }
+  // Link outage beats probabilistic loss: a severed link drops
+  // deterministically, without consuming a draw from the loss stream, so
+  // adding a partition never perturbs which *other* messages get lost.
+  if (!down_links_.empty() &&
+      down_links_.count(link_key(msg.src, msg.dst)) != 0) {
+    charge(msg, wire_bytes, /*delivered=*/false);
+    return;
+  }
   if (loss_rate_ > 0.0 && loss_rng_.next_bool(loss_rate_)) {
     charge(msg, wire_bytes, /*delivered=*/false);
     return;
@@ -173,6 +181,18 @@ void Network::bind_metrics(obs::MetricsRegistry* reg) {
   m_attempts_ = &reg->counter("net.messages_attempted");
   m_link_bytes_ = &reg->counter("net.per_link_bytes");
   m_payload_ = &reg->histogram("net.payload_bytes");
+}
+
+void Network::set_link_down(NodeId src, NodeId dst, bool down) {
+  if (down) {
+    down_links_.insert(link_key(src, dst));
+  } else {
+    down_links_.erase(link_key(src, dst));
+  }
+}
+
+bool Network::link_is_down(NodeId src, NodeId dst) const {
+  return down_links_.count(link_key(src, dst)) != 0;
 }
 
 void Network::set_loss_rate(double p, std::uint64_t seed) {

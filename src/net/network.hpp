@@ -18,6 +18,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -135,6 +136,15 @@ class Network {
   void bind_metrics(obs::MetricsRegistry* reg);
 
   /// --- Fault / adversary injection ---
+  /// Directed link outage (fault-injection layer): while (src,dst) is
+  /// down, every send over it still burns air time — charged to the
+  /// dropped ledger, same as probabilistic loss — but never arrives.
+  /// Partition events expand to sets of directed links; take both
+  /// directions down for a bidirectional cut.
+  void set_link_down(NodeId src, NodeId dst, bool down);
+  bool link_is_down(NodeId src, NodeId dst) const;
+  std::size_t links_down() const noexcept { return down_links_.size(); }
+  void clear_link_faults() { down_links_.clear(); }
   void set_loss_rate(double p, std::uint64_t seed = 0);
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
   double loss_rate() const noexcept { return loss_rate_; }
@@ -169,6 +179,7 @@ class Network {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> per_link_bytes_;
+  std::unordered_set<std::uint64_t> down_links_;  // directed (src,dst)
   std::unordered_map<NodeId, sim::SimTime> radio_free_;  // serialize_tx
 
   // Bound metric handles (null when no registry is attached). Resolved

@@ -35,6 +35,43 @@ enum class QoaMode : std::uint8_t {
 
 const char* qoa_name(QoaMode mode) noexcept;
 
+/// Adaptive per-child timeouts (robustness extension; see
+/// docs/robustness.md). Replaces the fixed `max_retries` re-poll count
+/// with bounded exponential backoff: a parent that misses a child token
+/// re-polls and re-arms its deadline after backoff_for(attempt), doubling
+/// (by `backoff_factor`) up to `max_backoff`, at most `max_repolls`
+/// times. Children still missing after the budget is spent are reported
+/// as unreachable in the degraded-mode report instead of silently
+/// shrinking the aggregate. Off by default — with `enabled == false`
+/// every wire format, deadline, and event time is byte-identical to the
+/// legacy retransmit path.
+struct AdaptiveTimeoutConfig {
+  bool enabled = false;
+  std::uint32_t max_repolls = 4;
+  sim::Duration initial_backoff = sim::Duration::from_ms(25);
+  std::uint32_t backoff_factor = 2;
+  sim::Duration max_backoff = sim::Duration::from_ms(200);
+
+  /// Backoff before re-poll number `attempt` (1-based), exponentially
+  /// grown and clamped to max_backoff.
+  sim::Duration backoff_for(std::uint32_t attempt) const noexcept {
+    sim::Duration b = initial_backoff;
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+      if (b >= max_backoff) break;
+      b = b * static_cast<std::int64_t>(backoff_factor);
+    }
+    return b < max_backoff ? b : max_backoff;
+  }
+
+  /// Total worst-case wait a parent can add across all re-polls — the
+  /// verifier stretches its round deadline by this budget.
+  sim::Duration budget() const noexcept {
+    sim::Duration total = sim::Duration::zero();
+    for (std::uint32_t a = 1; a <= max_repolls; ++a) total += backoff_for(a);
+    return total;
+  }
+};
+
 /// A hardware class for heterogeneous swarms (§II "device homogeneity",
 /// §VIII model extensions). Class 0 is implicitly the SapConfig's own
 /// device parameters; additional classes change per-device attest cost,
@@ -88,6 +125,12 @@ struct SapConfig {
   /// deadline re-poll the child (one retry round) before flushing.
   bool retransmit = false;
   std::uint32_t max_retries = 2;
+
+  /// Robustness extension: adaptive per-child timeouts with exponential
+  /// backoff and degraded-mode (per-device status) reports. Supersedes
+  /// `retransmit`/`max_retries` when enabled; disabled by default so the
+  /// legacy path stays byte-identical.
+  AdaptiveTimeoutConfig adaptive{};
 
   /// Simulation engine knobs. threads=1 (default) is the classic
   /// single-threaded engine, bit-for-bit identical to previous

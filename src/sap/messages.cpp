@@ -93,6 +93,55 @@ std::optional<std::vector<DeviceReport>> decode_identify(
   return out;
 }
 
+const char* entry_status_name(DeviceReportStatus status) noexcept {
+  switch (status) {
+    case DeviceReportStatus::kEntryOk: return "ok";
+    case DeviceReportStatus::kEntryLate: return "late";
+    case DeviceReportStatus::kEntryUnreachable: return "unreachable";
+    case DeviceReportStatus::kEntryRebooted: return "rebooted";
+  }
+  return "?";
+}
+
+Bytes encode_identify_ex(const std::vector<DeviceReport>& reports,
+                         std::size_t token_size) {
+  Bytes out;
+  out.reserve(reports.size() * (9 + token_size));
+  for (const auto& r : reports) {
+    if (r.token.size() != token_size) {
+      throw std::invalid_argument("encode_identify_ex: bad token size");
+    }
+    append_u32le(out, r.id);
+    out.push_back(static_cast<std::uint8_t>(r.status));
+    append_u32le(out, r.tick);
+    out.insert(out.end(), r.token.begin(), r.token.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<DeviceReport>> decode_identify_ex(
+    BytesView payload, std::size_t token_size) {
+  const std::size_t entry = 9 + token_size;
+  if (payload.size() % entry != 0) return std::nullopt;
+  std::vector<DeviceReport> out;
+  out.reserve(payload.size() / entry);
+  for (std::size_t off = 0; off < payload.size(); off += entry) {
+    DeviceReport r;
+    r.id = read_u32le(payload, off);
+    const std::uint8_t raw_status = payload[off + 4];
+    if (raw_status >
+        static_cast<std::uint8_t>(DeviceReportStatus::kEntryRebooted)) {
+      return std::nullopt;
+    }
+    r.status = static_cast<DeviceReportStatus>(raw_status);
+    r.tick = read_u32le(payload, off + 5);
+    r.token.assign(payload.begin() + static_cast<std::ptrdiff_t>(off + 9),
+                   payload.begin() + static_cast<std::ptrdiff_t>(off + entry));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 Bytes encode_count_token(BytesView token, std::uint32_t count) {
   Bytes out(token.begin(), token.end());
   append_u32le(out, count);

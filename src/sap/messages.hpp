@@ -45,15 +45,40 @@ std::optional<ChalView> decode_chal(BytesView payload, std::size_t chal_size);
 /// Verify the challenge authenticator (constant-time).
 bool chal_authentic(const ChalView& chal, BytesView auth_key);
 
-/// kIdentify entries.
+/// Per-entry status on the adaptive-timeout (degraded-mode) wire format.
+/// Legacy kIdentify entries carry no status byte; decode_identify leaves
+/// entries at kEntryOk.
+enum class DeviceReportStatus : std::uint8_t {
+  kEntryOk = 0,           // token computed in sync at the round tick
+  kEntryLate = 1,         // device joined via re-poll; token for `tick`
+  kEntryUnreachable = 2,  // parent gave up after its re-poll budget
+  kEntryRebooted = 3,     // device restarted since the previous round
+};
+
+const char* entry_status_name(DeviceReportStatus status) noexcept;
+
+/// kIdentify entries. `status`/`tick` ride after `token` so the legacy
+/// two-field aggregate init keeps working; they only hit the wire on the
+/// extended (adaptive) format.
 struct DeviceReport {
   std::uint32_t id = 0;
   Bytes token;  // l bytes
+  DeviceReportStatus status = DeviceReportStatus::kEntryOk;
+  std::uint32_t tick = 0;  // tick the token was computed at (kEntryLate)
 };
 
 Bytes encode_identify(const std::vector<DeviceReport>& reports,
                       std::size_t token_size);
 std::optional<std::vector<DeviceReport>> decode_identify(
+    BytesView payload, std::size_t token_size);
+
+/// Extended kIdentify wire format used by adaptive-timeout rounds:
+///   entry = id(4, LE) || status(1) || tick(4, LE) || token(l bytes)
+/// Unreachable entries still carry a (zero) token so entries stay
+/// fixed-size and the report-chain deadline math holds.
+Bytes encode_identify_ex(const std::vector<DeviceReport>& reports,
+                         std::size_t token_size);
+std::optional<std::vector<DeviceReport>> decode_identify_ex(
     BytesView payload, std::size_t token_size);
 
 /// kCount payload helpers.

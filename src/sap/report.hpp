@@ -45,6 +45,13 @@ struct RoundReport {
 
   /// kIdentify mode only.
   Verifier::IdentifyOutcome identify;
+
+  /// Degraded-mode per-device classification (adaptive-timeout rounds
+  /// only; `degraded.enabled == false` otherwise).
+  Verifier::Classification degraded;
+  /// Total simulated time parents spent waiting in backoff before
+  /// re-polls this round (adaptive mode; 0 otherwise).
+  std::uint64_t backoff_wait_ns = 0;
 };
 
 }  // namespace cra::sap

@@ -45,6 +45,29 @@ std::string report_to_json(const RoundReport& report) {
   w.end_array();
   w.end_object();
 
+  // Degraded-mode block only when the adaptive path ran — legacy rounds
+  // keep the pre-existing JSON byte-for-byte.
+  if (report.degraded.enabled) {
+    w.key("degraded").begin_object()
+        .field("healthy", report.degraded.healthy)
+        .field("unreachable", report.degraded.unreachable)
+        .field("untrusted", report.degraded.untrusted)
+        .field("rebooted", report.degraded.rebooted)
+        .field("completion", report.degraded.completion())
+        .field("backoff_wait_ms",
+               static_cast<double>(report.backoff_wait_ns) / 1e6);
+    w.key("untrusted_ids").begin_array();
+    for (auto id : report.degraded.untrusted_ids) w.value(id);
+    w.end_array();
+    w.key("unreachable_ids").begin_array();
+    for (auto id : report.degraded.unreachable_ids) w.value(id);
+    w.end_array();
+    w.key("rebooted_ids").begin_array();
+    for (auto id : report.degraded.rebooted_ids) w.value(id);
+    w.end_array();
+    w.end_object();
+  }
+
   w.end_object();
   return w.str();
 }

@@ -62,6 +62,8 @@ void SapSimulation::setup_engine() {
     network_.bind_metrics(&metrics_);
     repoll_ctrs_ = {&metrics_.counter("sap.repolls")};
     inbound_gauges_ = {&metrics_.gauge("sap.inbound_end_ns")};
+    backoff_ctrs_ = {&metrics_.counter("sap.backoff_wait_ns")};
+    unreachable_ctrs_ = {&metrics_.counter("sap.unreachable_marks")};
     return;
   }
   engine_ = std::make_unique<sim::ParallelScheduler>(
@@ -89,6 +91,8 @@ void SapSimulation::setup_engine() {
     net->bind_metrics(&reg);
     repoll_ctrs_.push_back(&reg.counter("sap.repolls"));
     inbound_gauges_.push_back(&reg.gauge("sap.inbound_end_ns"));
+    backoff_ctrs_.push_back(&reg.counter("sap.backoff_wait_ns"));
+    unreachable_ctrs_.push_back(&reg.counter("sap.unreachable_marks"));
     shard_nets_.push_back(std::move(net));
   }
 }
@@ -203,6 +207,173 @@ void SapSimulation::set_clock_skew(net::NodeId id, sim::Duration skew) {
   }
 }
 
+void SapSimulation::attach_fault_plan(fault::FaultPlan plan) {
+  if (round_active_) {
+    throw std::logic_error("attach_fault_plan: round in progress");
+  }
+  faults_ = std::make_unique<fault::FaultInjector>(std::move(plan));
+}
+
+void SapSimulation::clear_fault_plan() {
+  if (round_active_) {
+    throw std::logic_error("clear_fault_plan: round in progress");
+  }
+  faults_.reset();
+}
+
+void SapSimulation::arm_faults(sim::SimTime horizon) {
+  if (!faults_) return;
+  faults_->arm_until(horizon, [this](const fault::FaultEvent& ev) {
+    fault::observe_event(metrics_, ev);
+    schedule_fault(ev);
+  });
+}
+
+void SapSimulation::schedule_fault(const fault::FaultEvent& ev) {
+  using fault::FaultKind;
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kReboot:
+    case FaultKind::kSleep:
+    case FaultKind::kWake:
+    case FaultKind::kClockSkew: {
+      if (ev.device == 0 || ev.device > device_count()) {
+        throw std::out_of_range("fault plan: device id out of range");
+      }
+      const net::NodeId pos = pos_of_[ev.device];
+      if (ev.at <= current_time()) {
+        apply_device_fault(ev);
+      } else {
+        sched(pos).schedule_at(ev.at,
+                               [this, ev] { apply_device_fault(ev); });
+      }
+      break;
+    }
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      if (ev.device >= tree_.size() || ev.peer >= tree_.size()) {
+        throw std::out_of_range("fault plan: link endpoint out of range");
+      }
+      const bool down = ev.kind == FaultKind::kLinkDown;
+      apply_link(ev.device, ev.peer, down, ev.at);
+      apply_link(ev.peer, ev.device, down, ev.at);
+      break;
+    }
+    case FaultKind::kPartition:
+    case FaultKind::kHeal: {
+      for (net::NodeId pos : ev.island) {
+        if (pos >= tree_.size()) {
+          throw std::out_of_range("fault plan: island position out of range");
+        }
+      }
+      const bool down = ev.kind == FaultKind::kPartition;
+      for (const auto& [a, b] : fault::partition_cut(tree_, ev.island)) {
+        apply_link(a, b, down, ev.at);
+        apply_link(b, a, down, ev.at);
+      }
+      break;
+    }
+    case FaultKind::kLossSpike:
+      // The clear event restores whatever the user had configured before
+      // the first spike fired.
+      if (!loss_spiked_) {
+        baseline_loss_rate_ = network_.loss_rate();
+        baseline_loss_seed_ = network_.loss_seed();
+        loss_spiked_ = true;
+      }
+      apply_loss(ev.rate, ev.draw, ev.at);
+      break;
+    case FaultKind::kLossClear:
+      loss_spiked_ = false;
+      apply_loss(baseline_loss_rate_, baseline_loss_seed_, ev.at);
+      break;
+  }
+}
+
+void SapSimulation::apply_device_fault(const fault::FaultEvent& ev) {
+  using fault::FaultKind;
+  const net::NodeId pos = pos_of_[ev.device];
+  Dev& d = dev(ev.device);
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+      // Volatile state is gone: the device forgets the round entirely
+      // (it can only rejoin via a chal-carrying re-poll after a reboot).
+      // `sent` survives — a report that already left is on the wire.
+      d.unresponsive = true;
+      d.got_chal = false;
+      d.responded_self = false;
+      d.waiting = 0;
+      d.count = 0;
+      d.got_children.clear();
+      d.agg_token.assign(config_.token_size(), 0);
+      d.reports.clear();
+      d.sent_payload.clear();
+      sched(pos).cancel(d.deadline);
+      break;
+    case FaultKind::kReboot:
+      d.unresponsive = false;
+      d.rebooted = true;
+      break;
+    case FaultKind::kSleep:
+      // Radio off, state retained (duty-cycling, not a crash).
+      d.unresponsive = true;
+      break;
+    case FaultKind::kWake:
+      d.unresponsive = false;
+      break;
+    case FaultKind::kClockSkew:
+      d.skew_ns = ev.skew_ns;
+      if (d.vm != nullptr) {
+        d.vm->sync_clock(sched(pos).now(), sim::Duration(ev.skew_ns));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void SapSimulation::apply_link(net::NodeId src, net::NodeId dst, bool down,
+                               sim::SimTime at) {
+  // Loss/outage checks run on the *sending* side, so the switch lives on
+  // the shard owning the source position.
+  if (at <= current_time()) {
+    net_of(src).set_link_down(src, dst, down);
+    return;
+  }
+  sched(src).schedule_at(at, [this, src, dst, down] {
+    net_of(src).set_link_down(src, dst, down);
+  });
+}
+
+void SapSimulation::apply_loss(double rate, std::uint64_t seed,
+                               sim::SimTime at) {
+  if (!engine_) {
+    if (at <= scheduler_.now()) {
+      network_.set_loss_rate(rate, seed);
+    } else {
+      scheduler_.schedule_at(
+          at, [this, rate, seed] { network_.set_loss_rate(rate, seed); });
+    }
+    return;
+  }
+  // Engine mode: network_ is the quiescent configuration surface — flip
+  // it now (driver thread) so the next round's mirror sees the new rate;
+  // the live per-shard networks switch at the event time on their own
+  // shard, each with a deterministic per-shard sub-stream.
+  network_.set_loss_rate(rate, seed);
+  for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    SplitMix64 mix(seed + 0x9e3779b97f4a7c15ULL * (s + 1) + rounds_run_);
+    const std::uint64_t shard_seed = mix.next();
+    if (at <= engine_->now()) {
+      shard_nets_[s]->set_loss_rate(rate, shard_seed);
+    } else {
+      engine_->shard(s).schedule_at(at, [this, s, rate, shard_seed] {
+        shard_nets_[s]->set_loss_rate(rate, shard_seed);
+      });
+    }
+  }
+}
+
 void SapSimulation::assign_device_class(net::NodeId id, std::uint8_t cls) {
   if (cls > config_.extra_classes.size()) {
     throw std::out_of_range("assign_device_class: unknown class");
@@ -245,10 +416,14 @@ void SapSimulation::attach_vm(net::NodeId id, device::Device* vm) {
 
 void SapSimulation::advance_time(sim::Duration d) {
   if (engine_) {
-    engine_->run_until(engine_->now() + d);
+    const sim::SimTime target = engine_->now() + d;
+    arm_faults(target);
+    engine_->run_until(target);
     return;
   }
-  scheduler_.run_until(scheduler_.now() + d);
+  const sim::SimTime target = scheduler_.now() + d;
+  arm_faults(target);
+  scheduler_.run_until(target);
 }
 
 void SapSimulation::set_qoa(QoaMode mode) {
@@ -304,6 +479,7 @@ RoundReport SapSimulation::run_round() {
         static_cast<std::uint32_t>(tree_.children(pos_of_[id]).size());
     d.count = 0;
     d.retries = 0;
+    d.self_grace = 0;
     d.got_children.clear();
     d.agg_token.assign(config_.token_size(), 0);
     d.sent_payload.clear();
@@ -311,6 +487,7 @@ RoundReport SapSimulation::run_round() {
     d.deadline = sim::EventHandle();
   }
   root_done_ = false;
+  root_retries_ = 0;
   root_waiting_ = static_cast<std::uint32_t>(tree_.children(0).size());
   root_count_ = 0;
   root_got_children_.clear();
@@ -335,22 +512,38 @@ RoundReport SapSimulation::run_round() {
 
   const Bytes chal =
       encode_chal(round_tick_, auth_key_, config_.chal_size());
+  round_chal_ = chal;
   for (net::NodeId child : tree_.children(0)) {
     net_of(0).send(0, child, kChalMsg, chal);
   }
 
   // Give-up deadline for Vrf (covers lost subtrees and repolls).
   const sim::Duration repoll_allowance =
-      (config_.report_margin + hop_time(config_) * 2) *
-      static_cast<std::int64_t>(config_.retransmit ? config_.max_retries + 1
-                                                   : 1);
+      config_.adaptive.enabled
+          ? config_.adaptive.budget() +
+                (config_.report_margin + hop_time(config_) * 2) *
+                    static_cast<std::int64_t>(config_.adaptive.max_repolls + 1)
+          : (config_.report_margin + hop_time(config_) * 2) *
+                static_cast<std::int64_t>(
+                    config_.retransmit ? config_.max_retries + 1 : 1);
   const sim::SimTime vrf_deadline =
       report.measurement_end + report_chain_time(0) + repoll_allowance +
       config_.report_margin *
           static_cast<std::int64_t>(tree_.max_depth() + 2);
   t_resp_ = vrf_deadline;
-  root_deadline_ = sched(0).schedule_at(
-      vrf_deadline, [this] { root_complete(); });
+  if (config_.adaptive.enabled) {
+    // Vrf re-polls its own children through the same backoff schedule
+    // instead of giving up in one shot at the worst-case deadline.
+    root_deadline_ = sched(0).schedule_at(root_stage_deadline(),
+                                          [this] { root_flush(); });
+  } else {
+    root_deadline_ = sched(0).schedule_at(
+        vrf_deadline, [this] { root_complete(); });
+  }
+
+  // Hand this window's scripted faults to the engines. The horizon
+  // covers the whole round including every possible adaptive re-poll.
+  arm_faults(vrf_deadline);
 
   if (engine_) {
     engine_->run();
@@ -375,6 +568,7 @@ RoundReport SapSimulation::run_round() {
   }
   report.repolls =
       static_cast<std::uint32_t>(metrics_.counter_value("sap.repolls"));
+  report.backoff_wait_ns = metrics_.counter_value("sap.backoff_wait_ns");
   report.t_resp = t_resp_;
   report.u_ca_bytes = metrics_.counter_value("net.bytes_transmitted");
   report.messages = metrics_.counter_value("net.messages_sent");
@@ -391,10 +585,24 @@ RoundReport SapSimulation::run_round() {
                         verifier_.verify(root_token_, round_tick_);
       break;
     case QoaMode::kIdentify:
-      report.responded = static_cast<std::uint32_t>(root_reports_.size());
-      report.identify =
-          verifier_.verify_identify(root_reports_, round_tick_);
-      report.verified = report.identify.all_good();
+      if (config_.adaptive.enabled) {
+        // Degraded-mode verdict: classify every device instead of the
+        // all-or-nothing identify outcome.
+        report.degraded = verifier_.classify(root_reports_, round_tick_);
+        std::uint32_t responded = 0;
+        for (const auto& r : root_reports_) {
+          if (r.status != DeviceReportStatus::kEntryUnreachable) ++responded;
+        }
+        report.responded = responded;
+        report.identify.bad = report.degraded.untrusted_ids;
+        report.identify.missing = report.degraded.unreachable_ids;
+        report.verified = report.degraded.all_healthy();
+      } else {
+        report.responded = static_cast<std::uint32_t>(root_reports_.size());
+        report.identify =
+            verifier_.verify_identify(root_reports_, round_tick_);
+        report.verified = report.identify.all_good();
+      }
       break;
   }
 
@@ -433,7 +641,7 @@ void SapSimulation::on_message(const net::Message& msg) {
       handle_token(msg.dst, msg);
       break;
     case kRepollMsg:
-      handle_repoll(msg.dst);
+      handle_repoll(msg.dst, msg);
       break;
     default:
       break;  // unknown kind: drop
@@ -495,9 +703,19 @@ void SapSimulation::run_attest(net::NodeId pos) {
 void SapSimulation::accumulate_self(net::NodeId pos, Bytes token) {
   const net::NodeId id = dev_at_[pos];
   Dev& d = dev(id);
+  if (d.unresponsive) return;  // crashed between attest and aggregation
   d.responded_self = true;
   if (config_.qoa == QoaMode::kIdentify) {
-    d.reports.push_back(DeviceReport{id, token});  // stable device id
+    if (config_.adaptive.enabled) {
+      d.reports.push_back(DeviceReport{
+          id, token,
+          d.rebooted ? DeviceReportStatus::kEntryRebooted
+                     : DeviceReportStatus::kEntryOk,
+          d.tick});
+      d.rebooted = false;  // evidence delivered; flag is consumed
+    } else {
+      d.reports.push_back(DeviceReport{id, token});  // stable device id
+    }
   }
   xor_inplace(d.agg_token, token);
   ++d.count;
@@ -527,7 +745,10 @@ void SapSimulation::handle_token(net::NodeId pos, const net::Message& msg) {
       break;
     }
     case QoaMode::kIdentify: {
-      const auto reports = decode_identify(msg.payload, config_.token_size());
+      const auto reports =
+          config_.adaptive.enabled
+              ? decode_identify_ex(msg.payload, config_.token_size())
+              : decode_identify(msg.payload, config_.token_size());
       if (!reports) return;
       d.reports.insert(d.reports.end(), reports->begin(), reports->end());
       break;
@@ -538,14 +759,57 @@ void SapSimulation::handle_token(net::NodeId pos, const net::Message& msg) {
   try_forward(pos);
 }
 
-void SapSimulation::handle_repoll(net::NodeId pos) {
+void SapSimulation::handle_repoll(net::NodeId pos, const net::Message& msg) {
   Dev& d = dev_at_pos(pos);
-  if (!d.got_chal) return;  // never saw the round
+  if (!d.got_chal) {
+    // Never saw the round — adaptive re-polls carry the challenge so a
+    // rebooted/healed device can still contribute late evidence.
+    late_join(pos, msg);
+    return;
+  }
   if (!d.sent_payload.empty()) {
     // Resend the cached report.
     net_of(pos).send(pos, tree_.parent(pos), kTokenMsg, d.sent_payload);
   }
   // If not yet flushed, the pending deadline/forward path will answer.
+}
+
+void SapSimulation::late_join(net::NodeId pos, const net::Message& msg) {
+  if (!config_.adaptive.enabled || msg.payload.empty()) return;
+  Dev& d = dev_at_pos(pos);
+  const auto chal = decode_chal(msg.payload, config_.chal_size());
+  if (!chal) return;
+  if (!auth_key_.empty() && !chal_authentic(*chal, auth_key_)) return;
+  d.got_chal = true;
+  d.tick = chal->tick;
+  // The synchronized measurement is over; in the aggregated modes a
+  // token over the current (later) tick would corrupt the XOR, so the
+  // device sits the round out and rejoins cleanly next round. kIdentify
+  // carries the late evidence explicitly: attest the *current* tick and
+  // report it as kEntryLate — the verifier accepts it iff the tick is
+  // not older than the challenge and the token verifies at that tick.
+  if (config_.qoa != QoaMode::kIdentify) return;
+  const net::NodeId id = dev_at_[pos];
+  const sim::SimTime now = sched(pos).now();
+  const std::uint32_t local_tick =
+      clock_.read_at_time(now, sim::Duration(d.skew_ns));
+  Bytes token = compute_token(pos, local_tick);
+  DeviceReport entry{id, std::move(token), DeviceReportStatus::kEntryLate,
+                     local_tick};
+  d.rebooted = false;
+  d.sent = true;  // self-only report; the subtree recovers next round
+  Bytes payload = encode_identify_ex({entry}, config_.token_size());
+  const net::NodeId parent = tree_.parent(pos);
+  // The report leaves once the attest computation and aggregation are
+  // done; only then does it become available for re-poll resends.
+  sched(pos).schedule_after(
+      attest_time_for(id) + aggregate_time(config_),
+      [this, pos, parent, p = std::move(payload)]() mutable {
+        Dev& dd = dev_at_pos(pos);
+        if (dd.unresponsive) return;
+        dd.sent_payload = p;
+        net_of(pos).send(pos, parent, kTokenMsg, std::move(p));
+      });
 }
 
 void SapSimulation::try_forward(net::NodeId pos) {
@@ -557,16 +821,62 @@ void SapSimulation::try_forward(net::NodeId pos) {
 
 void SapSimulation::flush(net::NodeId pos) {
   Dev& d = dev_at_pos(pos);
-  if (d.sent) return;
+  if (d.sent || d.unresponsive) return;
+  // Children whose token never arrived. Computed up front so a repoll
+  // round is only *charged* when somebody is actually missing — a child
+  // whose report landed between our deadline firing and this flush (the
+  // late-report race) must not burn a re-poll slot.
+  std::vector<net::NodeId> missing;
+  for (net::NodeId child : tree_.children(pos)) {
+    if (std::find(d.got_children.begin(), d.got_children.end(), child) ==
+        d.got_children.end()) {
+      missing.push_back(child);
+    }
+  }
+
+  if (config_.adaptive.enabled) {
+    if (!missing.empty() && d.retries < config_.adaptive.max_repolls) {
+      ++d.retries;
+      repoll_counter(pos).inc();
+      for (net::NodeId child : missing) {
+        // Adaptive re-polls carry the round challenge so a device that
+        // missed the flood entirely can still late-join.
+        net_of(pos).send(pos, child, kRepollMsg, round_chal_);
+      }
+      const sim::Duration backoff = config_.adaptive.backoff_for(d.retries);
+      backoff_counter(pos).inc(static_cast<std::uint64_t>(backoff.ns()));
+      d.deadline =
+          sched(pos).schedule_after(backoff, [this, pos] { flush(pos); });
+      return;
+    }
+    if (missing.empty() && !d.responded_self &&
+        d.self_grace < config_.adaptive.max_repolls) {
+      // All children answered but our own token is still pending (late
+      // attest under clock skew): wait out the grace window instead of
+      // reporting a hole we could still fill.
+      ++d.self_grace;
+      d.deadline = sched(pos).schedule_after(
+          config_.adaptive.backoff_for(d.self_grace),
+          [this, pos] { flush(pos); });
+      return;
+    }
+    // Budget exhausted: classify what never answered instead of leaving
+    // the verifier to infer it from a broken XOR.
+    if (config_.qoa == QoaMode::kIdentify) {
+      for (net::NodeId child : missing) mark_unreachable(pos, child);
+    }
+    send_report(pos);
+    return;
+  }
+
   if (config_.retransmit && d.retries < config_.max_retries) {
+    // Retry bookkeeping still advances (it widens node_deadline), but
+    // with nothing missing there is nothing to re-poll and no repoll to
+    // count.
     ++d.retries;
-    repoll_counter(pos).inc();
-    for (net::NodeId child : tree_.children(pos)) {
-      // Re-poll only children whose token never arrived — a duplicate
-      // answer from a healthy child would be discarded anyway, so don't
-      // burn bandwidth asking for it.
-      if (std::find(d.got_children.begin(), d.got_children.end(), child) ==
-          d.got_children.end()) {
+    if (!missing.empty()) {
+      repoll_counter(pos).inc();
+      for (net::NodeId child : missing) {
         net_of(pos).send(pos, child, kRepollMsg, Bytes{});
       }
     }
@@ -576,11 +886,18 @@ void SapSimulation::flush(net::NodeId pos) {
   // Give up on missing children; forward the partial aggregate. The
   // verifier's XOR will mismatch (binary) or the count/reports expose
   // the gap — unresponsiveness must fail attestation (Definition 1).
-  if (!d.responded_self) {
-    // Our own measurement may still be pending (only possible under
-    // pathological delay injection); report without it.
-  }
   send_report(pos);
+}
+
+void SapSimulation::mark_unreachable(net::NodeId pos, net::NodeId child) {
+  // One synthesized entry for the silent child itself; its descendants
+  // simply have no entry, which the verifier classifies as unreachable
+  // too. The zero token keeps extended entries fixed-size.
+  Dev& d = dev_at_pos(pos);
+  d.reports.push_back(DeviceReport{dev_at_[child],
+                                   Bytes(config_.token_size(), 0),
+                                   DeviceReportStatus::kEntryUnreachable, 0});
+  unreachable_counter(pos).inc();
 }
 
 void SapSimulation::send_report(net::NodeId pos) {
@@ -596,7 +913,9 @@ void SapSimulation::send_report(net::NodeId pos) {
       payload = encode_count_token(d.agg_token, d.count);
       break;
     case QoaMode::kIdentify:
-      payload = encode_identify(d.reports, config_.token_size());
+      payload = config_.adaptive.enabled
+                    ? encode_identify_ex(d.reports, config_.token_size())
+                    : encode_identify(d.reports, config_.token_size());
       break;
   }
   d.sent = true;
@@ -604,6 +923,7 @@ void SapSimulation::send_report(net::NodeId pos) {
   const net::NodeId parent = tree_.parent(pos);
   sched(pos).schedule_after(agg, [this, pos, parent,
                                   p = std::move(payload)]() mutable {
+    if (dev_at_pos(pos).unresponsive) return;  // crashed mid-aggregation
     net_of(pos).send(pos, parent, kTokenMsg, std::move(p));
   });
 }
@@ -629,7 +949,8 @@ sim::Duration SapSimulation::report_chain_time(net::NodeId pos) const {
       // Reports grow with the subtree: along the deepest chain the
       // payload roughly doubles per level, so transmission time is
       // bounded by pushing ~2x this node's whole subtree once.
-      const std::uint64_t entry = 4 + config_.token_size();
+      const std::uint64_t entry =
+          (config_.adaptive.enabled ? 9 : 4) + config_.token_size();
       const std::uint64_t worst_bytes =
           2ULL * subtree_size_[pos] * entry + levels_below *
               static_cast<std::uint64_t>(config_.link.header_bytes);
@@ -682,7 +1003,10 @@ void SapSimulation::root_receive(const net::Message& msg) {
       break;
     }
     case QoaMode::kIdentify: {
-      const auto reports = decode_identify(msg.payload, config_.token_size());
+      const auto reports =
+          config_.adaptive.enabled
+              ? decode_identify_ex(msg.payload, config_.token_size())
+              : decode_identify(msg.payload, config_.token_size());
       if (!reports) return;
       root_reports_.insert(root_reports_.end(), reports->begin(),
                            reports->end());
@@ -694,6 +1018,46 @@ void SapSimulation::root_receive(const net::Message& msg) {
     sched(0).cancel(root_deadline_);
     root_complete();
   }
+}
+
+sim::SimTime SapSimulation::root_stage_deadline() const {
+  // Mirrors node_deadline for position 0: the latest a child report can
+  // arrive if everything below us is merely slow, not dead.
+  return t_att_time_ + max_attest_time() + report_chain_time(0) +
+         config_.report_margin *
+             static_cast<std::int64_t>(tree_.max_depth() + 1);
+}
+
+void SapSimulation::root_flush() {
+  if (root_done_) return;
+  std::vector<net::NodeId> missing;
+  for (net::NodeId child : tree_.children(0)) {
+    if (std::find(root_got_children_.begin(), root_got_children_.end(),
+                  child) == root_got_children_.end()) {
+      missing.push_back(child);
+    }
+  }
+  if (!missing.empty() && root_retries_ < config_.adaptive.max_repolls) {
+    ++root_retries_;
+    repoll_counter(0).inc();
+    for (net::NodeId child : missing) {
+      net_of(0).send(0, child, kRepollMsg, round_chal_);
+    }
+    const sim::Duration backoff = config_.adaptive.backoff_for(root_retries_);
+    backoff_counter(0).inc(static_cast<std::uint64_t>(backoff.ns()));
+    root_deadline_ =
+        sched(0).schedule_after(backoff, [this] { root_flush(); });
+    return;
+  }
+  if (config_.qoa == QoaMode::kIdentify) {
+    for (net::NodeId child : missing) {
+      root_reports_.push_back(
+          DeviceReport{dev_at_[child], Bytes(config_.token_size(), 0),
+                       DeviceReportStatus::kEntryUnreachable, 0});
+      unreachable_counter(0).inc();
+    }
+  }
+  root_complete();
 }
 
 void SapSimulation::root_complete() {

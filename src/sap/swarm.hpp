@@ -28,6 +28,7 @@
 
 #include "device/clock.hpp"
 #include "device/device.hpp"
+#include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -94,6 +95,22 @@ class SapSimulation {
   /// `skew` ahead (+) or behind (−) of true time.
   void set_clock_skew(net::NodeId id, sim::Duration skew);
 
+  /// --- Scripted fault injection (src/fault) ---
+  /// Attach a deterministic fault timeline. Events are armed window by
+  /// window (each run_round / advance_time hands over the events inside
+  /// its horizon) and applied on the scheduler shard owning the touched
+  /// state, so replay is byte-identical on both engines at any thread
+  /// count. Crash/sleep events use *device ids*; link/partition events
+  /// use *tree positions* (identical under the default deployment).
+  /// Throws std::logic_error mid-round.
+  void attach_fault_plan(fault::FaultPlan plan);
+  void clear_fault_plan();
+  bool has_fault_plan() const noexcept { return faults_ != nullptr; }
+  /// Armed-event tally of the attached plan (nullptr without a plan).
+  const fault::FaultTally* fault_tally() const noexcept {
+    return faults_ ? &faults_->tally() : nullptr;
+  }
+
   /// --- Heterogeneous swarms ---
   /// Assign device `id` to hardware class `cls` (0 = the base config;
   /// 1..k index config().extra_classes). Throws std::out_of_range for
@@ -150,6 +167,12 @@ class SapSimulation {
     std::uint8_t cls = 0;  // hardware class index
     device::Device* vm = nullptr;
 
+    /// Crash/reboot bookkeeping: set by a reboot fault, cleared when the
+    /// device next contributes evidence — the next report entry carries
+    /// kEntryRebooted so the verifier can tell "restarted" from
+    /// "healthy all along".
+    bool rebooted = false;
+
     // Per-round state.
     std::uint32_t tick = 0;  // the chal this device actually received
     bool got_chal = false;
@@ -158,6 +181,7 @@ class SapSimulation {
     std::uint32_t waiting = 0;
     std::uint32_t count = 0;  // kCount: tokens aggregated in subtree
     std::uint8_t retries = 0;
+    std::uint8_t self_grace = 0;  // adaptive: waits for own late token
     std::vector<net::NodeId> got_children;  // children whose token arrived
     Bytes agg_token;
     Bytes sent_payload;  // cache for repoll answers
@@ -189,15 +213,34 @@ class SapSimulation {
   obs::Gauge& inbound_gauge(net::NodeId pos) noexcept {
     return *inbound_gauges_[engine_ ? engine_->shard_of(pos) : 0];
   }
+  obs::Counter& backoff_counter(net::NodeId pos) noexcept {
+    return *backoff_ctrs_[engine_ ? engine_->shard_of(pos) : 0];
+  }
+  obs::Counter& unreachable_counter(net::NodeId pos) noexcept {
+    return *unreachable_ctrs_[engine_ ? engine_->shard_of(pos) : 0];
+  }
   void setup_engine();
   void sync_shard_networks();
+
+  // Fault-plan replay: hand over every not-yet-armed event inside the
+  // horizon (driver thread, engines quiescent) and apply/schedule it on
+  // the owning shard.
+  void arm_faults(sim::SimTime horizon);
+  void schedule_fault(const fault::FaultEvent& ev);
+  void apply_device_fault(const fault::FaultEvent& ev);
+  void apply_link(net::NodeId src, net::NodeId dst, bool down,
+                  sim::SimTime at);
+  void apply_loss(double rate, std::uint64_t seed, sim::SimTime at);
 
   // Protocol handlers are keyed by tree *position*; identity-bound state
   // (keys, content) is reached through the position->device map.
   void on_message(const net::Message& msg);
   void handle_chal(net::NodeId pos, const net::Message& msg);
   void handle_token(net::NodeId pos, const net::Message& msg);
-  void handle_repoll(net::NodeId pos);
+  void handle_repoll(net::NodeId pos, const net::Message& msg);
+  /// Adaptive mode: a device that never saw the round's chal answers a
+  /// chal-carrying re-poll with its own late evidence (kIdentify).
+  void late_join(net::NodeId pos, const net::Message& msg);
   void run_attest(net::NodeId pos);
   void accumulate_self(net::NodeId pos, Bytes token);
   void try_forward(net::NodeId pos);
@@ -205,6 +248,11 @@ class SapSimulation {
   void send_report(net::NodeId pos);
   void schedule_deadline(net::NodeId pos);
   sim::SimTime node_deadline(net::NodeId pos) const;
+  /// Adaptive mode: synthesize an unreachable entry for a silent child.
+  void mark_unreachable(net::NodeId pos, net::NodeId child);
+  /// Vrf's own adaptive re-poll deadline (legacy uses vrf_deadline).
+  sim::SimTime root_stage_deadline() const;
+  void root_flush();
   void recompute_subtree_sizes();
   /// Worst-case time for the deepest descendant's report to climb into
   /// `id` after measurement ends (payload-size aware: kIdentify reports
@@ -231,7 +279,15 @@ class SapSimulation {
   obs::MetricsRegistry metrics_;
   std::vector<obs::Counter*> repoll_ctrs_;    // per shard: "sap.repolls"
   std::vector<obs::Gauge*> inbound_gauges_;   // "sap.inbound_end_ns"
+  std::vector<obs::Counter*> backoff_ctrs_;   // "sap.backoff_wait_ns"
+  std::vector<obs::Counter*> unreachable_ctrs_;  // "sap.unreachable_marks"
   std::uint64_t rounds_run_ = 0;
+  // Fault-plan replay state. The loss baseline is captured when a spike
+  // first fires so a later clear can restore the user's configuration.
+  std::unique_ptr<fault::FaultInjector> faults_;
+  bool loss_spiked_ = false;
+  double baseline_loss_rate_ = 0.0;
+  std::uint64_t baseline_loss_seed_ = 0;
   device::SecureClock clock_;
   Verifier verifier_;
   Bytes auth_key_;
@@ -244,9 +300,11 @@ class SapSimulation {
   // owning tree position 0; per-shard counters live in shard_stats_.
   bool round_active_ = false;
   std::uint32_t round_tick_ = 0;
+  Bytes round_chal_;  // adaptive: re-polls carry the challenge payload
   sim::SimTime t_att_time_;
   sim::SimTime t_resp_;
   bool root_done_ = false;
+  std::uint32_t root_retries_ = 0;  // adaptive re-polls issued by Vrf
   std::uint32_t root_waiting_ = 0;
   std::uint32_t root_count_ = 0;
   std::vector<net::NodeId> root_got_children_;

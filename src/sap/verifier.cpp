@@ -84,4 +84,70 @@ Verifier::IdentifyOutcome Verifier::verify_identify(
   return out;
 }
 
+const char* Verifier::device_status_name(DeviceStatus status) noexcept {
+  switch (status) {
+    case DeviceStatus::kHealthy: return "healthy";
+    case DeviceStatus::kUnreachable: return "unreachable";
+    case DeviceStatus::kUntrusted: return "untrusted";
+    case DeviceStatus::kRebooted: return "rebooted";
+  }
+  return "?";
+}
+
+Verifier::Classification Verifier::classify(
+    const std::vector<DeviceReport>& reports, std::uint32_t chal) const {
+  Classification out;
+  out.enabled = true;
+  out.status.assign(device_count_, DeviceStatus::kUnreachable);
+  for (const auto& report : reports) {
+    if (report.id == 0 || report.id > device_count_) continue;
+    DeviceStatus verdict = DeviceStatus::kUntrusted;
+    switch (report.status) {
+      case DeviceReportStatus::kEntryOk:
+        verdict = crypto::ct_equal(report.token, expected_token(report.id, chal))
+                      ? DeviceStatus::kHealthy
+                      : DeviceStatus::kUntrusted;
+        break;
+      case DeviceReportStatus::kEntryLate:
+        // A late joiner attested its *current* tick, which must not
+        // predate the challenge (a stale tick would let Adv replay a
+        // pre-infection token). Valid evidence at a later tick proves
+        // the state but not liveness through the round: rebooted.
+        verdict = (report.tick >= chal &&
+                   crypto::ct_equal(report.token,
+                                    expected_token(report.id, report.tick)))
+                      ? DeviceStatus::kRebooted
+                      : DeviceStatus::kUntrusted;
+        break;
+      case DeviceReportStatus::kEntryRebooted:
+        verdict = crypto::ct_equal(report.token, expected_token(report.id, chal))
+                      ? DeviceStatus::kRebooted
+                      : DeviceStatus::kUntrusted;
+        break;
+      case DeviceReportStatus::kEntryUnreachable:
+        verdict = DeviceStatus::kUnreachable;
+        break;
+    }
+    out.status[report.id - 1] = verdict;
+  }
+  for (net::NodeId id = 1; id <= device_count_; ++id) {
+    switch (out.status[id - 1]) {
+      case DeviceStatus::kHealthy: ++out.healthy; break;
+      case DeviceStatus::kUnreachable:
+        ++out.unreachable;
+        out.unreachable_ids.push_back(id);
+        break;
+      case DeviceStatus::kUntrusted:
+        ++out.untrusted;
+        out.untrusted_ids.push_back(id);
+        break;
+      case DeviceStatus::kRebooted:
+        ++out.rebooted;
+        out.rebooted_ids.push_back(id);
+        break;
+    }
+  }
+  return out;
+}
+
 }  // namespace cra::sap

@@ -64,6 +64,52 @@ class Verifier {
   IdentifyOutcome verify_identify(const std::vector<DeviceReport>& reports,
                                   std::uint32_t chal) const;
 
+  /// Degraded-mode per-device verdict (adaptive-timeout rounds).
+  enum class DeviceStatus : std::uint8_t {
+    kHealthy = 0,      // valid token for this round's challenge
+    kUnreachable = 1,  // no token — crashed, asleep, or partitioned
+    kUntrusted = 2,    // token present but wrong: fail attestation
+    kRebooted = 3,     // valid token, but device restarted mid-window
+  };
+
+  struct Classification {
+    bool enabled = false;  // false = round ran without degraded reporting
+    std::vector<DeviceStatus> status;  // index id-1
+    std::uint32_t healthy = 0;
+    std::uint32_t unreachable = 0;
+    std::uint32_t untrusted = 0;
+    std::uint32_t rebooted = 0;
+    std::vector<net::NodeId> untrusted_ids;
+    std::vector<net::NodeId> unreachable_ids;
+    std::vector<net::NodeId> rebooted_ids;
+
+    /// Round verdict under degraded reporting: nobody failed attestation
+    /// and nobody was out of reach. Rebooted devices proved a valid state
+    /// at a later tick — counted separately, not as healthy.
+    bool all_healthy() const noexcept {
+      return untrusted == 0 && unreachable == 0 && rebooted == 0;
+    }
+    /// Fraction of the swarm that produced *some* attestation evidence.
+    double completion() const noexcept {
+      const std::size_t n = status.size();
+      if (n == 0) return 0.0;
+      return static_cast<double>(n - unreachable) / static_cast<double>(n);
+    }
+  };
+
+  /// Classify every device from an extended-identify report under the
+  /// round challenge `chal`:
+  ///   kEntryOk          -> token matches res_i(chal) ? healthy : untrusted
+  ///   kEntryLate        -> tick >= chal and token valid at entry.tick
+  ///                        ? rebooted : untrusted
+  ///   kEntryRebooted    -> token valid at chal ? rebooted : untrusted
+  ///   kEntryUnreachable -> unreachable (no evidence)
+  ///   no entry at all   -> unreachable
+  Classification classify(const std::vector<DeviceReport>& reports,
+                          std::uint32_t chal) const;
+
+  static const char* device_status_name(DeviceStatus status) noexcept;
+
  private:
   void check_id(net::NodeId id) const;
 

@@ -146,10 +146,159 @@ void SedaSimulation::set_device_unresponsive(net::NodeId id,
 
 void SedaSimulation::advance_time(sim::Duration d) {
   if (engine_) {
-    engine_->run_until(engine_->now() + d);
+    const sim::SimTime target = engine_->now() + d;
+    arm_faults(target);
+    engine_->run_until(target);
     return;
   }
-  scheduler_.run_until(scheduler_.now() + d);
+  const sim::SimTime target = scheduler_.now() + d;
+  arm_faults(target);
+  scheduler_.run_until(target);
+}
+
+void SedaSimulation::attach_fault_plan(fault::FaultPlan plan) {
+  if (round_active_) {
+    throw std::logic_error("attach_fault_plan: round in progress");
+  }
+  faults_ = std::make_unique<fault::FaultInjector>(std::move(plan));
+}
+
+void SedaSimulation::clear_fault_plan() {
+  if (round_active_) {
+    throw std::logic_error("clear_fault_plan: round in progress");
+  }
+  faults_.reset();
+}
+
+void SedaSimulation::arm_faults(sim::SimTime horizon) {
+  if (!faults_) return;
+  faults_->arm_until(horizon, [this](const fault::FaultEvent& ev) {
+    fault::observe_event(metrics_, ev);
+    schedule_fault(ev);
+  });
+}
+
+void SedaSimulation::schedule_fault(const fault::FaultEvent& ev) {
+  using fault::FaultKind;
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kReboot:
+    case FaultKind::kSleep:
+    case FaultKind::kWake:
+    case FaultKind::kClockSkew: {
+      if (ev.device == 0 || ev.device > device_count()) {
+        throw std::out_of_range("fault plan: device id out of range");
+      }
+      if (ev.at <= current_time()) {
+        apply_device_fault(ev);
+      } else {
+        sched(ev.device).schedule_at(ev.at,
+                                     [this, ev] { apply_device_fault(ev); });
+      }
+      break;
+    }
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      if (ev.device >= tree_.size() || ev.peer >= tree_.size()) {
+        throw std::out_of_range("fault plan: link endpoint out of range");
+      }
+      const bool down = ev.kind == FaultKind::kLinkDown;
+      apply_link(ev.device, ev.peer, down, ev.at);
+      apply_link(ev.peer, ev.device, down, ev.at);
+      break;
+    }
+    case FaultKind::kPartition:
+    case FaultKind::kHeal: {
+      for (net::NodeId pos : ev.island) {
+        if (pos >= tree_.size()) {
+          throw std::out_of_range("fault plan: island position out of range");
+        }
+      }
+      const bool down = ev.kind == FaultKind::kPartition;
+      for (const auto& [a, b] : fault::partition_cut(tree_, ev.island)) {
+        apply_link(a, b, down, ev.at);
+        apply_link(b, a, down, ev.at);
+      }
+      break;
+    }
+    case FaultKind::kLossSpike:
+      if (!loss_spiked_) {
+        baseline_loss_rate_ = network_.loss_rate();
+        baseline_loss_seed_ = network_.loss_seed();
+        loss_spiked_ = true;
+      }
+      apply_loss(ev.rate, ev.draw, ev.at);
+      break;
+    case FaultKind::kLossClear:
+      loss_spiked_ = false;
+      apply_loss(baseline_loss_rate_, baseline_loss_seed_, ev.at);
+      break;
+  }
+}
+
+void SedaSimulation::apply_device_fault(const fault::FaultEvent& ev) {
+  using fault::FaultKind;
+  Dev& d = dev(ev.device);
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+      // Volatile round state is gone with the power.
+      d.unresponsive = true;
+      d.got_request = false;
+      d.self_done = false;
+      d.waiting = 0;
+      d.total = 0;
+      d.passed = 0;
+      d.got_children.clear();
+      sched(ev.device).cancel(d.deadline);
+      break;
+    case FaultKind::kReboot:
+    case FaultKind::kWake:
+      d.unresponsive = false;
+      break;
+    case FaultKind::kSleep:
+      d.unresponsive = true;
+      break;
+    case FaultKind::kClockSkew:
+      break;  // SEDA has no synchronized clock to skew
+    default:
+      break;
+  }
+}
+
+void SedaSimulation::apply_link(net::NodeId src, net::NodeId dst, bool down,
+                                sim::SimTime at) {
+  if (at <= current_time()) {
+    net_of(src).set_link_down(src, dst, down);
+    return;
+  }
+  sched(src).schedule_at(at, [this, src, dst, down] {
+    net_of(src).set_link_down(src, dst, down);
+  });
+}
+
+void SedaSimulation::apply_loss(double rate, std::uint64_t seed,
+                                sim::SimTime at) {
+  if (!engine_) {
+    if (at <= scheduler_.now()) {
+      network_.set_loss_rate(rate, seed);
+    } else {
+      scheduler_.schedule_at(
+          at, [this, rate, seed] { network_.set_loss_rate(rate, seed); });
+    }
+    return;
+  }
+  network_.set_loss_rate(rate, seed);
+  for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    SplitMix64 mix(seed + 0x9e3779b97f4a7c15ULL * (s + 1) + rounds_run_);
+    const std::uint64_t shard_seed = mix.next();
+    if (at <= engine_->now()) {
+      shard_nets_[s]->set_loss_rate(rate, shard_seed);
+    } else {
+      engine_->shard(s).schedule_at(at, [this, s, rate, shard_seed] {
+        shard_nets_[s]->set_loss_rate(rate, shard_seed);
+      });
+    }
+  }
 }
 
 Bytes SedaSimulation::edge_key(net::NodeId child) const {
@@ -375,6 +524,8 @@ SedaRoundReport SedaSimulation::run_round() {
   t_resp_ = give_up;
   root_deadline_ = sched(0).schedule_at(give_up, [this] { root_complete(); });
 
+  arm_faults(give_up);
+
   run_engine();
 
   if (engine_) engine_->merge_metrics_into(metrics_);
@@ -504,7 +655,7 @@ void SedaSimulation::try_forward(net::NodeId id) {
 
 void SedaSimulation::flush(net::NodeId id) {
   Dev& d = dev(id);
-  if (d.sent) return;
+  if (d.sent || d.unresponsive) return;
   send_report(id);  // partial aggregate; Vrf sees total < N
 }
 
@@ -516,6 +667,7 @@ void SedaSimulation::send_report(net::NodeId id) {
   const Bytes payload = report_payload(id, d.total, d.passed);
   const net::NodeId parent = tree_.parent(id);
   sched(id).schedule_after(agg, [this, id, parent, payload] {
+    if (dev(id).unresponsive) return;  // crashed mid-aggregation
     net_of(id).send(id, parent, kReportMsg, payload);
   });
 }

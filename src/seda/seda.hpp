@@ -32,6 +32,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -139,6 +140,18 @@ class SedaSimulation {
   void restore_device(net::NodeId id);
   void set_device_unresponsive(net::NodeId id, bool unresponsive);
 
+  /// --- Scripted fault injection (src/fault) ---
+  /// Same replay contract as sap::SapSimulation::attach_fault_plan. SEDA
+  /// has no secure clock, so kClockSkew events are accepted and ignored;
+  /// reboots only clear the crash (there is no rebooted report status in
+  /// SEDA's count-aggregate wire format).
+  void attach_fault_plan(fault::FaultPlan plan);
+  void clear_fault_plan();
+  bool has_fault_plan() const noexcept { return faults_ != nullptr; }
+  const fault::FaultTally* fault_tally() const noexcept {
+    return faults_ ? &faults_->tally() : nullptr;
+  }
+
   /// SEDA's join phase: every tree edge runs an X25519 key agreement
   /// (child and parent each derive the pairwise MAC key from their own
   /// static secret and the peer's public key — real DH, both halves
@@ -207,6 +220,15 @@ class SedaSimulation {
   void sync_shard_networks();
   void run_engine();
 
+  // Fault-plan replay (see sap::SapSimulation for the shard-ownership
+  // rules; SEDA's node ids are its tree positions).
+  void arm_faults(sim::SimTime horizon);
+  void schedule_fault(const fault::FaultEvent& ev);
+  void apply_device_fault(const fault::FaultEvent& ev);
+  void apply_link(net::NodeId src, net::NodeId dst, bool down,
+                  sim::SimTime at);
+  void apply_loss(double rate, std::uint64_t seed, sim::SimTime at);
+
   Bytes edge_key(net::NodeId child) const;
   void handle_join_invite(net::NodeId id, const net::Message& msg);
   void handle_join_ack(net::NodeId id, const net::Message& msg);
@@ -240,6 +262,11 @@ class SedaSimulation {
   std::vector<obs::Counter*> mac_ctrs_;   // per shard: "seda.mac_failures"
   std::vector<obs::Counter*> join_ctrs_;  // per shard: "seda.join_acks"
   std::uint64_t rounds_run_ = 0;
+  // Fault-plan replay state (mirrors sap::SapSimulation).
+  std::unique_ptr<fault::FaultInjector> faults_;
+  bool loss_spiked_ = false;
+  double baseline_loss_rate_ = 0.0;
+  std::uint64_t baseline_loss_seed_ = 0;
   Bytes master_;
   Bytes round_nonce_;
   std::vector<Dev> devices_;

@@ -1,0 +1,123 @@
+// FaultInjector: forward-only windowed arming, tallying, partition cut
+// computation, and the fault.* observability wiring.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cra::fault {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+FaultPlan three_event_plan() {
+  FaultPlan plan;
+  plan.crash(SimTime::from_ms(10), 1)
+      .reboot(SimTime::from_ms(20), 1)
+      .crash(SimTime::from_ms(30), 2);
+  return plan;
+}
+
+TEST(FaultInjector, ArmsEachEventExactlyOnceInOrder) {
+  FaultInjector inj(three_event_plan());
+  std::vector<FaultEvent> armed;
+  const auto sink = [&](const FaultEvent& ev) { armed.push_back(ev); };
+
+  EXPECT_EQ(inj.arm_until(SimTime::from_ms(5), sink), 0u);
+  EXPECT_EQ(inj.arm_until(SimTime::from_ms(20), sink), 2u);
+  // Re-arming the same horizon hands over nothing: cursor moved.
+  EXPECT_EQ(inj.arm_until(SimTime::from_ms(20), sink), 0u);
+  EXPECT_FALSE(inj.exhausted());
+  EXPECT_EQ(inj.arm_until(SimTime::from_ms(1000), sink), 1u);
+  EXPECT_TRUE(inj.exhausted());
+
+  ASSERT_EQ(armed.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(armed.begin(), armed.end(),
+                             [](const FaultEvent& a, const FaultEvent& b) {
+                               return a.at < b.at;
+                             }));
+}
+
+TEST(FaultInjector, HorizonIsInclusive) {
+  // An event exactly at the horizon belongs to the window that ends
+  // there — run_round passes its own end time and must see the event.
+  FaultPlan plan;
+  plan.crash(SimTime::from_ms(10), 1);
+  FaultInjector inj(std::move(plan));
+  EXPECT_EQ(inj.arm_until(SimTime::from_ms(10),
+                          [](const FaultEvent&) {}),
+            1u);
+}
+
+TEST(FaultInjector, TallyCountsByKind) {
+  FaultPlan plan;
+  plan.crash_for(SimTime::from_ms(1), 1, Duration::from_ms(5))
+      .loss_spike_for(SimTime::from_ms(2), 0.5, Duration::from_ms(5))
+      .partition_for(SimTime::from_ms(3), {2, 5}, Duration::from_ms(5))
+      .clock_skew(SimTime::from_ms(4), 3, Duration::from_ms(1));
+  FaultInjector inj(std::move(plan));
+  inj.arm_until(SimTime::from_sec(1), [](const FaultEvent&) {});
+  const FaultTally& t = inj.tally();
+  EXPECT_EQ(t.crashes, 1u);
+  EXPECT_EQ(t.reboots, 1u);
+  EXPECT_EQ(t.loss_spikes, 1u);
+  EXPECT_EQ(t.loss_clears, 1u);
+  EXPECT_EQ(t.partitions, 1u);
+  EXPECT_EQ(t.heals, 1u);
+  EXPECT_EQ(t.clock_skews, 1u);
+  EXPECT_EQ(t.total(), 7u);
+}
+
+TEST(FaultInjector, PartitionCutSeversExactlyTheBoundary) {
+  // 14-device balanced binary tree; island = subtree of position 1
+  // ({1,3,4,7,8,9,10}). The only tree edge crossing the boundary is
+  // 0-1, so the cut is that single edge, reported from inside out.
+  const net::Tree tree = net::balanced_kary_tree(14, 2);
+  const auto island = subtree_positions(tree, 1);
+  const auto cut = partition_cut(tree, island);
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0].first, 1u);
+  EXPECT_EQ(cut[0].second, 0u);
+}
+
+TEST(FaultInjector, PartitionCutOfInnerIslandSeversBothSides) {
+  // Island = {1} alone: cut severs the parent edge (1,0) and both child
+  // edges (1,3), (1,4).
+  const net::Tree tree = net::balanced_kary_tree(14, 2);
+  const auto cut = partition_cut(tree, {1});
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut[0], (std::pair<net::NodeId, net::NodeId>{1, 0}));
+  EXPECT_EQ(cut[1], (std::pair<net::NodeId, net::NodeId>{1, 3}));
+  EXPECT_EQ(cut[2], (std::pair<net::NodeId, net::NodeId>{1, 4}));
+}
+
+TEST(FaultInjector, PartitionCutIgnoresTheVerifierPosition) {
+  // Position 0 is the verifier: plans cannot cut it off (the island
+  // filter drops it), so an island containing 0 severs nothing around 0
+  // beyond the ordinary member edges.
+  const net::Tree tree = net::balanced_kary_tree(6, 2);
+  const auto cut = partition_cut(tree, {0});
+  EXPECT_TRUE(cut.empty());
+}
+
+TEST(FaultInjector, MetricNamesCoverEveryKind) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kClockSkew); ++k) {
+    const char* name = fault_metric_name(static_cast<FaultKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(std::string(name).rfind("fault.", 0), 0u)
+        << "metric for kind " << k << " must live under fault.*: " << name;
+  }
+}
+
+TEST(FaultInjector, ObserveEventBumpsTheMatchingCounter) {
+  obs::MetricsRegistry reg;
+  FaultPlan plan;
+  plan.crash(SimTime::from_ms(1), 1).crash(SimTime::from_ms(2), 2);
+  for (const FaultEvent& ev : plan.events()) observe_event(reg, ev);
+  EXPECT_EQ(reg.counter("fault.crashes").value(), 2u);
+}
+
+}  // namespace
+}  // namespace cra::fault

@@ -1,0 +1,184 @@
+// FaultPlan: ordering, pairing, text round-trip, and the churn
+// generator's purity (same seed + tree + profile => identical plan).
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cra::fault {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(FaultPlan, EventsSortedByTimeThenInsertion) {
+  FaultPlan plan;
+  plan.crash(SimTime::from_ms(30), 5)
+      .reboot(SimTime::from_ms(10), 5)
+      .sleep(SimTime::from_ms(10), 7)  // same time: insertion order wins
+      .wake(SimTime::from_ms(20), 7);
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kReboot);
+  EXPECT_EQ(ev[1].kind, FaultKind::kSleep);
+  EXPECT_EQ(ev[2].kind, FaultKind::kWake);
+  EXPECT_EQ(ev[3].kind, FaultKind::kCrash);
+}
+
+TEST(FaultPlan, PairedBuildersEmitBothHalves) {
+  FaultPlan plan;
+  plan.crash_for(SimTime::from_ms(100), 3, Duration::from_ms(50));
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(ev[0].device, 3u);
+  EXPECT_EQ(ev[0].duration.ms(), 50.0);  // span length for tracing
+  EXPECT_EQ(ev[1].kind, FaultKind::kReboot);
+  EXPECT_EQ(ev[1].at, SimTime::from_ms(150));
+}
+
+TEST(FaultPlan, PartitionSubtreeCutsWholeSubtree) {
+  // Balanced binary tree over 14 devices: node 1's subtree is
+  // {1,3,4,7,8,9,10} in heap layout.
+  const net::Tree tree = net::balanced_kary_tree(14, 2);
+  const auto sub = subtree_positions(tree, 1);
+  EXPECT_EQ(sub, (std::vector<net::NodeId>{1, 3, 4, 7, 8, 9, 10}));
+
+  FaultPlan plan;
+  plan.partition_subtree(SimTime::from_ms(10), tree, 1, Duration::from_ms(5));
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kPartition);
+  EXPECT_EQ(ev[0].island, sub);
+  EXPECT_EQ(ev[1].kind, FaultKind::kHeal);
+  EXPECT_EQ(ev[1].island, sub);
+}
+
+TEST(FaultPlan, EveryEventCarriesAFreshDraw) {
+  FaultPlan plan(42);
+  plan.loss_spike(SimTime::from_ms(1), 0.3)
+      .loss_clear(SimTime::from_ms(2))
+      .crash(SimTime::from_ms(3), 1);
+  const auto& ev = plan.events();
+  // Draws come from a SplitMix64 stream: nonzero and pairwise distinct
+  // (astronomically unlikely otherwise).
+  EXPECT_NE(ev[0].draw, 0u);
+  EXPECT_NE(ev[0].draw, ev[1].draw);
+  EXPECT_NE(ev[1].draw, ev[2].draw);
+
+  FaultPlan again(42);
+  again.loss_spike(SimTime::from_ms(1), 0.3)
+      .loss_clear(SimTime::from_ms(2))
+      .crash(SimTime::from_ms(3), 1);
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].draw, again.events()[i].draw) << i;
+  }
+}
+
+TEST(FaultPlan, FormatParseRoundTrip) {
+  const net::Tree tree = net::balanced_kary_tree(14, 2);
+  FaultPlan plan;
+  plan.crash_for(SimTime::from_ms(10), 3, Duration::from_ms(40))
+      .sleep_for(SimTime::from_ms(20), 5, Duration::from_ms(30))
+      .link_down_for(SimTime::from_ms(25), 1, 4, Duration::from_ms(10))
+      .partition_subtree(SimTime::from_ms(30), tree, 2, Duration::from_ms(20))
+      .loss_spike_for(SimTime::from_ms(40), 0.25, Duration::from_ms(15))
+      .clock_skew(SimTime::from_ms(50), 9, Duration::from_ms(-3));
+
+  const FaultPlan parsed = FaultPlan::parse(plan.format());
+  ASSERT_EQ(parsed.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = parsed.events()[i];
+    EXPECT_EQ(a.at, b.at) << i;
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.device, b.device) << i;
+    EXPECT_EQ(a.peer, b.peer) << i;
+    EXPECT_EQ(a.island, b.island) << i;
+    EXPECT_DOUBLE_EQ(a.rate, b.rate) << i;
+    EXPECT_EQ(a.skew_ns, b.skew_ns) << i;
+  }
+  // format() of the parse is stable (canonical form).
+  EXPECT_EQ(parsed.format(), plan.format());
+}
+
+TEST(FaultPlan, ParseRejectsGarbageWithLineNumber) {
+  EXPECT_THROW((void)FaultPlan::parse("@10ms explode 3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("crash 3"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("@10ms crash"), std::invalid_argument);
+  try {
+    (void)FaultPlan::parse("@1ms crash 2\n@2ms bogus 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("2"), std::string::npos)
+        << "error should carry the line number: " << e.what();
+  }
+}
+
+TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
+  const FaultPlan plan = FaultPlan::parse(
+      "# chaos scenario\n"
+      "\n"
+      "@10ms crash 3\n"
+      "  # indented comment\n"
+      "@50ms reboot 3\n");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kReboot);
+}
+
+TEST(FaultPlan, ChurnIsAPureFunctionOfItsInputs) {
+  const net::Tree tree = net::balanced_kary_tree(126, 2);
+  FaultPlan::ChurnProfile profile;
+  profile.crash_rate = 0.05;
+  profile.partition_rate = 0.5;
+  profile.loss_spike_rate = 0.3;
+  const SimTime start = SimTime::from_ms(100);
+  const SimTime end = SimTime::from_ms(2000);
+
+  const FaultPlan a = FaultPlan::churn(7, tree, start, end, profile);
+  const FaultPlan b = FaultPlan::churn(7, tree, start, end, profile);
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_EQ(a.format(), b.format());
+
+  const FaultPlan c = FaultPlan::churn(8, tree, start, end, profile);
+  EXPECT_NE(a.format(), c.format()) << "different seed, different plan";
+}
+
+TEST(FaultPlan, ChurnRespectsTheWindowAndPairsRecoveries) {
+  const net::Tree tree = net::balanced_kary_tree(62, 2);
+  FaultPlan::ChurnProfile profile;
+  profile.crash_rate = 0.1;
+  const SimTime start = SimTime::from_ms(500);
+  const SimTime end = SimTime::from_ms(1500);
+  const FaultPlan plan = FaultPlan::churn(3, tree, start, end, profile);
+  ASSERT_GT(plan.size(), 0u);
+  std::uint64_t crashes = 0, reboots = 0;
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.kind == FaultKind::kCrash) {
+      ++crashes;
+      EXPECT_GE(ev.at, start);
+      EXPECT_LT(ev.at, end);
+      EXPECT_GE(ev.device, 1u);
+      EXPECT_LE(ev.device, 62u);
+    } else {
+      ASSERT_EQ(ev.kind, FaultKind::kReboot);
+      ++reboots;
+    }
+  }
+  EXPECT_EQ(crashes, reboots) << "every churn crash schedules its reboot";
+}
+
+TEST(FaultPlan, ZeroRatesYieldAnEmptyPlan) {
+  const net::Tree tree = net::balanced_kary_tree(30, 2);
+  FaultPlan::ChurnProfile quiet;
+  quiet.crash_rate = 0.0;
+  const FaultPlan plan = FaultPlan::churn(
+      11, tree, SimTime::zero(), SimTime::from_sec(10), quiet);
+  EXPECT_TRUE(plan.empty());
+}
+
+}  // namespace
+}  // namespace cra::fault

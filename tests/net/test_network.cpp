@@ -46,6 +46,76 @@ TEST(Network, LinkDelayMatchesModel) {
                 f.params.per_hop_latency);
 }
 
+TEST(Network, DownedLinkDropsDirectionally) {
+  Fixture f;
+  Network n = f.make();
+  n.set_link_down(1, 2, true);
+  EXPECT_TRUE(n.link_is_down(1, 2));
+  EXPECT_FALSE(n.link_is_down(2, 1)) << "outages are directed";
+  EXPECT_EQ(n.links_down(), 1u);
+  n.send(1, 2, 7, Bytes(20, 0xab));  // eaten by the outage
+  n.send(2, 1, 7, Bytes(20, 0xcd));  // reverse direction still up
+  f.scheduler.run();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].src, 2u);
+  // A downed-link drop is charged like a loss: the ledger must balance.
+  EXPECT_EQ(n.messages_sent(), 1u);
+  EXPECT_EQ(n.messages_dropped(), 1u);
+  EXPECT_EQ(n.messages_attempted(), 2u);
+}
+
+TEST(Network, HealedLinkCarriesTrafficAgain) {
+  Fixture f;
+  Network n = f.make();
+  n.set_link_down(1, 2, true);
+  n.send(1, 2, 7, Bytes(8, 0));
+  n.set_link_down(1, 2, false);
+  n.send(1, 2, 7, Bytes(8, 1));
+  f.scheduler.run();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].payload[0], 1u);
+  EXPECT_EQ(n.links_down(), 0u);
+}
+
+TEST(Network, ClearLinkFaultsRestoresEverything) {
+  Fixture f;
+  Network n = f.make();
+  n.set_link_down(1, 2, true);
+  n.set_link_down(3, 4, true);
+  EXPECT_EQ(n.links_down(), 2u);
+  n.clear_link_faults();
+  EXPECT_EQ(n.links_down(), 0u);
+  n.send(1, 2, 7, Bytes(8, 0));
+  n.send(3, 4, 7, Bytes(8, 0));
+  f.scheduler.run();
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(Network, DownedLinkDoesNotConsumeALossDraw) {
+  // A deterministic outage drop happens *before* the probabilistic loss
+  // check and must not consume a draw from the loss stream: every other
+  // message's fate is as if the eaten message had never been sent. (This
+  // is what keeps fault replay deterministic — outages can differ per
+  // scenario without desynchronizing the loss RNG.)
+  const auto run = [](bool send_doomed) {
+    Fixture f;
+    Network n = f.make();
+    n.set_loss_rate(0.5, /*seed=*/7);
+    n.set_link_down(9, 10, true);
+    if (send_doomed) n.send(9, 10, 1, Bytes(4, 0));  // eaten by the outage
+    for (std::uint8_t i = 0; i < 50; ++i) {
+      n.send(1, 2, 1, Bytes(1, i));
+    }
+    f.scheduler.run();
+    std::vector<std::uint8_t> seen;
+    for (const Message& m : f.delivered) {
+      if (m.src == 1) seen.push_back(m.payload[0]);
+    }
+    return seen;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(Network, AccountsBytes) {
   Fixture f;
   Network n = f.make();

@@ -62,6 +62,58 @@ TEST(Heartbeat, CaptureReleaseStillLeavesGapWhileFresh) {
   EXPECT_TRUE(hb.collect().empty());
 }
 
+TEST(Heartbeat, RevivedDeviceIsFlaggedExactlyOnce) {
+  // Absent-flagging must be edge-triggered per collection sweep: a
+  // device that goes dark long enough to be flagged and then revives is
+  // reported in exactly one sweep — the one that observes the gap — and
+  // re-enters monitoring cleanly afterwards (no sticky flag, no repeat
+  // alarms once fresh beats rebuild the record).
+  auto hb = HeartbeatSimulation::balanced(fast_config(), 20);
+  hb.run_monitoring(sim::Duration::from_ms(400));
+  hb.capture_device(11);
+  hb.run_monitoring(sim::Duration::from_ms(400));
+  hb.release_device(11);
+  // Sweep 1: the gap is live — flagged, and exactly once in the report.
+  const auto first = hb.collect();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].device, 11u);
+  // Beats resume; once the record is fresh, later sweeps stay clean.
+  hb.run_monitoring(sim::Duration::from_ms(400));
+  EXPECT_TRUE(hb.collect().empty())
+      << "the revived device must not be re-flagged";
+  hb.run_monitoring(sim::Duration::from_ms(400));
+  EXPECT_TRUE(hb.collect().empty());
+}
+
+TEST(Heartbeat, RevivedDeviceReentersTheNextAttestationRoundOnce) {
+  // The attestation-plane half of revival: a device the monitoring
+  // plane flagged absent (modeled as unresponsive during round 1)
+  // surfaces as unreachable exactly once; after revival the next round
+  // counts it exactly once as healthy — one status entry, no duplicate
+  // report entries from stale round state.
+  SapConfig cfg;
+  cfg.pmem_size = 2 * 1024;
+  cfg.qoa = QoaMode::kIdentify;
+  cfg.adaptive.enabled = true;
+  auto sap = SapSimulation::balanced(cfg, 20, /*seed=*/3);
+  sap.set_device_unresponsive(11, true);
+  const RoundReport absent = sap.run_round();
+  ASSERT_TRUE(absent.degraded.enabled);
+  EXPECT_EQ(absent.degraded.unreachable_ids, std::vector<net::NodeId>{11});
+  EXPECT_EQ(absent.degraded.healthy, 19u);
+
+  sap.set_device_unresponsive(11, false);  // revived
+  sap.advance_time(sim::Duration::from_ms(100));
+  const RoundReport revived = sap.run_round();
+  EXPECT_TRUE(revived.verified);
+  EXPECT_EQ(revived.degraded.healthy, 20u) << "back in, counted once";
+  EXPECT_EQ(revived.degraded.unreachable, 0u);
+  EXPECT_EQ(revived.degraded.healthy + revived.degraded.unreachable +
+                revived.degraded.untrusted + revived.degraded.rebooted,
+            20u)
+      << "every device classified exactly once";
+}
+
 TEST(Heartbeat, CapturedInnerNodeDarkensItsSubtree) {
   auto hb = HeartbeatSimulation::balanced(fast_config(), 14);
   hb.run_monitoring(sim::Duration::from_ms(300));

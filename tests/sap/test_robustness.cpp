@@ -94,6 +94,38 @@ TEST(Robustness, RecoveryAfterFuzzStorm) {
   EXPECT_TRUE(sim.run_round().verified);
 }
 
+TEST(Robustness, LateSelfAttestBurnsNoPhantomRepolls) {
+  // Regression (schedule_deadline/on_report race): an inner node whose
+  // own attest completes after its report deadline — here forced with a
+  // behind-running clock — flushes with every child already in. The
+  // retry bookkeeping may advance (it widens the deadline so the node's
+  // own token can land), but with no child missing there is nothing to
+  // re-poll: charging a repoll slot anyway is the phantom-repoll bug.
+  SapConfig c = cfg();
+  c.retransmit = true;
+  c.max_retries = 5;
+  auto sim = SapSimulation::balanced(c, 14, 3);
+  sim.set_clock_skew(1, sim::Duration::from_ms(-60));
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified) << "retries widened the deadline enough";
+  EXPECT_EQ(r.repolls, 0u) << "no child was missing, so no repoll";
+}
+
+TEST(Robustness, LateChildReportStillConsumesOnlyRealRepolls) {
+  // The counterpart path: a *leaf* with a behind-running clock delivers
+  // its token late, so its parent legitimately re-polls — slots are
+  // consumed exactly when a child is actually missing.
+  SapConfig c = cfg();
+  c.retransmit = true;
+  c.max_retries = 5;
+  auto sim = SapSimulation::balanced(c, 14, 3);
+  sim.set_clock_skew(13, sim::Duration::from_ms(-60));
+  const RoundReport r = sim.run_round();
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.repolls, 0u) << "the late leaf forced a real re-poll";
+  EXPECT_LE(r.repolls, 5u);
+}
+
 TEST(Robustness, WrongKindMessagesIgnored) {
   auto sim = SapSimulation::balanced(cfg(), 10, 3);
   sim.network().set_tamper_hook(
