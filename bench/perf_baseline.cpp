@@ -1,0 +1,168 @@
+// Perf baseline: deterministic hot-path counters + wall-clock throughput.
+//
+// Two workloads, one JSON artifact (BENCH_perf.json):
+//
+//   1. MAC microworkload — HMAC-SHA1 over a SAP-sized token input
+//      (20-byte PMEM digest + 4-byte challenge), one-shot vs the
+//      midstate-cached PrecomputedMac path.
+//   2. A two-round SAP attestation at a fixed swarm size on the classic
+//      single-threaded engine; round 2 runs with a warm payload pool.
+//
+// The JSON has two sections: "counters" are pure functions of the
+// workload (compression-function invocations, events dispatched, pool
+// hit/miss tallies, wire bytes) and are asserted byte-for-byte by the CI
+// perf-smoke job against the committed BENCH_perf.json — a change here
+// means the hot path did more or less *work*, not that the machine was
+// slow. "gauges" (wall.* rates) are wall-clock and informational only.
+//
+// stdout carries the deterministic counter table; wall-clock lines go to
+// stderr, matching the house bench convention.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_args.hpp"
+#include "common/table.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/mac_cache.hpp"
+#include "crypto/tally.hpp"
+#include "sap/swarm.hpp"
+
+namespace {
+
+constexpr std::uint32_t kDefaultDevices = 10'000;
+constexpr std::uint64_t kMacIters = 200'000;
+
+/// Rate helper: integer ops/sec (0 when the timer was too coarse).
+std::int64_t per_sec(std::uint64_t ops, double sec) {
+  if (sec <= 0.0) return 0;
+  return static_cast<std::int64_t>(static_cast<double>(ops) / sec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cra;
+
+  std::string out_path = "BENCH_perf.json";
+  const benchargs::ExtraFlag extra =
+      [&](std::string_view flag,
+          const std::function<const char*()>& value) -> bool {
+    if (flag == "--out") {
+      out_path = value();
+      return true;
+    }
+    return false;
+  };
+  const benchargs::BenchArgs args = benchargs::parse(
+      argc, argv, extra,
+      "  --out PATH          write BENCH_perf.json to PATH\n");
+  benchargs::ObsSession obs(args);
+  obs::MetricsRegistry& reg = obs.registry();
+
+  // ---- Workload 1: MAC microloop (one-shot vs midstate-cached) ----
+  const Bytes key(20, 0x5a);
+  const Bytes content(20, 0xc3);                    // PMEM-sized prefix
+  const std::uint8_t chal_le[4] = {0x39, 0x30, 0x00, 0x00};
+  Bytes one_shot_msg = content;
+  one_shot_msg.insert(one_shot_msg.end(), chal_le, chal_le + 4);
+
+  crypto::MacBuf mac;
+  crypto::reset_compression_tally();
+  const benchargs::WallTimer oneshot_wall;
+  for (std::uint64_t i = 0; i < kMacIters; ++i) {
+    crypto::hmac_into(crypto::HashAlg::kSha1, key, one_shot_msg, mac);
+  }
+  const double oneshot_sec = oneshot_wall.sec();
+  const std::uint64_t oneshot_comp = crypto::compression_calls_executed();
+
+  crypto::PrecomputedMac cached;
+  cached.init(crypto::HashAlg::kSha1, key);
+  crypto::reset_compression_tally();
+  const benchargs::WallTimer cached_wall;
+  for (std::uint64_t i = 0; i < kMacIters; ++i) {
+    cached.mac_into(content, BytesView(chal_le, 4), mac);
+  }
+  const double cached_sec = cached_wall.sec();
+  const std::uint64_t cached_comp = crypto::compression_calls_executed();
+
+  reg.counter("mac.iterations").inc(kMacIters);
+  reg.counter("mac.oneshot_compressions").inc(oneshot_comp);
+  reg.counter("mac.cached_compressions").inc(cached_comp);
+  reg.gauge("wall.oneshot_macs_per_sec").set(per_sec(kMacIters, oneshot_sec));
+  reg.gauge("wall.cached_macs_per_sec").set(per_sec(kMacIters, cached_sec));
+  std::fprintf(stderr,
+               "wall: macs oneshot=%.0f/s cached=%.0f/s (x%.2f)\n",
+               kMacIters / oneshot_sec, kMacIters / cached_sec,
+               oneshot_sec / cached_sec);
+
+  // ---- Workload 2: SAP rounds on the classic engine ----
+  // Two rounds: round 1 populates the payload freelist, round 2 is the
+  // steady state. Pool tallies reset at each round start, so the
+  // reported hit/miss figures describe the warm round only.
+  const std::uint32_t devices =
+      args.devices != 0 ? args.devices : kDefaultDevices;
+  sap::SapConfig cfg;  // classic engine: counters are exact (tally is
+                       // thread-local and everything runs on this thread)
+  auto sim = sap::SapSimulation::balanced(cfg, devices);
+
+  crypto::reset_compression_tally();
+  const benchargs::WallTimer round_wall;
+  const auto round1 = sim.run_round();
+  const auto round2 = sim.run_round();
+  const double rounds_sec = round_wall.sec();
+  const std::uint64_t round_comp = crypto::compression_calls_executed();
+
+  if (!round1.verified || !round2.verified) {
+    std::fprintf(stderr, "SAP round failed to verify!\n");
+    return 1;
+  }
+  obs.capture(sim.metrics(), "sap/");
+
+  const std::uint64_t dispatched = sim.scheduler().dispatched();
+  reg.counter("sap.devices").inc(devices);
+  reg.counter("sap.rounds").inc(2);
+  reg.counter("sap.compression_calls").inc(round_comp);
+  reg.counter("sap.events_dispatched").inc(dispatched);
+  reg.counter("sap.pool_hits").inc(sim.network().payload_pool_hits());
+  reg.counter("sap.pool_misses").inc(sim.network().payload_pool_misses());
+  reg.counter("sap.pool_bytes").inc(sim.network().payload_bytes_pooled());
+  reg.counter("sap.net_bytes")
+      .inc(sim.metrics().counter_value("net.bytes_transmitted"));
+  reg.gauge("wall.sap_events_per_sec").set(per_sec(dispatched, rounds_sec));
+  reg.gauge("wall.sap_round_ms")
+      .set(static_cast<std::int64_t>(rounds_sec * 500.0));  // per round
+  std::fprintf(stderr, "wall: sap n=%u rounds=2 %.3fs (%.0f events/s)\n",
+               devices, rounds_sec, dispatched / rounds_sec);
+
+  // ---- Report ----
+  Table table({"counter", "value"});
+  table.add_row({"mac.iterations", Table::count(kMacIters)});
+  table.add_row({"mac.oneshot_compressions", Table::count(oneshot_comp)});
+  table.add_row({"mac.cached_compressions", Table::count(cached_comp)});
+  table.add_row({"sap.devices", Table::count(devices)});
+  table.add_row({"sap.compression_calls", Table::count(round_comp)});
+  table.add_row({"sap.events_dispatched", Table::count(dispatched)});
+  table.add_row({"sap.pool_hits",
+                 Table::count(sim.network().payload_pool_hits())});
+  table.add_row({"sap.pool_misses",
+                 Table::count(sim.network().payload_pool_misses())});
+  table.add_row({"sap.pool_bytes",
+                 Table::count(sim.network().payload_bytes_pooled())});
+
+  std::printf("Perf baseline - deterministic hot-path counters\n");
+  std::printf("(wall-clock rates go to stderr and the wall.* gauges; "
+              "counters must match BENCH_perf.json)\n\n");
+  std::printf("%s", table.to_string().c_str());
+
+  const std::string json = reg.to_json();
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return 0;
+}

@@ -43,6 +43,16 @@ bool all_zero(BytesView data) noexcept;
 void append_u32le(Bytes& out, std::uint32_t v);
 void append_u64le(Bytes& out, std::uint64_t v);
 
+/// Write the little-endian encoding of `v` into `out[0..3]`; the caller
+/// guarantees capacity. Allocation-free counterpart to append_u32le for
+/// hot paths that stage a challenge/tick into a stack buffer.
+inline void store_u32le(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
 /// Read little-endian integers back; throws std::out_of_range if the
 /// buffer is too short.
 std::uint32_t read_u32le(BytesView data, std::size_t offset);

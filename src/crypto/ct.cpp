@@ -1,5 +1,7 @@
 #include "crypto/ct.hpp"
 
+#include <cstring>
+
 namespace cra::crypto {
 
 bool ct_equal(BytesView a, BytesView b) noexcept {
@@ -9,6 +11,15 @@ bool ct_equal(BytesView a, BytesView b) noexcept {
     diff |= static_cast<unsigned>(a[i] ^ b[i]);
   }
   return diff == 0;
+}
+
+void secure_wipe(void* p, std::size_t len) noexcept {
+  if (p == nullptr || len == 0) return;
+  std::memset(p, 0, len);
+  // The asm body is empty but declares the pointed-to memory as read and
+  // clobbered, so the memset above is an observable effect the optimizer
+  // cannot drop even when the buffer's lifetime ends right after.
+  __asm__ __volatile__("" : : "r"(p) : "memory");
 }
 
 }  // namespace cra::crypto

@@ -1,10 +1,21 @@
-// Constant-time comparison.
+// Constant-time comparison and secure wiping.
 //
 // verify compares H_S against the precomputed RES_S; on a real verifier
 // this comparison must not leak how many leading bytes matched. The
 // device-side attest TCB never compares secrets, but tests exercising
 // forged reports use this too.
+//
+// secure_wipe clears key-derived material (HMAC pads, midstate caches)
+// in a way the optimizer cannot elide as a dead store — the attest key
+// K_{mi,Vrf} is the one secret the whole TCA-Security game rests on, so
+// copies of it (or of states derived from it) must not outlive the
+// object that owned them.
 #pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
 
 #include "common/bytes.hpp"
 
@@ -13,5 +24,22 @@ namespace cra::crypto {
 /// True iff a and b have equal length and equal contents; runs in time
 /// dependent only on the lengths.
 bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// Zero `len` bytes at `p` with a store the compiler must keep (memset
+/// followed by a compiler barrier that treats the memory as observed).
+void secure_wipe(void* p, std::size_t len) noexcept;
+
+/// Convenience overloads for the fixed-size buffers key material lives
+/// in (HMAC pad blocks, hash midstates).
+template <typename T, std::size_t N>
+inline void secure_wipe(std::array<T, N>& a) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "secure_wipe: array element must be trivially copyable");
+  secure_wipe(a.data(), sizeof(T) * N);
+}
+
+inline void secure_wipe(Bytes& b) noexcept {
+  if (!b.empty()) secure_wipe(b.data(), b.size());
+}
 
 }  // namespace cra::crypto

@@ -3,14 +3,17 @@
 // attest computes h_mi = HMAC_{K_mi,Vrf}(PMEM(mi, t=chal) || chal); the
 // verifier recomputes the same value from the expected configuration
 // cfg_i. Both sides use this implementation. A runtime-tagged variant
-// (HashAlg + hmac()) exists so protocol configuration can choose the
-// security parameter l ∈ {160, 256} without templating every layer.
+// (HashAlg + hmac()/hmac_into()) exists so protocol configuration can
+// choose the security parameter l ∈ {160, 256} without templating every
+// layer. For the per-MAC hot path prefer hmac_into() (no allocation) or,
+// when the key is reused across MACs, the midstate cache in
+// crypto/mac_cache.hpp.
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 
 #include "common/bytes.hpp"
+#include "crypto/ct.hpp"
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
 
@@ -23,6 +26,16 @@ class Hmac {
   static constexpr std::size_t kDigestSize = H::kDigestSize;
 
   explicit Hmac(BytesView key) { init(key); }
+
+  Hmac(const Hmac&) = default;
+  Hmac& operator=(const Hmac&) = default;
+
+  /// The pads are key-derived: scrub them when the MAC context dies so
+  /// copies of K_{mi,Vrf} do not linger on dead stack frames.
+  ~Hmac() {
+    secure_wipe(opad_);
+    inner_.wipe();
+  }
 
   void init(BytesView key) {
     std::array<std::uint8_t, H::kBlockSize> block_key{};
@@ -37,6 +50,7 @@ class Hmac {
     for (auto& b : opad_) b = static_cast<std::uint8_t>(b ^ 0x5c);
     inner_.reset();
     inner_.update(BytesView(block_key.data(), block_key.size()));
+    secure_wipe(block_key);
   }
 
   void update(BytesView data) { inner_.update(data); }
@@ -50,7 +64,7 @@ class Hmac {
   }
 
   /// One-shot HMAC.
-  static typename H::Digest mac(BytesView key, BytesView data) {
+  [[nodiscard]] static typename H::Digest mac(BytesView key, BytesView data) {
     Hmac h(key);
     h.update(data);
     return h.finalize();
@@ -84,30 +98,57 @@ constexpr std::size_t security_param_bits(HashAlg alg) noexcept {
   return digest_size(alg) * 8;
 }
 
-/// One-shot, runtime-dispatched HMAC returning a heap buffer of
-/// digest_size(alg) bytes.
-inline Bytes hmac(HashAlg alg, BytesView key, BytesView data) {
-  switch (alg) {
-    case HashAlg::kSha1: {
-      const auto d = HmacSha1::mac(key, data);
-      return Bytes(d.begin(), d.end());
-    }
-    case HashAlg::kSha256: {
-      const auto d = HmacSha256::mac(key, data);
-      return Bytes(d.begin(), d.end());
-    }
+/// Fixed-capacity MAC output buffer sized for the largest supported
+/// digest. Lets runtime-dispatched MAC code fill a caller-owned buffer
+/// instead of returning a heap vector per MAC.
+struct MacBuf {
+  static constexpr std::size_t kCapacity = Sha256::kDigestSize;
+
+  std::array<std::uint8_t, kCapacity> bytes{};
+  std::size_t len = 0;
+
+  [[nodiscard]] BytesView view() const noexcept {
+    return BytesView(bytes.data(), len);
   }
-  throw std::invalid_argument("hmac: unknown algorithm");
+
+  void assign(const std::uint8_t* src, std::size_t n) noexcept {
+    len = n;
+    std::copy(src, src + n, bytes.begin());
+  }
+};
+
+/// One-shot, runtime-dispatched HMAC into a caller-owned buffer. The
+/// allocation-free hot-path entry point; SAP tokens are exactly
+/// digest_size(alg) bytes, which always fits MacBuf.
+///
+/// HashAlg has exactly two values, so dispatch is a single
+/// well-predicted branch (SAP configures one algorithm per run) rather
+/// than a switch whose fall-through throw the optimizer must keep live.
+inline void hmac_into(HashAlg alg, BytesView key, BytesView data,
+                      MacBuf& out) {
+  if (alg == HashAlg::kSha1) {
+    const auto d = HmacSha1::mac(key, data);
+    out.assign(d.data(), d.size());
+  } else {
+    const auto d = HmacSha256::mac(key, data);
+    out.assign(d.data(), d.size());
+  }
+}
+
+/// One-shot, runtime-dispatched HMAC returning a heap buffer of
+/// digest_size(alg) bytes. Convenience path: setup, tests, and
+/// non-hot-loop call sites.
+[[nodiscard]] inline Bytes hmac(HashAlg alg, BytesView key, BytesView data) {
+  MacBuf buf;
+  hmac_into(alg, key, data, buf);
+  return Bytes(buf.bytes.begin(), buf.bytes.begin() + buf.len);
 }
 
 /// Compression calls for the runtime-dispatched variant.
-inline std::uint64_t hmac_compression_calls(HashAlg alg,
-                                            std::uint64_t message_len) {
-  switch (alg) {
-    case HashAlg::kSha1: return HmacSha1::compression_calls(message_len);
-    case HashAlg::kSha256: return HmacSha256::compression_calls(message_len);
-  }
-  throw std::invalid_argument("hmac_compression_calls: unknown algorithm");
+[[nodiscard]] inline std::uint64_t hmac_compression_calls(
+    HashAlg alg, std::uint64_t message_len) noexcept {
+  return alg == HashAlg::kSha1 ? HmacSha1::compression_calls(message_len)
+                               : HmacSha256::compression_calls(message_len);
 }
 
 }  // namespace cra::crypto

@@ -3,6 +3,9 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/ct.hpp"
+#include "crypto/tally.hpp"
+
 namespace cra::crypto {
 
 void Sha1::reset() noexcept {
@@ -11,7 +14,23 @@ void Sha1::reset() noexcept {
   total_len_ = 0;
 }
 
+Sha1 Sha1::resume(const State& s, std::uint64_t bytes_hashed) noexcept {
+  Sha1 h;
+  h.state_ = s;
+  h.total_len_ = bytes_hashed;
+  return h;
+}
+
+void Sha1::wipe() noexcept {
+  secure_wipe(state_);
+  secure_wipe(buffer_);
+  buffer_len_ = 0;
+  total_len_ = 0;
+  reset();
+}
+
 void Sha1::process_block(const std::uint8_t* block) noexcept {
+  ++detail::tls_compression_calls;
   std::uint32_t w[80];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
@@ -55,6 +74,7 @@ void Sha1::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha1::update(BytesView data) noexcept {
+  if (data.empty()) return;  // memcpy from a null view is UB, even for 0
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

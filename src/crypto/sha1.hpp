@@ -20,6 +20,9 @@ class Sha1 {
   static constexpr std::size_t kDigestSize = 20;
   static constexpr std::size_t kBlockSize = 64;
   using Digest = std::array<std::uint8_t, kDigestSize>;
+  /// Chaining value between compression calls; capturable at any block
+  /// boundary (see midstate()/resume()).
+  using State = std::array<std::uint32_t, 5>;
 
   Sha1() noexcept { reset(); }
 
@@ -28,6 +31,24 @@ class Sha1 {
   /// Finalize and return the digest; the object must be reset() before
   /// further use.
   Digest finalize() noexcept;
+
+  /// Chaining value after the blocks absorbed so far. Only meaningful at
+  /// a block boundary (total bytes hashed divisible by kBlockSize) —
+  /// buffered partial-block bytes are NOT part of the state. The HMAC
+  /// midstate cache calls this right after absorbing the one-block
+  /// ipad/opad prefix.
+  const State& midstate() const noexcept { return state_; }
+
+  /// Rebuild a hash mid-stream from a captured chaining value:
+  /// equivalent to a Sha1 that already absorbed `bytes_hashed` bytes
+  /// (must be a multiple of kBlockSize) ending in state `s`. This is the
+  /// per-MAC fast path: restoring costs a small copy, not a compression.
+  static Sha1 resume(const State& s, std::uint64_t bytes_hashed) noexcept;
+
+  /// Best-effort zeroization of the chaining value and block buffer
+  /// (used when the absorbed data is key material). Leaves the object
+  /// in the reset() state.
+  void wipe() noexcept;
 
   /// One-shot convenience.
   static Digest digest(BytesView data) noexcept;

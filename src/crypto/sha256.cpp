@@ -3,6 +3,9 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/ct.hpp"
+#include "crypto/tally.hpp"
+
 namespace cra::crypto {
 namespace {
 
@@ -28,7 +31,23 @@ void Sha256::reset() noexcept {
   total_len_ = 0;
 }
 
+Sha256 Sha256::resume(const State& s, std::uint64_t bytes_hashed) noexcept {
+  Sha256 h;
+  h.state_ = s;
+  h.total_len_ = bytes_hashed;
+  return h;
+}
+
+void Sha256::wipe() noexcept {
+  secure_wipe(state_);
+  secure_wipe(buffer_);
+  buffer_len_ = 0;
+  total_len_ = 0;
+  reset();
+}
+
 void Sha256::process_block(const std::uint8_t* block) noexcept {
+  ++detail::tls_compression_calls;
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
@@ -75,6 +94,7 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(BytesView data) noexcept {
+  if (data.empty()) return;  // memcpy from a null view is UB, even for 0
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -16,12 +16,26 @@ class Sha256 {
   static constexpr std::size_t kDigestSize = 32;
   static constexpr std::size_t kBlockSize = 64;
   using Digest = std::array<std::uint8_t, kDigestSize>;
+  /// Chaining value between compression calls (see sha1.hpp for the
+  /// midstate()/resume() contract; identical here).
+  using State = std::array<std::uint32_t, 8>;
 
   Sha256() noexcept { reset(); }
 
   void reset() noexcept;
   void update(BytesView data) noexcept;
   Digest finalize() noexcept;
+
+  /// Chaining value after the blocks absorbed so far; only meaningful at
+  /// a block boundary.
+  const State& midstate() const noexcept { return state_; }
+
+  /// Rebuild a hash that already absorbed `bytes_hashed` bytes (multiple
+  /// of kBlockSize) ending in chaining value `s`.
+  static Sha256 resume(const State& s, std::uint64_t bytes_hashed) noexcept;
+
+  /// Best-effort zeroization; leaves the object reset().
+  void wipe() noexcept;
 
   static Digest digest(BytesView data) noexcept;
   static std::uint64_t compression_calls(std::uint64_t message_len) noexcept;

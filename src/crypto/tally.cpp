@@ -1,0 +1,7 @@
+#include "crypto/tally.hpp"
+
+namespace cra::crypto::detail {
+
+thread_local std::uint64_t tls_compression_calls = 0;
+
+}  // namespace cra::crypto::detail

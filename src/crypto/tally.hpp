@@ -1,0 +1,33 @@
+// Host-side compression-call tally.
+//
+// The device timing model charges *simulated* cycles per compression
+// call; this tally counts the *host* compression-function invocations
+// the crypto substrate actually executes, so the perf-baseline harness
+// (bench/perf_baseline) can prove optimisations like the HMAC midstate
+// cache save real work — and CI can assert the count never regresses.
+//
+// The counter is thread-local: reading it is only meaningful for work
+// executed on the calling thread. The perf harness runs its counter
+// sections single-threaded, which makes the numbers exactly
+// reproducible; wall-clock sections may use any thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace cra::crypto {
+
+namespace detail {
+extern thread_local std::uint64_t tls_compression_calls;
+}  // namespace detail
+
+/// Compression-function invocations (SHA-1 + SHA-256 blocks) executed on
+/// this thread since the last reset.
+inline std::uint64_t compression_calls_executed() noexcept {
+  return detail::tls_compression_calls;
+}
+
+inline void reset_compression_tally() noexcept {
+  detail::tls_compression_calls = 0;
+}
+
+}  // namespace cra::crypto

@@ -37,6 +37,7 @@ LisaSimulation::LisaSimulation(LisaConfig config, net::Tree tree,
     Dev& d = dev(id);
     d.key = crypto::derive_device_key(
         master_, id, crypto::digest_size(config_.alg), "lisa-device-key");
+    d.mac.init(config_.alg, d.key);
     d.content = crypto::derive_device_key(master_, id,
                                           crypto::digest_size(config_.alg),
                                           "lisa-firmware");
@@ -91,12 +92,11 @@ sim::Duration LisaSimulation::attest_time() const {
 Bytes LisaSimulation::make_entry(net::NodeId id) const {
   // token = HMAC_{K_i}(content || nonce) — content stands in for PMEM.
   const Dev& d = devices_[id - 1];
-  Bytes msg = d.content;
-  msg.insert(msg.end(), round_nonce_.begin(), round_nonce_.end());
+  crypto::MacBuf mac;
+  d.mac.mac_into(d.content, round_nonce_, mac);
   Bytes entry;
   append_u32le(entry, id);
-  const Bytes mac = crypto::hmac(config_.alg, d.key, msg);
-  entry.insert(entry.end(), mac.begin(), mac.end());
+  entry.insert(entry.end(), mac.bytes.begin(), mac.bytes.begin() + mac.len);
   return entry;
 }
 
@@ -176,13 +176,10 @@ LisaRoundReport LisaSimulation::run_round() {
   report.responded = static_cast<std::uint32_t>(root_reports_.size());
 
   // Vrf verification: per-device token against the enrolled cfg_i.
+  crypto::MacBuf expected;
   for (const auto& [id, token] : root_reports_) {
-    Bytes expected_msg = expected_[id - 1];
-    expected_msg.insert(expected_msg.end(), round_nonce_.begin(),
-                        round_nonce_.end());
-    const Bytes expected =
-        crypto::hmac(config_.alg, devices_[id - 1].key, expected_msg);
-    if (!crypto::ct_equal(token, expected)) {
+    devices_[id - 1].mac.mac_into(expected_[id - 1], round_nonce_, expected);
+    if (!crypto::ct_equal(token, expected.view())) {
       report.bad.push_back(id);
     }
   }

@@ -25,6 +25,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/mac_cache.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/scheduler.hpp"
@@ -93,6 +94,9 @@ class LisaSimulation {
  private:
   struct Dev {
     Bytes key;
+    // Midstate cache over `key`, shared by the device's attest MAC and
+    // Vrf's recomputation (both use the same enrolled key).
+    crypto::PrecomputedMac mac;
     Bytes content;
     bool compromised = false;
     bool unresponsive = false;

@@ -89,8 +89,30 @@ void Network::deliver(Message msg, sim::Duration delay,
     router_(std::move(msg), scheduler_.now() + delay);
     return;
   }
-  scheduler_.schedule_after(
-      delay, [this, m = std::move(msg)]() mutable { handler_(m); });
+  scheduler_.schedule_after(delay, [this, m = std::move(msg)]() mutable {
+    handler_(m);
+    // The handler sees a const Message&, so the buffer is intact here —
+    // harvest its capacity for the next send on this network.
+    recycle_payload(std::move(m.payload));
+  });
+}
+
+Bytes Network::acquire_payload() {
+  if (!payload_pool_.empty()) {
+    Bytes b = std::move(payload_pool_.back());
+    payload_pool_.pop_back();
+    ++pool_hits_;
+    pool_bytes_ += b.capacity();
+    return b;
+  }
+  ++pool_misses_;
+  return Bytes{};
+}
+
+void Network::recycle_payload(Bytes&& b) noexcept {
+  if (b.capacity() == 0 || payload_pool_.size() >= kMaxPooledBuffers) return;
+  b.clear();
+  payload_pool_.push_back(std::move(b));
 }
 
 sim::Duration Network::reserve_radio(NodeId src, sim::Duration tx_time) {
@@ -138,6 +160,12 @@ void Network::reset_accounting() noexcept {
   // this, a contention sweep's second repetition starts with the radios
   // still queued behind the previous window's backlog.
   radio_free_.clear();
+  // Pool *statistics* restart with the window (they feed the per-round
+  // metrics view); the pooled buffers themselves survive — capacity
+  // carried across rounds is the whole point of the freelist.
+  pool_hits_ = 0;
+  pool_misses_ = 0;
+  pool_bytes_ = 0;
   if (metrics_ != nullptr) {
     m_bytes_->reset();
     m_sent_->reset();

@@ -156,7 +156,31 @@ class Network {
   /// `payload_bytes` to cross one link.
   sim::Duration link_delay(std::size_t payload_bytes) const noexcept;
 
+  /// --- Payload pooling ---
+  /// A delivered message's payload buffer is recycled into a per-network
+  /// freelist once the handler returns; acquire_payload() hands the
+  /// capacity back to the next sender instead of the allocator. The pool
+  /// is confined to this network (one network per shard), so it needs no
+  /// synchronization, and hit/miss counts are as deterministic as the
+  /// message trace itself. The tallies are exposed as accessors, NOT as
+  /// bound metrics: recycling is shard-local, so the counts are a
+  /// function of the shard layout, and folding them into the registry
+  /// would break the engine-invariance of the merged metrics view
+  /// (serial and sharded runs must export identical registries).
+  /// Returns an empty buffer, with recycled capacity when available.
+  Bytes acquire_payload();
+  /// Return a spent buffer to the freelist (clears it; keeps capacity).
+  void recycle_payload(Bytes&& b) noexcept;
+  std::uint64_t payload_pool_hits() const noexcept { return pool_hits_; }
+  std::uint64_t payload_pool_misses() const noexcept { return pool_misses_; }
+  /// Capacity bytes handed out from the pool instead of the allocator.
+  std::uint64_t payload_bytes_pooled() const noexcept { return pool_bytes_; }
+
  private:
+  /// Freelist depth cap: beyond this, recycled buffers are released to
+  /// the allocator (bounds idle memory after report-heavy rounds).
+  static constexpr std::size_t kMaxPooledBuffers = 1024;
+
   void deliver(Message msg, sim::Duration delay, std::uint32_t charged_hops);
   /// One send attempt hit the air: charge every ledger (total bytes,
   /// per-link bytes, sent-or-dropped message count) and the bound
@@ -181,6 +205,11 @@ class Network {
   std::unordered_map<std::uint64_t, std::uint64_t> per_link_bytes_;
   std::unordered_set<std::uint64_t> down_links_;  // directed (src,dst)
   std::unordered_map<NodeId, sim::SimTime> radio_free_;  // serialize_tx
+
+  std::vector<Bytes> payload_pool_;
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t pool_misses_ = 0;
+  std::uint64_t pool_bytes_ = 0;
 
   // Bound metric handles (null when no registry is attached). Resolved
   // once in bind_metrics(); hot-path updates are plain increments.

@@ -29,8 +29,10 @@ HeartbeatSimulation::HeartbeatSimulation(HeartbeatConfig config,
       devices_(tree_.device_count()),
       last_seen_(tree_.device_count() + 1) {
   for (net::NodeId id = 1; id <= device_count(); ++id) {
-    dev(id).beat_key = crypto::derive_device_key(
+    Dev& d = dev(id);
+    d.beat_key = crypto::derive_device_key(
         master_, id, crypto::digest_size(config_.alg), "heartbeat-key");
+    d.beat_mac.init(config_.alg, d.beat_key);
     last_seen_[id] = scheduler_.now();  // joined alive at deployment
   }
   network_.set_handler([this](const net::Message& m) { on_message(m); });
@@ -63,9 +65,10 @@ void HeartbeatSimulation::schedule_beat(net::NodeId id) {
       Bytes beat;
       append_u32le(beat, id);
       append_u32le(beat, ++d.seq);
-      Bytes mac = crypto::hmac(config_.alg, d.beat_key, beat);
-      mac.resize(config_.mac_size);
-      beat.insert(beat.end(), mac.begin(), mac.end());
+      crypto::MacBuf mac;
+      d.beat_mac.mac_into(beat, mac);
+      beat.insert(beat.end(), mac.bytes.begin(),
+                  mac.bytes.begin() + config_.mac_size);
       network_.send(id, tree_.parent(id), kBeatMsg, std::move(beat));
     }
     schedule_beat(id);
@@ -108,11 +111,11 @@ void HeartbeatSimulation::handle_beat(net::NodeId parent,
 
   // The claimed identity is authenticated by the MAC alone — radio
   // source addresses are spoofable and carry no weight here.
-  Bytes body(msg.payload.begin(), msg.payload.begin() + 8);
-  Bytes expected = crypto::hmac(config_.alg, dev(child).beat_key, body);
-  expected.resize(config_.mac_size);
+  crypto::MacBuf expected;
+  dev(child).beat_mac.mac_into(BytesView(msg.payload.data(), 8), expected);
   if (!crypto::ct_equal(
-          BytesView(msg.payload.data() + 8, config_.mac_size), expected)) {
+          BytesView(msg.payload.data() + 8, config_.mac_size),
+          BytesView(expected.bytes.data(), config_.mac_size))) {
     ++forged_;  // presence cannot be forged without the pairwise key
     return;
   }

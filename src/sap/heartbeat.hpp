@@ -26,6 +26,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/mac_cache.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/scheduler.hpp"
@@ -90,6 +91,9 @@ class HeartbeatSimulation {
  private:
   struct Dev {
     Bytes beat_key;           // pairwise key with the parent
+    // Midstate cache over beat_key; beats are emitted every period per
+    // device, so the cached pads pay off immediately.
+    crypto::PrecomputedMac beat_mac;
     bool captured = false;
     std::uint32_t seq = 0;
     sim::SimTime last_seen;   // parent-side, per child: see last_seen_

@@ -34,6 +34,7 @@ SapSimulation::SapSimulation(SapConfig config, net::Tree tree,
   for (net::NodeId id = 1; id <= device_count(); ++id) {
     Dev& d = dev(id);
     d.key = verifier_.device_key(id);
+    d.mac.init(config_.alg, d.key);
     d.content =
         crypto::derive_device_key(master_from_seed(seed), id,
                                   config_.token_size(), "sap-firmware");
@@ -81,8 +82,13 @@ void SapSimulation::setup_engine() {
     // the arrival time carries the full link delay, which is >= the
     // engine's lookahead by construction.
     net->set_router([this](net::Message m, sim::SimTime at) {
-      engine_->post(m.dst, at,
-                    [this, m = std::move(m)] { on_message(m); });
+      engine_->post(m.dst, at, [this, m = std::move(m)]() mutable {
+        on_message(m);
+        // Recycle into the DESTINATION shard's network: this lambda runs
+        // on that shard's worker, and that network is where the next
+        // send from this position will acquire from.
+        net_of(m.dst).recycle_payload(std::move(m.payload));
+      });
     });
     // Shard-confined accounting: the shard's network and the protocol's
     // per-shard instruments write to the shard's own registry; they are
@@ -451,9 +457,9 @@ Bytes SapSimulation::compute_token(net::NodeId pos, std::uint32_t tick) {
   if (local_tick != tick) {
     return Bytes(config_.token_size(), 0);
   }
-  Bytes message = d.content;
-  append_u32le(message, tick);
-  return crypto::hmac(config_.alg, d.key, message);
+  std::uint8_t tick_le[4];
+  store_u32le(tick_le, tick);
+  return d.mac.mac(d.content, BytesView(tick_le, 4));
 }
 
 RoundReport SapSimulation::run_round() {
@@ -514,7 +520,10 @@ RoundReport SapSimulation::run_round() {
       encode_chal(round_tick_, auth_key_, config_.chal_size());
   round_chal_ = chal;
   for (net::NodeId child : tree_.children(0)) {
-    net_of(0).send(0, child, kChalMsg, chal);
+    net::Network& net = net_of(0);
+    Bytes fwd = net.acquire_payload();
+    fwd.assign(chal.begin(), chal.end());
+    net.send(0, child, kChalMsg, std::move(fwd));
   }
 
   // Give-up deadline for Vrf (covers lost subtrees and repolls).
@@ -669,9 +678,14 @@ void SapSimulation::handle_chal(net::NodeId pos, const net::Message& msg) {
   d.tick = chal->tick;
   inbound_gauge(pos).max_in(now.ns());
 
-  // Forward chal immediately to all children.
+  // Forward chal immediately to all children; the per-child copies are
+  // staged in pooled buffers (one fresh allocation per shard at most —
+  // every later copy reuses a recycled delivery buffer).
   for (net::NodeId child : tree_.children(pos)) {
-    net_of(pos).send(pos, child, kChalMsg, msg.payload);
+    net::Network& net = net_of(pos);
+    Bytes fwd = net.acquire_payload();
+    fwd.assign(msg.payload.begin(), msg.payload.end());
+    net.send(pos, child, kChalMsg, std::move(fwd));
   }
 
   // Schedule attest when the device's own clock reaches the tick.
@@ -841,7 +855,10 @@ void SapSimulation::flush(net::NodeId pos) {
       for (net::NodeId child : missing) {
         // Adaptive re-polls carry the round challenge so a device that
         // missed the flood entirely can still late-join.
-        net_of(pos).send(pos, child, kRepollMsg, round_chal_);
+        net::Network& net = net_of(pos);
+        Bytes repoll = net.acquire_payload();
+        repoll.assign(round_chal_.begin(), round_chal_.end());
+        net.send(pos, child, kRepollMsg, std::move(repoll));
       }
       const sim::Duration backoff = config_.adaptive.backoff_for(d.retries);
       backoff_counter(pos).inc(static_cast<std::uint64_t>(backoff.ns()));

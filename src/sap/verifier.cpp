@@ -12,7 +12,8 @@ Verifier::Verifier(SapConfig config, std::uint32_t device_count,
     : config_(config),
       device_count_(device_count),
       master_(master.begin(), master.end()),
-      expected_(device_count) {
+      expected_(device_count),
+      mac_cache_(device_count) {
   if (device_count_ == 0) {
     throw std::invalid_argument("Verifier: empty attestation group");
   }
@@ -48,17 +49,36 @@ const Bytes& Verifier::expected_content(net::NodeId id) const {
   return expected_[id - 1];
 }
 
-Bytes Verifier::expected_token(net::NodeId id, std::uint32_t chal) const {
+const crypto::PrecomputedMac& Verifier::mac_for(net::NodeId id) const {
+  auto& cache = mac_cache_[id - 1];
+  if (!cache.ready()) {
+    Bytes key = device_key(id);
+    cache.init(config_.alg, key);
+    crypto::secure_wipe(key);
+  }
+  return cache;
+}
+
+void Verifier::expected_token_into(net::NodeId id, std::uint32_t chal,
+                                   crypto::MacBuf& out) const {
   check_id(id);
-  Bytes message = expected_[id - 1];
-  append_u32le(message, chal);
-  return crypto::hmac(config_.alg, device_key(id), message);
+  std::uint8_t chal_le[4];
+  store_u32le(chal_le, chal);
+  mac_for(id).mac_into(expected_[id - 1], BytesView(chal_le, 4), out);
+}
+
+Bytes Verifier::expected_token(net::NodeId id, std::uint32_t chal) const {
+  crypto::MacBuf buf;
+  expected_token_into(id, chal, buf);
+  return Bytes(buf.bytes.begin(), buf.bytes.begin() + buf.len);
 }
 
 Bytes Verifier::expected_result(std::uint32_t chal) const {
   Bytes acc(config_.token_size(), 0);
+  crypto::MacBuf buf;
   for (net::NodeId id = 1; id <= device_count_; ++id) {
-    xor_inplace(acc, expected_token(id, chal));
+    expected_token_into(id, chal, buf);
+    xor_inplace(acc, buf.view());
   }
   return acc;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "crypto/mac_cache.hpp"
 #include "net/topology.hpp"
 #include "sap/config.hpp"
 #include "sap/messages.hpp"
@@ -50,6 +51,11 @@ class Verifier {
   /// --- Offline verification (Definition: verify) ---
   /// res_i for one device under challenge `chal`.
   Bytes expected_token(net::NodeId id, std::uint32_t chal) const;
+  /// Allocation-free res_i into a caller-owned buffer. First use for a
+  /// device derives K_{mi,Vrf} and caches its HMAC midstates; later
+  /// calls resume them (no HKDF, no pad compressions, no heap).
+  void expected_token_into(net::NodeId id, std::uint32_t chal,
+                           crypto::MacBuf& out) const;
   /// RES_S = ⊕ res_i over all devices.
   Bytes expected_result(std::uint32_t chal) const;
   /// Binary verdict: H_S == RES_S (constant-time compare).
@@ -112,11 +118,16 @@ class Verifier {
 
  private:
   void check_id(net::NodeId id) const;
+  const crypto::PrecomputedMac& mac_for(net::NodeId id) const;
 
   SapConfig config_;
   std::uint32_t device_count_;
   Bytes master_;
   std::vector<Bytes> expected_;  // index id-1
+  // Per-device HMAC midstate caches, filled on first use (verification
+  // is offline and single-threaded, so lazy mutation is safe). Saves an
+  // HKDF derivation plus two compressions per expected-token query.
+  mutable std::vector<crypto::PrecomputedMac> mac_cache_;  // index id-1
 };
 
 }  // namespace cra::sap

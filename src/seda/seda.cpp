@@ -35,7 +35,8 @@ SedaSimulation::SedaSimulation(SedaConfig config, net::Tree tree,
       network_(scheduler_, config.link),
       master_(master_from_seed(seed)),
       devices_(tree_.device_count()),
-      key_at_parent_(tree_.device_count() + 1) {
+      key_at_parent_(tree_.device_count() + 1),
+      mac_at_parent_(tree_.device_count() + 1) {
   crypto::SecureRandom vrf_rng(seed ^ 0x7672'666b'6579ULL);
   vrf_sk_ = vrf_rng.bytes(32);
   vrf_pk_ = crypto::x25519_base(vrf_sk_);
@@ -44,7 +45,9 @@ SedaSimulation::SedaSimulation(SedaConfig config, net::Tree tree,
     // Provisioning-time pre-shared keys; run_join() replaces them with
     // X25519-agreed ones.
     d.key_to_parent = edge_key(id);
+    d.mac_to_parent.init(config_.alg, d.key_to_parent);
     key_at_parent_[id] = d.key_to_parent;
+    mac_at_parent_[id].init(config_.alg, key_at_parent_[id]);
     d.static_sk = crypto::derive_device_key(master_, id, 32, "seda-x25519");
     d.static_pk = crypto::x25519_base(d.static_sk);
   }
@@ -90,8 +93,12 @@ void SedaSimulation::setup_engine() {
     // the arrival time carries the full link delay, which is >= the
     // engine's lookahead by construction.
     net->set_router([this](net::Message m, sim::SimTime at) {
-      engine_->post(m.dst, at,
-                    [this, m = std::move(m)] { on_message(m); });
+      engine_->post(m.dst, at, [this, m = std::move(m)]() mutable {
+        on_message(m);
+        // Runs on the destination shard's worker; recycle the buffer
+        // into that shard's network for its next send.
+        net_of(m.dst).recycle_payload(std::move(m.payload));
+      });
     });
     shard_nets_.push_back(std::move(net));
   }
@@ -359,12 +366,10 @@ Bytes SedaSimulation::report_payload(net::NodeId id, std::uint32_t total,
   Bytes body;
   append_u32le(body, total);
   append_u32le(body, passed);
-  Bytes mac_msg = body;
-  mac_msg.insert(mac_msg.end(), round_nonce_.begin(), round_nonce_.end());
-  Bytes mac =
-      crypto::hmac(config_.alg, devices_[id - 1].key_to_parent, mac_msg);
-  mac.resize(config_.report_mac_size);
-  body.insert(body.end(), mac.begin(), mac.end());
+  crypto::MacBuf mac;
+  devices_[id - 1].mac_to_parent.mac_into(body, round_nonce_, mac);
+  body.insert(body.end(), mac.bytes.begin(),
+              mac.bytes.begin() + config_.report_mac_size);
   return body;
 }
 
@@ -372,14 +377,12 @@ bool SedaSimulation::report_authentic(net::NodeId child,
                                       BytesView payload) const {
   // Verified with the PARENT's half of the key.
   if (payload.size() != config_.report_size()) return false;
-  Bytes mac_msg(payload.begin(), payload.begin() + 8);
-  mac_msg.insert(mac_msg.end(), round_nonce_.begin(), round_nonce_.end());
-  Bytes expected =
-      crypto::hmac(config_.alg, key_at_parent_[child], mac_msg);
-  expected.resize(config_.report_mac_size);
-  return crypto::ct_equal(BytesView(payload.data() + 8,
-                                    config_.report_mac_size),
-                          expected);
+  crypto::MacBuf expected;
+  mac_at_parent_[child].mac_into(BytesView(payload.data(), 8), round_nonce_,
+                                 expected);
+  return crypto::ct_equal(
+      BytesView(payload.data() + 8, config_.report_mac_size),
+      BytesView(expected.bytes.data(), config_.report_mac_size));
 }
 
 SedaJoinReport SedaSimulation::run_join() {
@@ -419,6 +422,7 @@ void SedaSimulation::corrupt_join_key(net::NodeId child) {
   Bytes& k = key_at_parent_.at(child);
   if (k.empty()) k = Bytes(crypto::digest_size(config_.alg), 0);
   k[0] = static_cast<std::uint8_t>(k[0] ^ 0xff);
+  mac_at_parent_[child].init(config_.alg, k);
 }
 
 void SedaSimulation::handle_join_invite(net::NodeId id,
@@ -438,6 +442,7 @@ void SedaSimulation::handle_join_invite(net::NodeId id,
     dd.key_to_parent = crypto::hkdf(shared, /*salt=*/{},
                                     to_bytes("seda-pairwise"),
                                     crypto::digest_size(config_.alg));
+    dd.mac_to_parent.init(config_.alg, dd.key_to_parent);
     dd.joined = true;
     // Ack upward with our public key so the parent can derive its half.
     net_of(id).send(id, tree_.parent(id), kJoinAckMsg, dd.static_pk);
@@ -455,6 +460,7 @@ void SedaSimulation::handle_join_ack(net::NodeId parent,
     key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
                                          to_bytes("seda-pairwise"),
                                          crypto::digest_size(config_.alg));
+    mac_at_parent_[child].init(config_.alg, key_at_parent_[child]);
     join_ack_counter(0).inc();
     return;
   }
@@ -467,6 +473,7 @@ void SedaSimulation::handle_join_ack(net::NodeId parent,
     key_at_parent_[child] = crypto::hkdf(shared, /*salt=*/{},
                                          to_bytes("seda-pairwise"),
                                          crypto::digest_size(config_.alg));
+    mac_at_parent_[child].init(config_.alg, key_at_parent_[child]);
     join_ack_counter(parent).inc();
   });
 }
@@ -512,7 +519,10 @@ SedaRoundReport SedaSimulation::run_round() {
   request.resize(config_.request_size(), 0xa5);  // signature placeholder
 
   for (net::NodeId child : tree_.children(0)) {
-    net_of(0).send(0, child, kRequestMsg, request);
+    net::Network& net = net_of(0);
+    Bytes fwd = net.acquire_payload();
+    fwd.assign(request.begin(), request.end());
+    net.send(0, child, kRequestMsg, std::move(fwd));
   }
 
   // Vrf give-up deadline.
@@ -579,10 +589,13 @@ void SedaSimulation::handle_request(net::NodeId id, const net::Message& msg) {
   if (d.got_request) return;
   d.got_request = true;
 
-  // Forward to children immediately; signature verification and the
-  // self-measurement then occupy this device's CPU.
+  // Forward to children immediately (in pooled buffers); signature
+  // verification and the self-measurement then occupy this device's CPU.
   for (net::NodeId child : tree_.children(id)) {
-    net_of(id).send(id, child, kRequestMsg, msg.payload);
+    net::Network& net = net_of(id);
+    Bytes fwd = net.acquire_payload();
+    fwd.assign(msg.payload.begin(), msg.payload.end());
+    net.send(id, child, kRequestMsg, std::move(fwd));
   }
   sched(id).schedule_after(sig_verify_time() + attest_time(),
                            [this, id] { self_attested(id); });

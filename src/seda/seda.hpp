@@ -32,6 +32,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/mac_cache.hpp"
 #include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
@@ -177,6 +178,9 @@ class SedaSimulation {
  private:
   struct Dev {
     Bytes key_to_parent;    // this device's half of the uplink key
+    // Midstate cache over key_to_parent; rebuilt whenever join (or a
+    // fault hook) replaces the key.
+    crypto::PrecomputedMac mac_to_parent;
     Bytes static_sk;        // X25519 static secret (join phase)
     Bytes static_pk;
     Bytes parent_pk;        // learned during join
@@ -272,6 +276,9 @@ class SedaSimulation {
   std::vector<Dev> devices_;
   /// The parent-side half of each child's uplink key (index: child id).
   std::vector<Bytes> key_at_parent_;
+  // Midstate caches over key_at_parent_, index = child id; every writer
+  // of key_at_parent_ must refresh the matching cache.
+  std::vector<crypto::PrecomputedMac> mac_at_parent_;
   Bytes vrf_sk_;
   Bytes vrf_pk_;
   std::uint32_t join_acks_done_ = 0;

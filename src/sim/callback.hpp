@@ -1,0 +1,134 @@
+// Small-buffer-optimized event callback.
+//
+// The scheduler previously stored events as std::function<void()>;
+// libstdc++'s std::function inlines only 16 bytes of captures, and every
+// network delivery captures a whole net::Message (~40 bytes), so a
+// million-device round paid one heap round-trip per event. InlineCallback
+// is a move-only type-erased void() callable with enough inline storage
+// for every hot-path lambda in the codebase; oversized or
+// throwing-to-move callables fall back to the heap transparently.
+//
+// Dispatch semantics match how Scheduler uses std::function: the
+// callback is moved out of the queue, invoked exactly once, and
+// destroyed. Copying is deliberately unsupported — event queues never
+// copy, and banning it keeps captured buffers single-owner.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cra::sim {
+
+class InlineCallback {
+ public:
+  /// Inline capture budget. The largest hot-path lambda is the network
+  /// delivery closure (`this` + a ~40-byte net::Message); 56 bytes keeps
+  /// the whole object at one cache line together with the vtable
+  /// pointer.
+  static constexpr std::size_t kInlineSize = 56;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &InlineModel<Fn>::kVTable;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vt_ = &HeapModel<Fn>::kVTable;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  /// True when the stored callable lives in the inline buffer (test
+  /// hook; lets the SBO coverage assert which path a capture took).
+  bool is_inline() const noexcept { return vt_ != nullptr && vt_->inline_storage; }
+
+  /// Compile-time answer for a callable type: does it take the inline
+  /// path? Requires nothrow move so queue reshuffles stay noexcept.
+  template <typename Fn>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* obj);
+    // Move-construct into dst's buffer and destroy the source.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  struct InlineModel {
+    static void invoke(void* obj) { (*std::launder(reinterpret_cast<Fn*>(obj)))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* obj) noexcept {
+      std::launder(reinterpret_cast<Fn*>(obj))->~Fn();
+    }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapModel {
+    static Fn* ptr(void* obj) noexcept { return *reinterpret_cast<Fn**>(obj); }
+    static void invoke(void* obj) { (*ptr(obj))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      *reinterpret_cast<Fn**>(dst) = ptr(src);
+    }
+    static void destroy(void* obj) noexcept { delete ptr(obj); }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy, false};
+  };
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  void steal(InlineCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace cra::sim

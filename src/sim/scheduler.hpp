@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace cra::sim {
@@ -35,7 +35,9 @@ class EventHandle {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  // Small-buffer-optimized: the typical event capture (a network
+  // message) stays inline; see sim/callback.hpp.
+  using Callback = InlineCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;

@@ -1,0 +1,177 @@
+// PrecomputedHmac / PrecomputedMac: the midstate-cached path must be
+// indistinguishable from the streaming Hmac for every key and message
+// shape — same RFC vectors, same digests for random inputs (including
+// keys longer than the block size, which get hashed before padding),
+// and the advertised compression saving must hold exactly.
+#include "crypto/mac_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/tally.hpp"
+
+namespace cra::crypto {
+namespace {
+
+template <typename H>
+std::string cached_hex(BytesView key, BytesView data) {
+  PrecomputedHmac<H> p;
+  p.init(key);
+  const auto d = p.mac(data);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// PrecomputedMac returns Bytes; the template helpers return a
+// fixed-size Digest array — lift the latter for EXPECT_EQ.
+template <typename D>
+Bytes as_bytes(const D& digest) {
+  return Bytes(digest.begin(), digest.end());
+}
+
+TEST(PrecomputedHmacSha1, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(cached_hex<Sha1>(key, to_bytes("Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(PrecomputedHmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(cached_hex<Sha1>(to_bytes("Jefe"),
+                             to_bytes("what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(PrecomputedHmacSha1, Rfc2202Case6LongKey) {
+  const Bytes key(80, 0xaa);
+  EXPECT_EQ(cached_hex<Sha1>(
+                key, to_bytes("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(PrecomputedHmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(cached_hex<Sha256>(key, to_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(PrecomputedHmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(cached_hex<Sha256>(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// Exhaustive-ish equivalence: random keys and messages spanning the
+// interesting length boundaries (empty, short, exactly one block,
+// block+1, multi-block, and keys above the block size).
+template <typename H>
+void expect_matches_streaming() {
+  Rng rng(0xfeedface);
+  const std::size_t key_lens[] = {1, 16, H::kBlockSize - 1, H::kBlockSize,
+                                  H::kBlockSize + 1, 3 * H::kBlockSize};
+  const std::size_t msg_lens[] = {0,  1,  24, H::kBlockSize - 9,
+                                  H::kBlockSize, H::kBlockSize + 1, 300};
+  for (const std::size_t kl : key_lens) {
+    Bytes key(kl);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    PrecomputedHmac<H> p;
+    p.init(key);
+    EXPECT_TRUE(p.ready());
+    for (const std::size_t ml : msg_lens) {
+      Bytes msg(ml);
+      for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+      EXPECT_EQ(p.mac(msg), Hmac<H>::mac(key, msg))
+          << "key_len=" << kl << " msg_len=" << ml;
+    }
+  }
+}
+
+TEST(PrecomputedHmacSha1, MatchesStreamingAcrossLengths) {
+  expect_matches_streaming<Sha1>();
+}
+
+TEST(PrecomputedHmacSha256, MatchesStreamingAcrossLengths) {
+  expect_matches_streaming<Sha256>();
+}
+
+// The two-part API must behave as if prefix || suffix had been
+// concatenated — this is the SAP token shape (PMEM digest + challenge).
+TEST(PrecomputedHmac, PrefixSuffixSplitEquivalent) {
+  const Bytes key(20, 0x5a);
+  Rng rng(7);
+  Bytes whole(64);
+  for (auto& b : whole) b = static_cast<std::uint8_t>(rng.next());
+  PrecomputedHmac<Sha1> p;
+  p.init(key);
+  const auto expect = p.mac(whole);
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    EXPECT_EQ(p.mac(BytesView(whole.data(), cut),
+                    BytesView(whole.data() + cut, whole.size() - cut)),
+              expect)
+        << "cut=" << cut;
+  }
+}
+
+TEST(PrecomputedMac, RuntimeDispatchMatchesTemplates) {
+  const Bytes key = to_bytes("device-key");
+  const Bytes msg = to_bytes("attestation token body");
+  PrecomputedMac m1;
+  m1.init(HashAlg::kSha1, key);
+  EXPECT_EQ(m1.alg(), HashAlg::kSha1);
+  EXPECT_EQ(m1.digest_size(), Sha1::kDigestSize);
+  EXPECT_EQ(m1.mac(msg), as_bytes(Hmac<Sha1>::mac(key, msg)));
+
+  PrecomputedMac m2;
+  m2.init(HashAlg::kSha256, key);
+  EXPECT_EQ(m2.digest_size(), Sha256::kDigestSize);
+  EXPECT_EQ(m2.mac(msg), as_bytes(Hmac<Sha256>::mac(key, msg)));
+}
+
+TEST(PrecomputedMac, MacIntoMatchesBytesApi) {
+  const Bytes key(32, 0x11);
+  const Bytes prefix(20, 0x22);
+  const std::uint8_t suffix[4] = {1, 2, 3, 4};
+  PrecomputedMac m;
+  m.init(HashAlg::kSha256, key);
+  MacBuf buf;
+  m.mac_into(prefix, BytesView(suffix, 4), buf);
+  EXPECT_EQ(buf.len, Sha256::kDigestSize);
+  const Bytes expect = m.mac(prefix, BytesView(suffix, 4));
+  EXPECT_EQ(Bytes(buf.view().begin(), buf.view().end()), expect);
+}
+
+TEST(PrecomputedMac, ReinitSwitchesKey) {
+  const Bytes k1 = to_bytes("first"), k2 = to_bytes("second");
+  const Bytes msg = to_bytes("m");
+  PrecomputedMac m;
+  m.init(HashAlg::kSha1, k1);
+  EXPECT_EQ(m.mac(msg), as_bytes(Hmac<Sha1>::mac(k1, msg)));
+  m.init(HashAlg::kSha1, k2);
+  EXPECT_EQ(m.mac(msg), as_bytes(Hmac<Sha1>::mac(k2, msg)));
+}
+
+// The cached path saves exactly the two pad-block compressions per MAC
+// relative to one-shot HMAC, for every message length.
+TEST(PrecomputedMac, CompressionSavingIsExactlyTwo) {
+  const Bytes key(20, 0x33);
+  PrecomputedMac m;
+  m.init(HashAlg::kSha1, key);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{24},
+                                std::size_t{55}, std::size_t{56},
+                                std::size_t{200}}) {
+    EXPECT_EQ(PrecomputedMac::compression_calls(HashAlg::kSha1, len) + 2,
+              hmac_compression_calls(HashAlg::kSha1, len))
+        << "len=" << len;
+    // The model must match what the implementation actually executes.
+    const Bytes msg(len, 0x44);
+    reset_compression_tally();
+    (void)m.mac(msg);
+    EXPECT_EQ(compression_calls_executed(),
+              PrecomputedMac::compression_calls(HashAlg::kSha1, len))
+        << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace cra::crypto
