@@ -12,6 +12,10 @@
 //                       thread counts for the same shard count)
 //   --trace-out PATH    record phase spans and write them as Chrome
 //                       trace_event JSON to PATH (open in Perfetto)
+//   --crypto-backend B  force the crypto backend ("scalar", "simd",
+//                       "auto"); same effect as CRA_CRYPTO_BACKEND.
+//                       Deterministic outputs are byte-identical across
+//                       backends — only wall-clock rates move.
 //
 // Wall-clock measurements go to stderr so the stdout tables stay stable
 // (and byte-comparable) across thread counts; the observability flags
@@ -27,6 +31,7 @@
 #include <string>
 #include <string_view>
 
+#include "crypto/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -53,6 +58,8 @@ inline void print_usage(const char* prog, const char* extra_usage = nullptr) {
                "  --devices N         override the bench's size sweep with N\n"
                "  --metrics-json PATH write merged metrics JSON to PATH\n"
                "  --trace-out PATH    write Chrome trace_event JSON to PATH\n"
+               "  --crypto-backend B  force the crypto backend "
+               "(scalar|simd|auto)\n"
                "  --help              show this message\n",
                prog);
   if (extra_usage != nullptr) std::fprintf(stderr, "%s", extra_usage);
@@ -85,6 +92,16 @@ inline BenchArgs parse(int argc, char** argv, const ExtraFlag& extra = {},
       args.metrics_json = value();
     } else if (std::strcmp(flag, "--trace-out") == 0) {
       args.trace_out = value();
+    } else if (std::strcmp(flag, "--crypto-backend") == 0) {
+      const char* name = value();
+      if (!crypto::set_active_backend(name)) {
+        std::fprintf(stderr, "unknown crypto backend '%s' (available:", name);
+        for (const auto* b : crypto::available_backends()) {
+          std::fprintf(stderr, " %s", b->name());
+        }
+        std::fprintf(stderr, " auto)\n");
+        std::exit(2);
+      }
     } else if (extra && extra(flag, value)) {
       // consumed by the bench's own flag table
     } else {

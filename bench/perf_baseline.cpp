@@ -21,8 +21,11 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "bench_args.hpp"
 #include "common/table.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/mac_cache.hpp"
 #include "crypto/tally.hpp"
@@ -32,6 +35,8 @@ namespace {
 
 constexpr std::uint32_t kDefaultDevices = 10'000;
 constexpr std::uint64_t kMacIters = 200'000;
+constexpr std::size_t kBatchJobs = 512;    // distinct per-device keys
+constexpr std::uint64_t kBatchIters = 400;  // passes over the batch
 
 /// Rate helper: integer ops/sec (0 when the timer was too coarse).
 std::int64_t per_sec(std::uint64_t ops, double sec) {
@@ -96,6 +101,61 @@ int main(int argc, char** argv) {
                kMacIters / oneshot_sec, kMacIters / cached_sec,
                oneshot_sec / cached_sec);
 
+  // ---- Workload 1b: batch MAC verify, lanes=1 vs lanes=N ----
+  // The same token-sized resumed HMAC pushed through the Backend batch
+  // API: once through the scalar reference (lanes=1) and once through the
+  // active backend (lanes=N on SIMD-capable hosts). The tally invariant
+  // makes both compression counters identical — CI asserts exactly that —
+  // while the wall.* gauges show the SIMD speedup. Counter names carry no
+  // backend name on purpose: the JSON must not depend on the host ISA.
+  std::vector<crypto::PrecomputedMac> batch_macs(kBatchJobs);
+  std::vector<Bytes> batch_prefixes(kBatchJobs);
+  for (std::size_t i = 0; i < kBatchJobs; ++i) {
+    Bytes k(20, static_cast<std::uint8_t>(i * 37 + 11));
+    k[0] = static_cast<std::uint8_t>(i);
+    k[1] = static_cast<std::uint8_t>(i >> 8);
+    batch_macs[i].init(crypto::HashAlg::kSha1, k);
+    batch_prefixes[i] = Bytes(20, static_cast<std::uint8_t>(i * 101 + 7));
+  }
+  std::vector<crypto::MacJob> batch_jobs(kBatchJobs);
+  for (std::size_t i = 0; i < kBatchJobs; ++i) {
+    batch_jobs[i] = {&batch_macs[i], batch_prefixes[i], BytesView(chal_le, 4)};
+  }
+  std::vector<crypto::MacBuf> batch_out(kBatchJobs);
+
+  const crypto::Backend& lanes1 = crypto::scalar_backend();
+  crypto::reset_compression_tally();
+  const benchargs::WallTimer lanes1_wall;
+  for (std::uint64_t it = 0; it < kBatchIters; ++it) {
+    lanes1.hmac_batch(batch_jobs.data(), kBatchJobs, batch_out.data());
+  }
+  const double lanes1_sec = lanes1_wall.sec();
+  const std::uint64_t lanes1_comp = crypto::compression_calls_executed();
+
+  const crypto::Backend& lanesN = crypto::active_backend();
+  crypto::reset_compression_tally();
+  const benchargs::WallTimer lanesN_wall;
+  for (std::uint64_t it = 0; it < kBatchIters; ++it) {
+    lanesN.hmac_batch(batch_jobs.data(), kBatchJobs, batch_out.data());
+  }
+  const double lanesN_sec = lanesN_wall.sec();
+  const std::uint64_t lanesN_comp = crypto::compression_calls_executed();
+
+  const std::uint64_t batch_total = kBatchJobs * kBatchIters;
+  reg.counter("mac.batch_iterations").inc(batch_total);
+  reg.counter("mac.batch_lanes1_compressions").inc(lanes1_comp);
+  reg.counter("mac.batch_lanesN_compressions").inc(lanesN_comp);
+  reg.gauge("wall.batch_lanes1_macs_per_sec")
+      .set(per_sec(batch_total, lanes1_sec));
+  reg.gauge("wall.batch_lanesN_macs_per_sec")
+      .set(per_sec(batch_total, lanesN_sec));
+  std::fprintf(stderr,
+               "wall: batch macs lanes1[%s]=%.0f/s lanesN[%s x%zu]=%.0f/s "
+               "(x%.2f)\n",
+               lanes1.name(), batch_total / lanes1_sec, lanesN.name(),
+               lanesN.lanes(crypto::HashAlg::kSha1),
+               batch_total / lanesN_sec, lanes1_sec / lanesN_sec);
+
   // ---- Workload 2: SAP rounds on the classic engine ----
   // Two rounds: round 1 populates the payload freelist, round 2 is the
   // steady state. Pool tallies reset at each round start, so the
@@ -140,6 +200,9 @@ int main(int argc, char** argv) {
   table.add_row({"mac.iterations", Table::count(kMacIters)});
   table.add_row({"mac.oneshot_compressions", Table::count(oneshot_comp)});
   table.add_row({"mac.cached_compressions", Table::count(cached_comp)});
+  table.add_row({"mac.batch_iterations", Table::count(batch_total)});
+  table.add_row({"mac.batch_lanes1_compressions", Table::count(lanes1_comp)});
+  table.add_row({"mac.batch_lanesN_compressions", Table::count(lanesN_comp)});
   table.add_row({"sap.devices", Table::count(devices)});
   table.add_row({"sap.compression_calls", Table::count(round_comp)});
   table.add_row({"sap.events_dispatched", Table::count(dispatched)});

@@ -1,0 +1,128 @@
+#include "crypto/backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "crypto/ct.hpp"
+#include "crypto/sha_mb.hpp"
+
+namespace cra::crypto {
+namespace {
+
+/// The reference implementation: the from-scratch scalar hashes, one
+/// message at a time. Every other backend must be digest- and
+/// tally-equivalent to this one.
+class ScalarBackend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "scalar"; }
+
+  std::size_t lanes(HashAlg) const noexcept override { return 1; }
+
+  void sha1_batch(const BytesView* msgs, std::size_t n,
+                  Sha1::Digest* out) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = Sha1::digest(msgs[i]);
+  }
+
+  void sha256_batch(const BytesView* msgs, std::size_t n,
+                    Sha256::Digest* out) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = Sha256::digest(msgs[i]);
+  }
+
+  void hmac_batch(const MacJob* jobs, std::size_t n,
+                  MacBuf* out) const override {
+    for (std::size_t i = 0; i < n; ++i) {
+      jobs[i].mac->mac_into(jobs[i].prefix, jobs[i].suffix, out[i]);
+    }
+  }
+};
+
+std::atomic<const Backend*> g_active{nullptr};
+
+const Backend* best_available() {
+  const auto& all = available_backends();
+  return all.back();  // registration order: scalar first, fastest last
+}
+
+const Backend* resolve_from_env() {
+  const char* env = std::getenv("CRA_CRYPTO_BACKEND");
+  if (env == nullptr || *env == '\0' ||
+      std::string_view(env) == "auto") {
+    return best_available();
+  }
+  if (const Backend* b = backend_by_name(env)) return b;
+  std::fprintf(stderr,
+               "CRA_CRYPTO_BACKEND=%s: unknown or unavailable backend, "
+               "falling back to auto (%s)\n",
+               env, best_available()->name());
+  return best_available();
+}
+
+}  // namespace
+
+std::size_t Backend::verify_tokens_batch(const VerifyJob* jobs, std::size_t n,
+                                         std::uint8_t* ok) const {
+  constexpr std::size_t kChunk = 256;
+  MacBuf outs[kChunk];
+  MacJob macs[kChunk];
+  std::size_t matches = 0;
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t i = 0; i < m; ++i) {
+      macs[i] = MacJob{jobs[base + i].mac, jobs[base + i].prefix,
+                       jobs[base + i].suffix};
+    }
+    hmac_batch(macs, m, outs);
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool match = ct_equal(outs[i].view(), jobs[base + i].expect);
+      if (ok != nullptr) ok[base + i] = match ? 1 : 0;
+      matches += match ? 1 : 0;
+    }
+  }
+  return matches;
+}
+
+const Backend& scalar_backend() noexcept {
+  static const ScalarBackend backend;
+  return backend;
+}
+
+const std::vector<const Backend*>& available_backends() {
+  static const std::vector<const Backend*> backends = [] {
+    std::vector<const Backend*> v;
+    v.push_back(&scalar_backend());
+#if defined(CRA_HAVE_SHA_MB)
+    if (const Backend* simd = mb::simd_backend_or_null()) v.push_back(simd);
+#endif
+    return v;
+  }();
+  return backends;
+}
+
+const Backend* backend_by_name(std::string_view name) noexcept {
+  for (const Backend* b : available_backends()) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+const Backend& active_backend() noexcept {
+  const Backend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    b = resolve_from_env();
+    // Several threads may race the first resolution; they all compute
+    // the same answer, so any winner is fine.
+    g_active.store(b, std::memory_order_release);
+  }
+  return *b;
+}
+
+bool set_active_backend(std::string_view name) noexcept {
+  const Backend* b =
+      name == "auto" ? best_available() : backend_by_name(name);
+  if (b == nullptr) return false;
+  g_active.store(b, std::memory_order_release);
+  return true;
+}
+
+}  // namespace cra::crypto

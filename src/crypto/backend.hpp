@@ -1,0 +1,118 @@
+// Pluggable crypto backends with batch MAC/verify APIs.
+//
+// The from-scratch scalar SHA-1/SHA-256 path (sha1.cpp / sha256.cpp)
+// stays the reference implementation; a Backend bundles it — or an
+// accelerated multi-lane engine — behind one interface so hot paths can
+// hash many independent messages per instruction stream. The shape is
+// modeled on lokinet's `Crypto` abstraction (llarp/crypto/crypto.hpp):
+// one virtual interface, concrete backends registered at startup, call
+// sites pinned to `active_backend()`.
+//
+// The verifier's workload is embarrassingly parallel: SAP's
+// expected-token computation and SEDA's hop-by-hop report checks are
+// thousands of independent HMACs under per-device keys. The batch entry
+// points (`hmac_batch`, `verify_tokens_batch`) expose that shape; the
+// SIMD backend (backend_simd.cpp, x86-64 only) packs 4 (SSE2) or 8
+// (AVX2, runtime-dispatched) message schedules per stream and falls back
+// to the scalar path for remainder lanes and odd-length groups.
+//
+// Invariants every backend must preserve:
+//   * Identical digests to the scalar reference for every input.
+//   * Identical crypto::tally accounting: one logical compression per
+//     lane-message block, regardless of how many lanes share a stream.
+//     BENCH_perf.json counters and all metrics exports are therefore
+//     byte-identical across backends and thread counts.
+//
+// Backend selection: the CRA_CRYPTO_BACKEND environment variable
+// ("scalar", "simd", or "auto"/unset = best available) is read on first
+// use; set_active_backend() overrides it programmatically (benches
+// expose it as --crypto-backend).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/mac_cache.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cra::crypto {
+
+/// One resumed-HMAC job: the digest of `prefix || suffix` under the
+/// midstate-cached key held by `mac` (which must be ready()). All jobs
+/// of one batch call must share the same HashAlg.
+struct MacJob {
+  const PrecomputedMac* mac = nullptr;
+  BytesView prefix;
+  BytesView suffix;
+};
+
+/// One token-verification job: recompute the expected MAC and compare it
+/// against `expect` in constant time per lane.
+struct VerifyJob {
+  const PrecomputedMac* mac = nullptr;
+  BytesView prefix;
+  BytesView suffix;
+  BytesView expect;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend() = default;
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Independent message schedules per instruction stream for `alg`
+  /// (1 = scalar). Batch callers need no awareness of this — remainder
+  /// lanes fall back to scalar inside the backend — but benches report
+  /// it and CI asserts the lanes=1 vs lanes=N counters agree.
+  virtual std::size_t lanes(HashAlg alg) const noexcept = 0;
+
+  /// One-shot hash batches: out[i] = H(msgs[i]). Lengths may differ
+  /// across jobs; backends group compatible lengths internally.
+  virtual void sha1_batch(const BytesView* msgs, std::size_t n,
+                          Sha1::Digest* out) const = 0;
+  virtual void sha256_batch(const BytesView* msgs, std::size_t n,
+                            Sha256::Digest* out) const = 0;
+
+  /// Resumed-HMAC batch over midstate-cached keys: out[i] receives
+  /// digest_size(alg) bytes. Midstate-cache aware: the two pad-block
+  /// compressions stay amortized exactly as in PrecomputedMac::mac_into.
+  virtual void hmac_batch(const MacJob* jobs, std::size_t n,
+                          MacBuf* out) const = 0;
+
+  /// Batch token verification: ok[i] = 1 iff the recomputed MAC equals
+  /// jobs[i].expect (constant-time compare per job). Returns the number
+  /// of matches. `ok` may be nullptr when only the count is wanted.
+  std::size_t verify_tokens_batch(const VerifyJob* jobs, std::size_t n,
+                                  std::uint8_t* ok) const;
+};
+
+/// The from-scratch reference backend; always registered.
+const Backend& scalar_backend() noexcept;
+
+/// All backends compiled into this binary, scalar first. The SIMD
+/// backend appears only on x86-64 builds (SSE2 baseline; 8-lane AVX2
+/// engaged by runtime CPU dispatch).
+const std::vector<const Backend*>& available_backends();
+
+/// Lookup by name ("scalar", "simd"); nullptr when absent.
+const Backend* backend_by_name(std::string_view name) noexcept;
+
+/// Process-wide active backend. First call resolves CRA_CRYPTO_BACKEND
+/// ("scalar" | "simd" | "auto"/unset = fastest available; an unknown or
+/// unavailable name warns on stderr and falls back to auto).
+const Backend& active_backend() noexcept;
+
+/// Force the active backend; returns false (and changes nothing) when
+/// `name` does not resolve. "auto" restores best-available selection.
+bool set_active_backend(std::string_view name) noexcept;
+
+}  // namespace cra::crypto

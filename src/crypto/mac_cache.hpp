@@ -96,6 +96,12 @@ class PrecomputedHmac {
     return Hmac<H>::compression_calls(message_len) - 2;
   }
 
+  /// Raw chaining values after the ipad/opad block — the lane state the
+  /// batch backends (crypto/backend.hpp) resume from. Key-derived
+  /// secrets: treat like the key itself.
+  const typename H::State& inner_midstate() const noexcept { return inner_; }
+  const typename H::State& outer_midstate() const noexcept { return outer_; }
+
  private:
   typename H::State inner_{};
   typename H::State outer_{};
@@ -153,6 +159,15 @@ class PrecomputedMac {
     MacBuf buf;
     mac_into(prefix, suffix, buf);
     return Bytes(buf.bytes.begin(), buf.bytes.begin() + buf.len);
+  }
+
+  /// The algorithm-specific midstate caches, for the batch backends'
+  /// lane packing. Only the member matching alg() holds live midstates.
+  [[nodiscard]] const PrecomputedHmacSha1& sha1() const noexcept {
+    return sha1_;
+  }
+  [[nodiscard]] const PrecomputedHmacSha256& sha256() const noexcept {
+    return sha256_;
   }
 
   /// Compression calls a resumed MAC over `message_len` bytes executes.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/chacha20.hpp"
 #include "obs/trace.hpp"
 #include "crypto/ct.hpp"
@@ -375,11 +376,14 @@ Bytes SedaSimulation::report_payload(net::NodeId id, std::uint32_t total,
 
 bool SedaSimulation::report_authentic(net::NodeId child,
                                       BytesView payload) const {
-  // Verified with the PARENT's half of the key.
+  // Verified with the PARENT's half of the key, through the active
+  // crypto backend (a batch of one falls back to the scalar reference,
+  // so the work tally is the same either way).
   if (payload.size() != config_.report_size()) return false;
+  const crypto::MacJob job{&mac_at_parent_[child],
+                           BytesView(payload.data(), 8), round_nonce_};
   crypto::MacBuf expected;
-  mac_at_parent_[child].mac_into(BytesView(payload.data(), 8), round_nonce_,
-                                 expected);
+  crypto::active_backend().hmac_batch(&job, 1, &expected);
   return crypto::ct_equal(
       BytesView(payload.data() + 8, config_.report_mac_size),
       BytesView(expected.bytes.data(), config_.report_mac_size));
@@ -493,6 +497,7 @@ SedaRoundReport SedaSimulation::run_round() {
     d.total = 0;
     d.passed = 0;
     d.got_children.clear();
+    d.pending.clear();
     d.deadline = sim::EventHandle();
   }
   root_done_ = false;
@@ -640,23 +645,70 @@ void SedaSimulation::handle_report(net::NodeId id, const net::Message& msg) {
   }
   d.got_children.push_back(child);
   // Hop-by-hop verification: the parent authenticates every child report
-  // with the pairwise key before aggregating. The MAC check costs CPU
-  // time; aggregation happens once it completes.
-  const Bytes payload = msg.payload;
+  // with the pairwise key before aggregating. The MAC check costs
+  // simulated CPU time per report; the host-side computation is queued
+  // so overlapping checks at one parent resolve as a single backend
+  // batch when the first one completes (SEDA aggregation hot path).
+  d.pending.push_back({child, Bytes(msg.payload.begin(), msg.payload.end()),
+                       /*checked=*/false, /*ok=*/false});
   const sim::Duration verify =
       mac_time(config_, config_.report_size() + config_.nonce_size);
-  sched(id).schedule_after(verify, [this, id, child, payload] {
-    Dev& dd = dev(id);
-    if (dd.sent) return;
-    if (!report_authentic(child, payload)) {
-      mac_failure_counter(id).inc();  // forged/tampered report: drop it
-    } else {
-      dd.total += read_u32le(payload, 0);
-      dd.passed += read_u32le(payload, 4);
+  sched(id).schedule_after(verify,
+                           [this, id, child] { finish_report_check(id, child); });
+}
+
+void SedaSimulation::verify_pending_batch(net::NodeId id) {
+  Dev& d = dev(id);
+  // Wrong-sized payloads fail without a MAC computation, exactly as the
+  // serial report_authentic() short-circuited (zero compressions).
+  std::vector<Dev::PendingReport*> todo;
+  todo.reserve(d.pending.size());
+  for (auto& p : d.pending) {
+    if (p.checked) continue;
+    if (p.payload.size() != config_.report_size()) {
+      p.checked = true;
+      p.ok = false;
+      continue;
     }
-    if (dd.waiting > 0) --dd.waiting;
-    try_forward(id);
-  });
+    todo.push_back(&p);
+  }
+  if (todo.empty()) return;
+  std::vector<crypto::MacJob> jobs(todo.size());
+  std::vector<crypto::MacBuf> outs(todo.size());
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    jobs[i] = {&mac_at_parent_[todo[i]->child],
+               BytesView(todo[i]->payload.data(), 8), round_nonce_};
+  }
+  crypto::active_backend().hmac_batch(jobs.data(), jobs.size(), outs.data());
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    todo[i]->checked = true;
+    todo[i]->ok = crypto::ct_equal(
+        BytesView(todo[i]->payload.data() + 8, config_.report_mac_size),
+        BytesView(outs[i].bytes.data(), config_.report_mac_size));
+  }
+}
+
+void SedaSimulation::finish_report_check(net::NodeId id, net::NodeId child) {
+  Dev& dd = dev(id);
+  if (dd.sent) return;
+  const auto it =
+      std::find_if(dd.pending.begin(), dd.pending.end(),
+                   [child](const Dev::PendingReport& p) {
+                     return p.child == child;
+                   });
+  if (it == dd.pending.end()) return;
+  if (!it->checked) verify_pending_batch(id);
+  const bool ok = it->ok;
+  const Bytes payload = std::move(it->payload);
+  dd.pending.erase(it);
+  if (!ok) {
+    mac_failure_counter(id).inc();  // forged/tampered report: drop it
+  } else {
+    dd.total += read_u32le(payload, 0);
+    dd.passed += read_u32le(payload, 4);
+  }
+  if (dd.waiting > 0) --dd.waiting;
+  try_forward(id);
 }
 
 void SedaSimulation::try_forward(net::NodeId id) {

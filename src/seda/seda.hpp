@@ -197,6 +197,18 @@ class SedaSimulation {
     std::uint32_t passed = 0;
     std::vector<net::NodeId> got_children;
     sim::EventHandle deadline;
+    // Child reports whose modelled MAC-verify time is still running.
+    // When the first verify completes, every queued entry is checked in
+    // one crypto-backend batch (the simulated cost stays per-report; only
+    // the host-side computation is batched). Device state is
+    // shard-confined, so the list needs no synchronization.
+    struct PendingReport {
+      net::NodeId child = 0;
+      Bytes payload;
+      bool checked = false;
+      bool ok = false;
+    };
+    std::vector<PendingReport> pending;
   };
 
   Dev& dev(net::NodeId id) { return devices_[id - 1]; }
@@ -244,6 +256,8 @@ class SedaSimulation {
   void handle_request(net::NodeId id, const net::Message& msg);
   void self_attested(net::NodeId id);
   void handle_report(net::NodeId id, const net::Message& msg);
+  void verify_pending_batch(net::NodeId id);
+  void finish_report_check(net::NodeId id, net::NodeId child);
   void try_forward(net::NodeId id);
   void flush(net::NodeId id);
   void send_report(net::NodeId id);
