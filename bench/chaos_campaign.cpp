@@ -25,6 +25,8 @@
 #include "bench_args.hpp"
 #include "common/table.hpp"
 #include "fault/plan.hpp"
+#include "net/mobility.hpp"
+#include "pads/pads.hpp"
 #include "sap/swarm.hpp"
 
 namespace {
@@ -108,6 +110,80 @@ CellResult run_cell(std::uint32_t devices, double churn,
   return cell;
 }
 
+struct PadsCellResult {
+  double completion = 0.0;       // mean over rounds (present devices only)
+  double false_untrusted = 0.0;  // healthy-but-untrusted / (rounds * present)
+  double consensus_sec = 0.0;    // mean time-to-consensus
+  std::uint64_t rejected = 0;    // gossip dropped by token checks
+};
+
+/// PADS under the same churn stream, plus actual mobility: when churn is
+/// nonzero the cell also replays a seeded waypoint rewire schedule, so
+/// the gossip reroutes mid-round. The zero-churn cell is the static
+/// clean-network control the CI smoke asserts completion == 1.0 on.
+PadsCellResult run_pads_cell(std::uint32_t devices, double churn, int rounds,
+                             std::uint32_t threads, std::uint64_t seed,
+                             benchargs::ObsSession& obs) {
+  pads::PadsConfig cfg;
+  cfg.pmem_size = 8 * 1024;
+  cfg.sim.threads = threads;
+  cfg.sim.shards = 8;  // fixed shard count: table identical at any threads
+  auto sim = pads::PadsSimulation::balanced(cfg, devices, seed);
+
+  const pads::PadsRoundReport baseline = sim.run_round();
+  sim.advance_time(sim::Duration::from_ms(100));
+  const double round_sec = baseline.total_time().sec();
+
+  fault::FaultPlan::ChurnProfile profile;
+  profile.leave_rate = churn;
+  profile.join_rate = churn * 0.5;
+  profile.crash_rate = churn * 0.5;
+  const sim::SimTime start = sim.current_time();
+  const sim::SimTime end =
+      start + sim::Duration::from_sec(round_sec * 2.0 * rounds);
+  sim.attach_fault_plan(
+      fault::FaultPlan::churn(seed, sim.tree(), start, end, profile));
+
+  char prefix[96];
+  std::snprintf(prefix, sizeof prefix, "pads/n=%u/churn=%.4f/", devices,
+                churn);
+
+  net::MobilityConfig mcfg;
+  PadsCellResult cell;
+  for (int i = 0; i < rounds; ++i) {
+    if (churn > 0.0) {
+      const sim::SimTime t0 = sim.current_time();
+      sim.set_rewire_schedule(net::mobility_schedule(
+          devices, mcfg, seed + static_cast<std::uint64_t>(i), t0,
+          t0 + sim::Duration::from_sec(round_sec)));
+    }
+    const pads::PadsRoundReport r = sim.run_round();
+    cell.completion += r.completion();
+    cell.false_untrusted +=
+        r.present == 0 ? 0.0
+                       : static_cast<double>(r.false_untrusted) /
+                             static_cast<double>(r.present);
+    cell.consensus_sec += r.time_to_consensus().sec();
+    cell.rejected += r.token_failures;
+    obs.capture(sim.metrics(), prefix);
+    sim.advance_time(sim::Duration::from_ms(100));
+  }
+  cell.completion /= rounds;
+  cell.false_untrusted /= rounds;
+  cell.consensus_sec /= rounds;
+
+  obs::MetricsRegistry summary;
+  summary.gauge("chaos.pads.completion_ppm")
+      .max_in(static_cast<std::int64_t>(cell.completion * 1e6 + 0.5));
+  summary.gauge("chaos.pads.false_untrusted_ppm")
+      .max_in(static_cast<std::int64_t>(cell.false_untrusted * 1e6 + 0.5));
+  summary.gauge("chaos.pads.consensus_ms")
+      .max_in(static_cast<std::int64_t>(cell.consensus_sec * 1e3 + 0.5));
+  summary.counter("chaos.pads.rejected_total").inc(cell.rejected);
+  obs.capture(summary, prefix);
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +254,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  Table pads_table({"devices", "churn", "mobility", "completion",
+                    "false-untrusted", "t-consensus (s)", "rejected"});
+  for (std::uint32_t n : sizes) {
+    for (double churn : churns) {
+      const PadsCellResult cell =
+          run_pads_cell(n, churn, rounds, args.threads, seed, obs);
+      pads_table.add_row({std::to_string(n), Table::num(churn, 4),
+                          churn > 0.0 ? "waypoint" : "static",
+                          Table::num(cell.completion, 4),
+                          Table::num(cell.false_untrusted, 4),
+                          Table::num(cell.consensus_sec),
+                          std::to_string(cell.rejected)});
+      if (churn == 0.0 && cell.completion < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: PADS completion %.4f < 1.0 at zero churn\n",
+                     cell.completion);
+        return 1;
+      }
+    }
+  }
+
   std::printf("Chaos campaign - SAP adaptive timeouts under churn "
               "(%d rounds per cell, seed %llu)\n\n",
               rounds, static_cast<unsigned long long>(seed));
@@ -186,6 +283,13 @@ int main(int argc, char** argv) {
               "silent devices surface as\n`unreachable` in the degraded "
               "report, false-untrusted stays 0, and round time\ninflates "
               "only by the bounded backoff budget.\n");
+  std::printf("\nPADS under the same churn (plus waypoint mobility when "
+              "churn > 0):\n\n");
+  std::printf("%s", pads_table.to_string().c_str());
+  std::printf("\nPADS counts completion against the devices actually "
+              "present: a departed device\nshrinks the consensus target "
+              "instead of punching a hole in the report, so\ncompletion "
+              "holds near 1.0 while SAP's drops with the churn rate.\n");
   std::fprintf(stderr, "[chaos_campaign] wall %.2fs (threads=%u)\n",
                timer.sec(), args.threads);
   return 0;

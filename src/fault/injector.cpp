@@ -19,6 +19,8 @@ void FaultTally::count(FaultKind kind) noexcept {
     case FaultKind::kLossSpike: ++loss_spikes; break;
     case FaultKind::kLossClear: ++loss_clears; break;
     case FaultKind::kClockSkew: ++clock_skews; break;
+    case FaultKind::kLeave: ++leaves; break;
+    case FaultKind::kJoin: ++joins; break;
   }
 }
 
@@ -35,6 +37,8 @@ const char* fault_metric_name(FaultKind kind) noexcept {
     case FaultKind::kLossSpike: return "fault.loss_spikes";
     case FaultKind::kLossClear: return "fault.loss_clears";
     case FaultKind::kClockSkew: return "fault.clock_skews";
+    case FaultKind::kLeave: return "fault.leaves";
+    case FaultKind::kJoin: return "fault.joins";
   }
   return "fault.unknown";
 }

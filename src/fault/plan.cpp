@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -21,6 +22,8 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kLossSpike: return "loss";
     case FaultKind::kLossClear: return "loss-clear";
     case FaultKind::kClockSkew: return "skew";
+    case FaultKind::kLeave: return "leave";
+    case FaultKind::kJoin: return "join";
   }
   return "?";
 }
@@ -183,6 +186,24 @@ FaultPlan& FaultPlan::clock_skew(sim::SimTime at, net::NodeId device,
   return *this;
 }
 
+FaultPlan& FaultPlan::leave(sim::SimTime at, net::NodeId device) {
+  add(at, FaultKind::kLeave).device = device;
+  return *this;
+}
+
+FaultPlan& FaultPlan::join(sim::SimTime at, net::NodeId device) {
+  add(at, FaultKind::kJoin).device = device;
+  return *this;
+}
+
+FaultPlan& FaultPlan::leave_for(sim::SimTime at, net::NodeId device,
+                                sim::Duration absence) {
+  FaultEvent& ev = add(at, FaultKind::kLeave);
+  ev.device = device;
+  ev.duration = absence;
+  return join(at + absence, device);
+}
+
 const std::vector<FaultEvent>& FaultPlan::events() const {
   if (!sorted_) {
     std::stable_sort(events_.begin(), events_.end(),
@@ -201,6 +222,8 @@ const std::vector<FaultEvent>& FaultPlan::events() const {
 //   @<time> reboot <device>
 //   @<time> sleep <device>
 //   @<time> wake <device>
+//   @<time> leave <device>
+//   @<time> join <device>
 //   @<time> link-down <a> <b>
 //   @<time> link-up <a> <b>
 //   @<time> partition <nodes>      nodes: comma list with ranges, 3,9-12
@@ -353,6 +376,8 @@ std::string FaultPlan::format() const {
       case FaultKind::kReboot:
       case FaultKind::kSleep:
       case FaultKind::kWake:
+      case FaultKind::kLeave:
+      case FaultKind::kJoin:
         out += ' ';
         out += std::to_string(ev.device);
         break;
@@ -427,6 +452,12 @@ FaultPlan FaultPlan::parse(std::string_view text) {
     } else if (kind == "wake") {
       want(1);
       plan.wake(at, parse_node(toks[2], line_no));
+    } else if (kind == "leave") {
+      want(1);
+      plan.leave(at, parse_node(toks[2], line_no));
+    } else if (kind == "join") {
+      want(1);
+      plan.join(at, parse_node(toks[2], line_no));
     } else if (kind == "link-down") {
       want(2);
       plan.link_down(at, parse_node(toks[2], line_no),
@@ -483,6 +514,20 @@ FaultPlan FaultPlan::churn(std::uint64_t seed, const net::Tree& tree,
     if (rng.next_bool(expected - static_cast<double>(n))) ++n;
     return n;
   };
+  // Knuth's inversion sampler: exact Poisson counts from the plan's own
+  // pre-seeded stream, so membership churn replays identically on both
+  // engines. Fine for the mean values churn sweeps use (< ~30/period).
+  auto poisson = [&](double mean) -> std::uint64_t {
+    if (mean <= 0.0) return 0;
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.next_double();
+    } while (p > limit);
+    return k - 1;
+  };
   auto downtime = [&]() {
     const std::int64_t span =
         profile.max_downtime.ns() - profile.min_downtime.ns();
@@ -509,6 +554,20 @@ FaultPlan FaultPlan::churn(std::uint64_t seed, const net::Tree& tree,
       const net::NodeId device = static_cast<net::NodeId>(
           rng.next_range(1, devices));
       plan.sleep_for(jitter(), device, downtime());
+    }
+    const std::uint64_t leaves =
+        poisson(profile.leave_rate * static_cast<double>(devices));
+    for (std::uint64_t i = 0; i < leaves; ++i) {
+      const net::NodeId device = static_cast<net::NodeId>(
+          rng.next_range(1, devices));
+      plan.leave_for(jitter(), device, downtime());
+    }
+    const std::uint64_t joins =
+        poisson(profile.join_rate * static_cast<double>(devices));
+    for (std::uint64_t i = 0; i < joins; ++i) {
+      const net::NodeId device = static_cast<net::NodeId>(
+          rng.next_range(1, devices));
+      plan.join(jitter(), device);
     }
     if (profile.partition_rate > 0.0 && devices > 1 &&
         rng.next_bool(profile.partition_rate)) {

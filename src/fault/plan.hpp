@@ -43,6 +43,9 @@ enum class FaultKind : std::uint8_t {
   kLossSpike,  // network-wide loss rate jumps to `rate`
   kLossClear,  // loss rate returns to the configured baseline
   kClockSkew,  // a device's secure clock drifts by `skew_ns`
+  kLeave,      // device departs the swarm (mobility churn; excluded from
+               // membership until it joins again)
+  kJoin,       // the device (re)joins the swarm
 };
 
 const char* fault_kind_name(FaultKind kind) noexcept;
@@ -103,6 +106,11 @@ class FaultPlan {
                             sim::Duration downtime);
   FaultPlan& clock_skew(sim::SimTime at, net::NodeId device,
                         sim::Duration skew);
+  FaultPlan& leave(sim::SimTime at, net::NodeId device);
+  FaultPlan& join(sim::SimTime at, net::NodeId device);
+  /// leave + join `absence` later.
+  FaultPlan& leave_for(sim::SimTime at, net::NodeId device,
+                       sim::Duration absence);
 
   /// Events sorted by (time, insertion order).
   const std::vector<FaultEvent>& events() const;
@@ -134,6 +142,17 @@ class FaultPlan {
     double loss_spike_rate = 0.0;
     double loss_spike = 0.2;
     sim::Duration loss_spike_duration = sim::Duration::from_ms(150);
+    /// Membership churn (mobility): expected fraction of the swarm
+    /// leaving per period. Unlike crash_rate's floor-plus-Bernoulli
+    /// resolution, the per-period event count is Poisson-distributed
+    /// with mean leave_rate * devices — departures are independent
+    /// arrivals, the textbook mobility model. Each leave pairs with a
+    /// join after a downtime drawn from [min_downtime, max_downtime].
+    double leave_rate = 0.0;
+    /// Expected fraction of the swarm (re)joining per period, also
+    /// Poisson-sampled. Standalone joins are idempotent on present
+    /// devices, so this models devices wandering back into radio range.
+    double join_rate = 0.0;
   };
 
   /// Generate a random churn timeline over `tree` for [start, end).

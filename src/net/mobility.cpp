@@ -1,0 +1,136 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cra::net {
+
+WaypointField::WaypointField(std::uint32_t devices, MobilityConfig config,
+                             std::uint64_t seed)
+    : config_(config), rng_(seed ^ 0x6d6f'7665ULL) {  // "move"
+  if (config_.speed < 0.0) {
+    throw std::invalid_argument("WaypointField: negative speed");
+  }
+  if (config_.step <= sim::Duration::zero()) {
+    throw std::invalid_argument("WaypointField: step must be positive");
+  }
+  if (config_.max_children == 0) {
+    throw std::invalid_argument("WaypointField: max_children must be >= 1");
+  }
+  const std::uint32_t nodes = devices + 1;
+  x_.resize(nodes);
+  y_.resize(nodes);
+  wx_.resize(nodes);
+  wy_.resize(nodes);
+  // Verifier pinned at the center of the deployment area.
+  x_[0] = wx_[0] = 0.5;
+  y_[0] = wy_[0] = 0.5;
+  for (NodeId n = 1; n < nodes; ++n) {
+    x_[n] = rng_.next_double();
+    y_[n] = rng_.next_double();
+    wx_[n] = rng_.next_double();
+    wy_[n] = rng_.next_double();
+  }
+}
+
+void WaypointField::advance(sim::Duration dt) {
+  if (dt <= sim::Duration::zero()) return;
+  const double seconds = static_cast<double>(dt.ns()) / 1e9;
+  double budgeted = config_.speed * seconds;  // distance each device covers
+  for (NodeId n = 1; n < nodes(); ++n) {
+    double remaining = budgeted;
+    // A fast device may pass through several waypoints in one step.
+    while (remaining > 0.0) {
+      const double dx = wx_[n] - x_[n];
+      const double dy = wy_[n] - y_[n];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist <= remaining) {
+        x_[n] = wx_[n];
+        y_[n] = wy_[n];
+        remaining -= dist;
+        wx_[n] = rng_.next_double();
+        wy_[n] = rng_.next_double();
+        if (dist == 0.0) break;  // degenerate waypoint; try again next step
+      } else {
+        x_[n] += dx / dist * remaining;
+        y_[n] += dy / dist * remaining;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+RewireStep WaypointField::snapshot(sim::SimTime at) const {
+  const std::uint32_t n = nodes();
+  // Attach order: distance from the verifier, ties on node id — devices
+  // near the verifier become the upper tree layers, exactly how a
+  // proximity mesh self-organizes.
+  std::vector<NodeId> order;
+  order.reserve(n - 1);
+  for (NodeId id = 1; id < n; ++id) order.push_back(id);
+  auto dist2_to_vrf = [&](NodeId id) {
+    const double dx = x_[id] - x_[0];
+    const double dy = y_[id] - y_[0];
+    return dx * dx + dy * dy;
+  };
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double da = dist2_to_vrf(a), db = dist2_to_vrf(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  // Greedy nearest-attached attachment under the degree bound. Because
+  // each node attaches to an already-placed one, positions come out in
+  // topological order (parent position < child position), which is
+  // exactly the Tree invariant.
+  std::vector<NodeId> parent(n, kNoNode);          // by position
+  std::vector<NodeId> device_at_position(n, 0);    // position -> node id
+  std::vector<std::uint32_t> child_count(n, 0);    // by position
+  device_at_position[0] = 0;
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const NodeId id = order[i];
+    const NodeId pos = static_cast<NodeId>(i + 1);
+    NodeId best = kNoNode;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (NodeId cand = 0; cand < pos; ++cand) {
+      if (child_count[cand] >= config_.max_children) continue;
+      const NodeId cand_id = device_at_position[cand];
+      const double dx = x_[id] - x_[cand_id];
+      const double dy = y_[id] - y_[cand_id];
+      const double d = dx * dx + dy * dy;
+      if (d < best_d) {
+        best_d = d;
+        best = cand;
+      }
+    }
+    // The degree bound cannot exhaust (k placed positions have used only
+    // k-1 child slots), but guard anyway rather than corrupt memory.
+    if (best == kNoNode) {
+      throw std::logic_error("WaypointField: no attachment slot free");
+    }
+    parent[pos] = best;
+    ++child_count[best];
+    device_at_position[pos] = id;
+  }
+  return RewireStep{at, Tree(std::move(parent)),
+                    std::move(device_at_position)};
+}
+
+std::vector<RewireStep> mobility_schedule(std::uint32_t devices,
+                                          const MobilityConfig& config,
+                                          std::uint64_t seed,
+                                          sim::SimTime start,
+                                          sim::SimTime end) {
+  WaypointField field(devices, config, seed);
+  std::vector<RewireStep> steps;
+  steps.push_back(field.snapshot(start));
+  for (sim::SimTime t = start + config.step; t < end; t += config.step) {
+    field.advance(config.step);
+    steps.push_back(field.snapshot(t));
+  }
+  return steps;
+}
+
+}  // namespace cra::net

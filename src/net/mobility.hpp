@@ -1,0 +1,90 @@
+// Mobility models for dynamic-topology attestation scenarios.
+//
+// SAP/SEDA assume the spanning tree is fixed for the life of a round;
+// PADS-class protocols are designed for swarms whose links rewire as
+// devices move. This module supplies the movement side of that axis:
+// a seeded random-waypoint field over the unit square (the standard
+// mobility model in the MANET literature) plus a deterministic rule
+// that derives a spanning tree from the current node positions.
+//
+// Everything here is a pure function of (seed, config): the field is
+// advanced on the driver thread between simulation slices, so the
+// resulting rewire schedule — and therefore every simulation that
+// replays it — is byte-identical on the serial and sharded engines at
+// any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace cra::net {
+
+struct MobilityConfig {
+  /// Movement speed in unit-square widths per simulated second. 0.05
+  /// means a device crosses the deployment area in ~20 s.
+  double speed = 0.05;
+  /// How often the topology is re-derived from positions (the rewire
+  /// cadence mid-round).
+  sim::Duration step = sim::Duration::from_ms(200);
+  /// Degree bound of the derived tree: a node accepts at most this many
+  /// children (keeps the topology in the paper's O(1)-degree regime).
+  std::uint32_t max_children = 4;
+};
+
+/// One topology change: at `at`, the swarm's links become `tree` with
+/// device `device_at_position[pos]` sitting at tree position `pos`
+/// (position 0 is always the verifier, device 0).
+struct RewireStep {
+  sim::SimTime at;
+  Tree tree;
+  std::vector<NodeId> device_at_position;
+};
+
+/// Seeded random-waypoint field over the unit square. The verifier
+/// (node 0) is pinned at the center; every device moves in a straight
+/// line toward a uniformly drawn waypoint, drawing the next one on
+/// arrival.
+class WaypointField {
+ public:
+  /// `devices` moving devices plus the pinned verifier.
+  WaypointField(std::uint32_t devices, MobilityConfig config,
+                std::uint64_t seed);
+
+  std::uint32_t nodes() const noexcept {
+    return static_cast<std::uint32_t>(x_.size());
+  }
+  double x(NodeId n) const { return x_.at(n); }
+  double y(NodeId n) const { return y_.at(n); }
+
+  /// Move every device for `dt` of simulated time (waypoints redraw
+  /// deterministically in node order on arrival).
+  void advance(sim::Duration dt);
+
+  /// Derive the current topology: devices attach nearest-first — nodes
+  /// sorted by distance from the verifier each link to the closest
+  /// already-attached node with spare child capacity. Deterministic
+  /// (ties break on node id) and always connected.
+  RewireStep snapshot(sim::SimTime at) const;
+
+ private:
+  MobilityConfig config_;
+  Rng rng_;
+  std::vector<double> x_, y_;    // current positions
+  std::vector<double> wx_, wy_;  // current waypoints
+};
+
+/// Precompute a whole round's rewire timeline: the field advances in
+/// `config.step` increments over [start, end) and snapshots after each
+/// step. The first entry is the initial topology at `start`. A pure
+/// function of (devices, config, seed, start, end).
+std::vector<RewireStep> mobility_schedule(std::uint32_t devices,
+                                          const MobilityConfig& config,
+                                          std::uint64_t seed,
+                                          sim::SimTime start,
+                                          sim::SimTime end);
+
+}  // namespace cra::net

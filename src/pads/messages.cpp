@@ -1,0 +1,70 @@
+#include "pads/messages.hpp"
+
+#include <limits>
+
+namespace cra::pads {
+
+void GossipMsg::encode_into(Bytes& out) const {
+  const std::size_t blocks = knowledge_blocks(devices);
+  out.reserve(out.size() + wire_size());
+  append_u32le(out, sender);
+  append_u32le(out, epoch);
+  append_u32le(out, devices);
+  out.push_back(static_cast<std::uint8_t>(token.size()));
+  out.insert(out.end(), token.begin(), token.end());
+  // encode() accepts vectors shorter than the declared width (treated as
+  // all-zero tail) so builders can stay sparse; the wire always carries
+  // full blocks.
+  for (std::size_t i = 0; i < blocks; ++i) {
+    append_u64le(out, i < known.size() ? known[i] : 0);
+  }
+  for (std::size_t i = 0; i < blocks; ++i) {
+    append_u64le(out, i < bad.size() ? bad[i] : 0);
+  }
+}
+
+Bytes GossipMsg::encode() const {
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+std::optional<GossipMsg> GossipMsg::decode(BytesView wire) {
+  GossipView view;
+  if (!GossipView::parse(wire, view)) return std::nullopt;
+  GossipMsg msg;
+  msg.sender = view.sender;
+  msg.epoch = view.epoch;
+  msg.devices = view.devices;
+  msg.token.assign(view.token.begin(), view.token.end());
+  const std::size_t blocks = view.blocks();
+  msg.known.resize(blocks);
+  msg.bad.resize(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    msg.known[i] = view.known_block(i);
+    msg.bad[i] = view.bad_block(i);
+  }
+  return msg;
+}
+
+bool GossipView::parse(BytesView wire, GossipView& out) noexcept {
+  if (wire.size() < 13) return false;
+  out.sender = read_u32le(wire, 0);
+  out.epoch = read_u32le(wire, 4);
+  out.devices = read_u32le(wire, 8);
+  // Guard the width before computing sizes: a hostile 0xffffffff width
+  // must not overflow the frame arithmetic.
+  if (out.devices > (std::numeric_limits<std::uint32_t>::max() >> 7)) {
+    return false;
+  }
+  const std::size_t token_len = wire[12];
+  const std::size_t blocks = knowledge_blocks(out.devices);
+  const std::size_t need = 13 + token_len + 16 * blocks;
+  if (wire.size() != need) return false;
+  out.token = wire.subspan(13, token_len);
+  out.known = wire.data() + 13 + token_len;
+  out.bad = out.known + 8 * blocks;
+  return true;
+}
+
+}  // namespace cra::pads

@@ -1,0 +1,664 @@
+#include "pads/pads.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "crypto/backend.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
+#include "pads/messages.hpp"
+
+namespace cra::pads {
+namespace {
+
+Bytes master_from_seed(std::uint64_t seed) {
+  crypto::SecureRandom rng(seed ^ 0x5041'4453'6d73'7472ULL);  // "PADSmstr"
+  return rng.bytes(32);
+}
+
+}  // namespace
+
+PadsSimulation::PadsSimulation(PadsConfig config, net::Tree tree,
+                               std::uint64_t seed)
+    : config_(config),
+      tree_(std::move(tree)),
+      scheduler_(),
+      network_(scheduler_, config.link),
+      master_(master_from_seed(seed)),
+      devices_(tree_.device_count()) {
+  if (config_.token_size == 0 ||
+      config_.token_size > crypto::digest_size(config_.alg)) {
+    throw std::invalid_argument(
+        "PadsConfig: token_size must be in [1, digest_size(alg)]");
+  }
+  dev_at_.resize(tree_.size());
+  pos_of_.resize(tree_.size());
+  for (net::NodeId n = 0; n < tree_.size(); ++n) {
+    dev_at_[n] = n;
+    pos_of_[n] = n;
+  }
+  // Every node — the verifier included — holds a self-attestation key
+  // provisioned at deployment; token authenticity is what gates merging.
+  vrf_mac_.init(config_.alg,
+                crypto::derive_device_key(
+                    master_, 0, crypto::digest_size(config_.alg), "pads-key"));
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    dev(id).mac.init(config_.alg,
+                     crypto::derive_device_key(
+                         master_, id, crypto::digest_size(config_.alg),
+                         "pads-key"));
+  }
+  present_.assign(tree_.size(), 1);
+  vrf_present_.assign(tree_.size(), 1);
+  blocks_ = knowledge_blocks(device_count());
+  network_.set_handler([this](const net::Message& m) { on_message(m); });
+  setup_engine();
+}
+
+PadsSimulation PadsSimulation::balanced(PadsConfig config,
+                                        std::uint32_t devices,
+                                        std::uint64_t seed) {
+  return PadsSimulation(
+      config, net::balanced_kary_tree(devices, config.tree_arity), seed);
+}
+
+void PadsSimulation::setup_engine() {
+  // Same sharding precondition as SAP/SEDA: the conservative lookahead
+  // is the per-hop processing latency, so zero-latency links pin the
+  // simulation to the classic single-queue engine.
+  if (!config_.sim.sharded() ||
+      config_.link.per_hop_latency <= sim::Duration::zero()) {
+    network_.bind_metrics(&metrics_);
+    merge_ctrs_ = {&metrics_.counter("pads.merges")};
+    reject_ctrs_ = {&metrics_.counter("pads.token_failures")};
+    return;
+  }
+  // Entities are device ids, NOT tree positions: a mid-round rewire
+  // reassigns positions but must not migrate device state across
+  // shards, so the shard map has to be keyed by the stable identity.
+  engine_ = std::make_unique<sim::ParallelScheduler>(
+      tree_.size(), config_.sim, config_.link.per_hop_latency);
+  network_.bind_metrics(nullptr);
+  shard_nets_.reserve(engine_->shard_count());
+  merge_ctrs_.reserve(engine_->shard_count());
+  reject_ctrs_.reserve(engine_->shard_count());
+  for (std::uint32_t s = 0; s < engine_->shard_count(); ++s) {
+    auto net = std::make_unique<net::Network>(engine_->shard(s), config_.link);
+    net->set_handler([this](const net::Message& m) { on_message(m); });
+    net->bind_metrics(&engine_->shard_metrics(s));
+    merge_ctrs_.push_back(&engine_->shard_metrics(s).counter("pads.merges"));
+    reject_ctrs_.push_back(
+        &engine_->shard_metrics(s).counter("pads.token_failures"));
+    net->set_router([this](net::Message m, sim::SimTime at) {
+      engine_->post(m.dst, at, [this, m = std::move(m)]() mutable {
+        on_message(m);
+        net_of(m.dst).recycle_payload(std::move(m.payload));
+      });
+    });
+    shard_nets_.push_back(std::move(net));
+  }
+}
+
+void PadsSimulation::sync_shard_networks() {
+  if (network_.has_tamper_hook()) {
+    throw std::logic_error(
+        "PadsSimulation: tamper hooks require the single-threaded engine "
+        "(construct with config.sim.threads == 1)");
+  }
+  for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    shard_nets_[s]->enable_per_link_accounting(network_.per_link_accounting());
+    shard_nets_[s]->reset_accounting();
+    if (network_.loss_rate() > 0.0) {
+      SplitMix64 mix(network_.loss_seed() +
+                     0x9e3779b97f4a7c15ULL * (s + 1) + rounds_run_);
+      shard_nets_[s]->set_loss_rate(network_.loss_rate(), mix.next());
+    } else {
+      shard_nets_[s]->set_loss_rate(0.0);
+    }
+  }
+}
+
+void PadsSimulation::run_to(sim::SimTime t) {
+  if (engine_) {
+    engine_->run_until(t);
+  } else {
+    scheduler_.run_until(t);
+  }
+}
+
+void PadsSimulation::compromise_device(net::NodeId id) {
+  dev(id).compromised = true;
+}
+
+void PadsSimulation::restore_device(net::NodeId id) {
+  dev(id).compromised = false;
+}
+
+void PadsSimulation::set_device_unresponsive(net::NodeId id,
+                                             bool unresponsive) {
+  dev(id).unresponsive = unresponsive;
+}
+
+void PadsSimulation::rebuild_topology(
+    net::Tree tree, std::vector<net::NodeId> device_at_position) {
+  if (tree.device_count() != device_count() ||
+      device_at_position.size() != tree.size() ||
+      device_at_position[0] != 0) {
+    throw std::invalid_argument("rebuild_topology: shape mismatch");
+  }
+  std::vector<net::NodeId> new_pos(tree.size(), net::kNoNode);
+  for (net::NodeId pos = 0; pos < tree.size(); ++pos) {
+    const net::NodeId id = device_at_position[pos];
+    if (id >= tree.size() || new_pos[id] != net::kNoNode) {
+      throw std::invalid_argument("rebuild_topology: not a permutation");
+    }
+    new_pos[id] = pos;
+  }
+  // Safe mid-round: callers only reach here from the driver thread while
+  // the engine is quiescent (between run_until slices), and gossip
+  // consults the routing tables at send time.
+  tree_ = std::move(tree);
+  dev_at_ = std::move(device_at_position);
+  pos_of_ = std::move(new_pos);
+}
+
+void PadsSimulation::set_rewire_schedule(std::vector<net::RewireStep> steps) {
+  if (round_active_) {
+    throw std::logic_error("set_rewire_schedule: round in progress");
+  }
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const net::RewireStep& a, const net::RewireStep& b) {
+                     return a.at < b.at;
+                   });
+  rewires_ = std::move(steps);
+}
+
+void PadsSimulation::apply_rewire(const net::RewireStep& step) {
+  rebuild_topology(step.tree, step.device_at_position);
+}
+
+void PadsSimulation::advance_time(sim::Duration d) {
+  const sim::SimTime target = current_time() + d;
+  arm_faults(target);
+  run_to(target);
+}
+
+void PadsSimulation::attach_fault_plan(fault::FaultPlan plan) {
+  if (round_active_) {
+    throw std::logic_error("attach_fault_plan: round in progress");
+  }
+  faults_ = std::make_unique<fault::FaultInjector>(std::move(plan));
+}
+
+void PadsSimulation::clear_fault_plan() {
+  if (round_active_) {
+    throw std::logic_error("clear_fault_plan: round in progress");
+  }
+  faults_.reset();
+}
+
+void PadsSimulation::arm_faults(sim::SimTime horizon) {
+  if (!faults_) return;
+  faults_->arm_until(horizon, [this](const fault::FaultEvent& ev) {
+    fault::observe_event(metrics_, ev);
+    schedule_fault(ev);
+  });
+}
+
+void PadsSimulation::schedule_fault(const fault::FaultEvent& ev) {
+  using fault::FaultKind;
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kReboot:
+    case FaultKind::kSleep:
+    case FaultKind::kWake:
+    case FaultKind::kClockSkew: {
+      if (ev.device == 0 || ev.device > device_count()) {
+        throw std::out_of_range("fault plan: device id out of range");
+      }
+      if (ev.at <= current_time()) {
+        apply_device_fault(ev);
+      } else {
+        sched(ev.device).schedule_at(ev.at,
+                                     [this, ev] { apply_device_fault(ev); });
+      }
+      break;
+    }
+    case FaultKind::kLeave:
+    case FaultKind::kJoin: {
+      if (ev.device == 0 || ev.device > device_count()) {
+        throw std::out_of_range("fault plan: device id out of range");
+      }
+      const net::NodeId id = ev.device;
+      const std::uint8_t present = ev.kind == FaultKind::kJoin ? 1 : 0;
+      // Two views, two events, both scheduled now (engine idle) so
+      // neither is a cross-shard post: the device's shard owns the
+      // authoritative flag, and the verifier's shard keeps its own
+      // mirror so the consensus check never reads cross-shard state.
+      auto apply_dev = [this, id, present] { present_[id] = present; };
+      auto apply_vrf = [this, id, present] {
+        vrf_present_[id] = present;
+        // A departure can shrink the consensus target to exactly what
+        // the verifier already covers; a join can grow it past what a
+        // latched verdict covered, which revokes the verdict until
+        // gossip catches back up.
+        if (consensus_reached_ && !verifier_covered()) {
+          consensus_reached_ = false;
+        }
+        note_verifier_progress(sched(0).now());
+      };
+      if (ev.at <= current_time()) {
+        apply_dev();
+        apply_vrf();
+      } else {
+        sched(id).schedule_at(ev.at, apply_dev);
+        sched(0).schedule_at(ev.at, apply_vrf);
+      }
+      break;
+    }
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      if (ev.device >= tree_.size() || ev.peer >= tree_.size()) {
+        throw std::out_of_range("fault plan: link endpoint out of range");
+      }
+      // Plans name tree POSITIONS; under mobility a position is a place,
+      // not a device, so the outage binds to whoever occupies the
+      // endpoints when the event is armed.
+      const net::NodeId a = dev_at_[ev.device];
+      const net::NodeId b = dev_at_[ev.peer];
+      const bool down = ev.kind == FaultKind::kLinkDown;
+      apply_link(a, b, down, ev.at);
+      apply_link(b, a, down, ev.at);
+      break;
+    }
+    case FaultKind::kPartition:
+    case FaultKind::kHeal: {
+      for (net::NodeId pos : ev.island) {
+        if (pos >= tree_.size()) {
+          throw std::out_of_range("fault plan: island position out of range");
+        }
+      }
+      const bool down = ev.kind == FaultKind::kPartition;
+      for (const auto& [a, b] : fault::partition_cut(tree_, ev.island)) {
+        apply_link(dev_at_[a], dev_at_[b], down, ev.at);
+        apply_link(dev_at_[b], dev_at_[a], down, ev.at);
+      }
+      break;
+    }
+    case FaultKind::kLossSpike:
+      if (!loss_spiked_) {
+        baseline_loss_rate_ = network_.loss_rate();
+        baseline_loss_seed_ = network_.loss_seed();
+        loss_spiked_ = true;
+      }
+      apply_loss(ev.rate, ev.draw, ev.at);
+      break;
+    case FaultKind::kLossClear:
+      loss_spiked_ = false;
+      apply_loss(baseline_loss_rate_, baseline_loss_seed_, ev.at);
+      break;
+  }
+}
+
+void PadsSimulation::apply_device_fault(const fault::FaultEvent& ev) {
+  using fault::FaultKind;
+  Dev& d = dev(ev.device);
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+      // Volatile state is gone with the power: the knowledge vectors and
+      // this round's self-attestation. The device cannot re-attest until
+      // the next round, so it stays silent even after a reboot.
+      d.unresponsive = true;
+      d.attested = false;
+      std::fill_n(known_row(ev.device), blocks_, 0);
+      std::fill_n(bad_row(ev.device), blocks_, 0);
+      break;
+    case FaultKind::kReboot:
+    case FaultKind::kWake:
+      d.unresponsive = false;
+      break;
+    case FaultKind::kSleep:
+      d.unresponsive = true;
+      break;
+    case FaultKind::kClockSkew:
+      // PADS needs no synchronized clock: epochs are local timers.
+      break;
+    case FaultKind::kLeave:
+    case FaultKind::kJoin:
+      break;  // handled by schedule_fault's membership path
+    default:
+      break;
+  }
+}
+
+void PadsSimulation::apply_link(net::NodeId src, net::NodeId dst, bool down,
+                               sim::SimTime at) {
+  if (at <= current_time()) {
+    net_of(src).set_link_down(src, dst, down);
+    return;
+  }
+  sched(src).schedule_at(at, [this, src, dst, down] {
+    net_of(src).set_link_down(src, dst, down);
+  });
+}
+
+void PadsSimulation::apply_loss(double rate, std::uint64_t seed,
+                               sim::SimTime at) {
+  if (!engine_) {
+    if (at <= scheduler_.now()) {
+      network_.set_loss_rate(rate, seed);
+    } else {
+      scheduler_.schedule_at(
+          at, [this, rate, seed] { network_.set_loss_rate(rate, seed); });
+    }
+    return;
+  }
+  network_.set_loss_rate(rate, seed);
+  for (std::uint32_t s = 0; s < shard_nets_.size(); ++s) {
+    SplitMix64 mix(seed + 0x9e3779b97f4a7c15ULL * (s + 1) + rounds_run_);
+    const std::uint64_t shard_seed = mix.next();
+    if (at <= engine_->now()) {
+      shard_nets_[s]->set_loss_rate(rate, shard_seed);
+    } else {
+      engine_->shard(s).schedule_at(at, [this, s, rate, shard_seed] {
+        shard_nets_[s]->set_loss_rate(rate, shard_seed);
+      });
+    }
+  }
+}
+
+sim::Duration PadsSimulation::attest_time() const {
+  const std::uint64_t blocks =
+      crypto::hmac_compression_calls(config_.alg, config_.pmem_size + 4);
+  return sim::cycles_to_time(
+      config_.attest_overhead_cycles + blocks * config_.cycles_per_block,
+      config_.device_hz);
+}
+
+std::size_t PadsSimulation::gossip_wire_size() const noexcept {
+  return 13 + config_.token_size + 16 * knowledge_blocks(device_count());
+}
+
+sim::Duration PadsSimulation::effective_gossip_period() const {
+  // Floor: one full gossip message must clear a link (plus a hair of
+  // slack) within a period, or epoch e+1's send would outrun epoch e's
+  // arrival and knowledge would never advance.
+  const sim::Duration floor =
+      network_.link_delay(gossip_wire_size()) + sim::Duration::from_us(1);
+  return config_.gossip_period > floor ? config_.gossip_period : floor;
+}
+
+std::uint32_t PadsSimulation::effective_gossip_epochs() const noexcept {
+  if (config_.gossip_epochs != 0) return config_.gossip_epochs;
+  // Knowledge needs depth hops up plus depth hops down, one hop per
+  // epoch; the slack absorbs rewires and stragglers.
+  return 2 * tree_.max_depth() + 6;
+}
+
+void PadsSimulation::mark(net::NodeId owner, net::NodeId subject,
+                          bool is_bad) noexcept {
+  const std::uint32_t bit = subject - 1;
+  known_row(owner)[bit / 64] |= 1ULL << (bit % 64);
+  if (is_bad) bad_row(owner)[bit / 64] |= 1ULL << (bit % 64);
+}
+
+bool PadsSimulation::verifier_covered() const noexcept {
+  const std::uint64_t* kr = known_.data();  // row 0 = the verifier
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    if (!vrf_present_[id]) continue;
+    const std::uint32_t bit = id - 1;
+    if ((kr[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void PadsSimulation::note_verifier_progress(sim::SimTime at) noexcept {
+  if (consensus_reached_) return;
+  if (verifier_covered()) {
+    consensus_reached_ = true;
+    consensus_at_ = at;
+  }
+}
+
+void PadsSimulation::compute_round_tokens() {
+  // One SIMD-friendly batch computes every node's round token twice:
+  // the value its hardware actually emits (state byte reflects
+  // compromise) and the healthy value receivers expect. 2(N+1) MACs.
+  const std::size_t n = static_cast<std::size_t>(device_count()) + 1;
+  std::array<std::uint8_t, 4> nonce{};
+  store_u32le(nonce.data(), round_nonce_);
+  static constexpr std::uint8_t kHealthy = 0x00;
+  static constexpr std::uint8_t kInfected = 0xff;
+  std::vector<crypto::MacJob> jobs(2 * n);
+  std::vector<crypto::MacBuf> outs(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const crypto::PrecomputedMac* mac =
+        i == 0 ? &vrf_mac_ : &devices_[i - 1].mac;
+    const bool infected = i != 0 && devices_[i - 1].compromised;
+    jobs[i] = {mac, BytesView(nonce.data(), nonce.size()),
+               BytesView(infected ? &kInfected : &kHealthy, 1)};
+    jobs[n + i] = {mac, BytesView(nonce.data(), nonce.size()),
+                   BytesView(&kHealthy, 1)};
+  }
+  crypto::active_backend().hmac_batch(jobs.data(), jobs.size(), outs.data());
+  tokens_.assign(n, {});
+  expected_tokens_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    tokens_[i].assign(outs[i].bytes.begin(),
+                      outs[i].bytes.begin() + config_.token_size);
+    expected_tokens_[i].assign(outs[n + i].bytes.begin(),
+                               outs[n + i].bytes.begin() + config_.token_size);
+  }
+}
+
+void PadsSimulation::self_attest(net::NodeId id) {
+  Dev& d = dev(id);
+  if (!present_[id] || d.unresponsive) return;  // was not awake to measure
+  d.attested = true;
+  // Honest self-verdict; a compromised device's claims never propagate
+  // anyway because its token fails every receiver's check.
+  mark(id, id, d.compromised);
+}
+
+void PadsSimulation::gossip_tick(net::NodeId id, std::uint32_t epoch) {
+  // Reschedule unconditionally: a device that is absent or asleep now
+  // may be back before the round ends, and the timer chain is the only
+  // thing that brings it back into the gossip.
+  if (epoch + 1 < epochs_total_) {
+    sched(id).schedule_at(
+        first_epoch_at_ + period_ * static_cast<std::int64_t>(epoch + 1),
+        [this, id, epoch] { gossip_tick(id, epoch + 1); });
+  }
+  if (id != 0) {
+    const Dev& d = dev(id);
+    if (!present_[id] || d.unresponsive || !d.attested) return;
+  }
+  // Route over the CURRENT tree: position lookups happen at send time,
+  // so a rewire applied mid-round redirects the very next epoch.
+  const net::NodeId pos = pos_of_[id];
+  const Bytes& token = tokens_[id];
+  const std::uint64_t* kr = known_row(id);
+  const std::uint64_t* br = bad_row(id);
+  net::Network& net = net_of(id);
+  auto send_to = [&](net::NodeId neighbor) {
+    Bytes buf = net.acquire_payload();
+    buf.reserve(gossip_wire_size());
+    append_u32le(buf, id);
+    append_u32le(buf, epoch);
+    append_u32le(buf, device_count());
+    buf.push_back(static_cast<std::uint8_t>(token.size()));
+    buf.insert(buf.end(), token.begin(), token.end());
+    for (std::size_t b = 0; b < blocks_; ++b) append_u64le(buf, kr[b]);
+    for (std::size_t b = 0; b < blocks_; ++b) append_u64le(buf, br[b]);
+    net.send(id, neighbor, kGossipKind, std::move(buf));
+  };
+  if (pos != 0) send_to(dev_at_[tree_.parent(pos)]);
+  for (const net::NodeId child_pos : tree_.children(pos)) {
+    send_to(dev_at_[child_pos]);
+  }
+}
+
+void PadsSimulation::on_message(const net::Message& msg) {
+  if (msg.kind != kGossipKind) return;
+  GossipView v;
+  if (!GossipView::parse(msg.payload, v)) return;
+  if (v.devices != device_count() || v.sender != msg.src ||
+      v.sender >= tree_.size()) {
+    return;
+  }
+  const net::NodeId dst = msg.dst;
+  if (dst != 0) {
+    const Dev& d = dev(dst);
+    if (!present_[dst] || d.unresponsive) return;  // radio is off
+  }
+  const Bytes& expect = expected_tokens_[v.sender];
+  const bool authentic =
+      v.token.size() == expect.size() &&
+      crypto::ct_equal(v.token, BytesView(expect.data(), expect.size()));
+  if (!authentic) {
+    reject_counter(dst).inc();
+    // The sender is alive but cannot produce the healthy token: that IS
+    // the untrusted verdict. Nothing it claims gets merged.
+    if (v.sender != 0) mark(dst, v.sender, true);
+  } else {
+    if (v.sender != 0) mark(dst, v.sender, false);
+    std::uint64_t* kr = known_row(dst);
+    std::uint64_t* br = bad_row(dst);
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      kr[b] |= v.known_block(b);
+      br[b] |= v.bad_block(b);
+    }
+    merge_counter(dst).inc();
+  }
+  if (dst == 0) note_verifier_progress(sched(0).now());
+}
+
+PadsRoundReport PadsSimulation::run_round() {
+  if (round_active_) {
+    throw std::logic_error("PADS run_round: round already active");
+  }
+  round_active_ = true;
+
+  blocks_ = knowledge_blocks(device_count());
+  known_.assign((static_cast<std::size_t>(device_count()) + 1) * blocks_, 0);
+  bad_.assign(known_.size(), 0);
+  for (auto& d : devices_) d.attested = false;
+  consensus_reached_ = false;
+  // The verifier's membership view starts from the authoritative one —
+  // both are only written by the driver thread between rounds.
+  vrf_present_ = present_;
+
+  obs::Span round_span("pads.round");
+  metrics_.reset_values();
+  if (engine_) engine_->reset_shard_metrics();
+  network_.reset_accounting();
+  if (engine_) sync_shard_networks();
+
+  t_start_ = current_time();
+  round_nonce_ = static_cast<std::uint32_t>(rounds_run_ + 1);
+  compute_round_tokens();
+
+  // Rewires scheduled at or before the round start describe the initial
+  // deployment: apply them before anything is in flight.
+  std::size_t ri = 0;
+  while (ri < rewires_.size() && rewires_[ri].at <= t_start_) {
+    apply_rewire(rewires_[ri]);
+    ++ri;
+  }
+
+  period_ = effective_gossip_period();
+  epochs_total_ = effective_gossip_epochs();
+  first_epoch_at_ = t_start_ + attest_time();
+
+  // Every node measures itself first (the HMAC over PMEM occupies its
+  // CPU for attest_time), then the gossip timer chain starts.
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    sched(id).schedule_at(first_epoch_at_, [this, id] { self_attest(id); });
+  }
+  for (net::NodeId id = 0; id <= device_count(); ++id) {
+    sched(id).schedule_at(first_epoch_at_, [this, id] { gossip_tick(id, 0); });
+  }
+
+  const sim::SimTime horizon =
+      first_epoch_at_ + period_ * static_cast<std::int64_t>(epochs_total_ + 1);
+  arm_faults(horizon);
+
+  // Slice the run at each rewire instant: run_until parks the engine at
+  // a quiescent barrier, the driver thread swaps the routing tables,
+  // and the next slice (or the final run to quiescence) continues with
+  // identical event order on every engine.
+  for (; ri < rewires_.size(); ++ri) {
+    run_to(rewires_[ri].at);
+    apply_rewire(rewires_[ri]);
+  }
+  if (engine_) {
+    engine_->run();
+  } else {
+    scheduler_.run();
+  }
+  ++rounds_run_;
+
+  if (engine_) engine_->merge_metrics_into(metrics_);
+  network_.assert_ledgers_consistent();
+  for (const auto& net : shard_nets_) net->assert_ledgers_consistent();
+
+  PadsRoundReport report;
+  report.devices = device_count();
+  report.t_start = t_start_;
+  report.t_end = current_time();
+  const std::uint64_t* vk = known_.data();
+  const std::uint64_t* vb = bad_.data();
+  for (net::NodeId id = 1; id <= device_count(); ++id) {
+    if (!vrf_present_[id]) continue;
+    ++report.present;
+    const std::uint32_t bit = id - 1;
+    const std::uint64_t m = 1ULL << (bit % 64);
+    if (vk[bit / 64] & m) ++report.known;
+    if (vb[bit / 64] & m) {
+      ++report.untrusted;
+      if (!dev(id).compromised) ++report.false_untrusted;
+    }
+  }
+  report.converged = verifier_covered();
+  report.consensus_at = consensus_reached_ ? consensus_at_ : report.t_end;
+  report.u_ca_bytes = metrics_.counter_value("net.bytes_transmitted");
+  report.messages = metrics_.counter_value("net.messages_sent");
+  report.token_failures = static_cast<std::uint32_t>(
+      metrics_.counter_value("pads.token_failures"));
+  report.epochs = epochs_total_;
+  report.digest = round_digest(report);
+
+  rewires_.clear();
+  round_active_ = false;
+  round_span.sim_range(report.t_start.ns(), report.t_end.ns());
+  return report;
+}
+
+std::string PadsSimulation::round_digest(const PadsRoundReport& report) const {
+  // Canonical serialization of everything the round decided: membership
+  // (both views), every node's knowledge vectors, the consensus instant
+  // and the traffic ledgers. Any divergence between engines or thread
+  // counts — a reordered merge, a lost message, a misrouted rewire —
+  // lands in at least one of these.
+  Bytes blob;
+  blob.reserve(16 + 2 * present_.size() + 16 * known_.size());
+  append_u32le(blob, report.devices);
+  blob.insert(blob.end(), present_.begin(), present_.end());
+  blob.insert(blob.end(), vrf_present_.begin(), vrf_present_.end());
+  for (const std::uint64_t w : known_) append_u64le(blob, w);
+  for (const std::uint64_t w : bad_) append_u64le(blob, w);
+  append_u64le(blob, static_cast<std::uint64_t>(report.consensus_at.ns()));
+  append_u64le(blob, static_cast<std::uint64_t>(report.t_end.ns()));
+  append_u64le(blob, report.u_ca_bytes);
+  append_u64le(blob, report.messages);
+  append_u64le(blob, report.token_failures);
+  const crypto::Sha256::Digest d = crypto::Sha256::digest(blob);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+}  // namespace cra::pads

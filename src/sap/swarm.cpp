@@ -242,6 +242,8 @@ void SapSimulation::schedule_fault(const fault::FaultEvent& ev) {
     case FaultKind::kReboot:
     case FaultKind::kSleep:
     case FaultKind::kWake:
+    case FaultKind::kLeave:
+    case FaultKind::kJoin:
     case FaultKind::kClockSkew: {
       if (ev.device == 0 || ev.device > device_count()) {
         throw std::out_of_range("fault plan: device id out of range");
@@ -325,6 +327,14 @@ void SapSimulation::apply_device_fault(const fault::FaultEvent& ev) {
       d.unresponsive = true;
       break;
     case FaultKind::kWake:
+      d.unresponsive = false;
+      break;
+    case FaultKind::kLeave:
+      // Departed the swarm: SAP has no membership view, so a device out
+      // of radio range is simply unreachable until it wanders back.
+      d.unresponsive = true;
+      break;
+    case FaultKind::kJoin:
       d.unresponsive = false;
       break;
     case FaultKind::kClockSkew:

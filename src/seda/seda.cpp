@@ -193,6 +193,8 @@ void SedaSimulation::schedule_fault(const fault::FaultEvent& ev) {
     case FaultKind::kReboot:
     case FaultKind::kSleep:
     case FaultKind::kWake:
+    case FaultKind::kLeave:
+    case FaultKind::kJoin:
     case FaultKind::kClockSkew: {
       if (ev.device == 0 || ev.device > device_count()) {
         throw std::out_of_range("fault plan: device id out of range");
@@ -261,9 +263,13 @@ void SedaSimulation::apply_device_fault(const fault::FaultEvent& ev) {
       break;
     case FaultKind::kReboot:
     case FaultKind::kWake:
+    case FaultKind::kJoin:
       d.unresponsive = false;
       break;
     case FaultKind::kSleep:
+    case FaultKind::kLeave:
+      // SEDA tracks no membership either: a departed device is an
+      // unresponsive leaf until it rejoins.
       d.unresponsive = true;
       break;
     case FaultKind::kClockSkew:

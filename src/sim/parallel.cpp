@@ -111,7 +111,7 @@ void ParallelScheduler::sync_clocks() {
 std::size_t ParallelScheduler::run() {
   if (shard_count_ == 1) return shards_[0]->sched.run();
   for (auto& s : shards_) s->dispatched_run = 0;
-  const std::size_t n = threads_ > 1 ? run_threaded()
+  const std::size_t n = threads_ > 1 ? run_threaded(std::nullopt)
                                      : run_serial_epochs(std::nullopt);
   sync_clocks();
   return n;
@@ -120,7 +120,8 @@ std::size_t ParallelScheduler::run() {
 std::size_t ParallelScheduler::run_until(SimTime until) {
   if (shard_count_ == 1) return shards_[0]->sched.run_until(until);
   for (auto& s : shards_) s->dispatched_run = 0;
-  const std::size_t n = run_serial_epochs(until);
+  const std::size_t n = threads_ > 1 ? run_threaded(until)
+                                     : run_serial_epochs(until);
   for (auto& s : shards_) s->sched.run_until(until);
   return n;
 }
@@ -161,7 +162,7 @@ std::size_t ParallelScheduler::run_serial_epochs(
   return n;
 }
 
-std::size_t ParallelScheduler::run_threaded() {
+std::size_t ParallelScheduler::run_threaded(std::optional<SimTime> until) {
   running_ = true;
   std::atomic<bool> abort{false};
   std::mutex error_mu;
@@ -180,7 +181,7 @@ std::size_t ParallelScheduler::run_threaded() {
   // at BOTH the phase-A and phase-B barriers; only the phase-A
   // completion (when fresh `next` values were just published) computes.
   bool phase_a = true;
-  auto completion = [this, &abort, &phase_a]() noexcept {
+  auto completion = [this, &abort, &phase_a, until]() noexcept {
     if (!phase_a) {
       phase_a = true;
       return;
@@ -190,11 +191,15 @@ std::size_t ParallelScheduler::run_threaded() {
     for (const auto& s : shards_) {
       if (s->next && (!min_next || *s->next < *min_next)) min_next = s->next;
     }
-    if (!min_next || abort.load(std::memory_order_relaxed)) {
+    if (!min_next || (until && *min_next > *until) ||
+        abort.load(std::memory_order_relaxed)) {
       done_ = true;
       return;
     }
     horizon_ = *min_next + lookahead_;
+    if (until && horizon_ > *until + Duration::from_ns(1)) {
+      horizon_ = *until + Duration::from_ns(1);  // run_before is exclusive
+    }
     ++epochs_;
   };
   std::barrier sync(threads_, completion);

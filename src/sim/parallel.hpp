@@ -107,7 +107,10 @@ class ParallelScheduler {
   std::size_t run();
 
   /// Run events with time <= `until`; every shard clock advances to
-  /// `until`. Single-threaded (used to idle between rounds).
+  /// `until`. Uses the same worker pool as run() (the horizon sequence —
+  /// and therefore the result — is identical to the serial epoch path),
+  /// so drivers can slice a round at topology-rewire points without
+  /// giving up parallelism.
   std::size_t run_until(SimTime until);
 
   /// Total events dispatched over the engine's lifetime.
@@ -164,7 +167,7 @@ class ParallelScheduler {
   void drain_into(std::uint32_t s);
   void sync_clocks();
   std::size_t run_serial_epochs(std::optional<SimTime> until);
-  std::size_t run_threaded();
+  std::size_t run_threaded(std::optional<SimTime> until);
 
   std::uint32_t shard_count_;
   std::uint32_t threads_;

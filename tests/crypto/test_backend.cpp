@@ -18,92 +18,19 @@
 #include "common/rng.hpp"
 #include "crypto/mac_cache.hpp"
 #include "crypto/tally.hpp"
+#include "vectors.hpp"
 
 namespace cra::crypto {
 namespace {
+
+using vectors::kMacVectors;
+using vectors::kSha1Vectors;
+using vectors::kSha256Vectors;
 
 /// Restores the process-wide active backend after each test.
 class BackendTest : public ::testing::Test {
  protected:
   void TearDown() override { ASSERT_TRUE(set_active_backend("auto")); }
-};
-
-struct HashVector {
-  const char* msg_hex;
-  const char* digest_hex;
-};
-
-// FIPS 180-4 examples plus NIST CAVP SHA256ShortMsg.rsp entries (Len =
-// 0, 8, 512, 516 bits) — the 516-bit case straddles a block boundary.
-const HashVector kSha256Vectors[] = {
-    {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
-    {"616263",  // "abc"
-     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
-    {"6162636462636465636465666465666765666768666768696768696a68696a6b"
-     "696a6b6c6a6b6c6d6b6c6d6e6c6d6e6f6d6e6f706e6f7071",  // "abcdbcd..."
-     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
-    {"5a86b737eaea8ee976a0a24da63e7ed7eefad18a101c1211e2b3650c5187c2a8"
-     "a650547208251f6d4237e661c7bf4c77f335390394c37fa1a9f9be836ac28509",
-     "42e61e174fbb3897d6dd6cef3dd2802fe67b331953b06114a65c772859dfc1aa"},
-    {"451101250ec6f26652249d59dc974b7361d571a8101cdfd36aba3b5854d3ae086b5fdd"
-     "4597721b66e3c0dc5d8c606d9657d0e323283a5217d1f53f2f284f57b85c8a61ac8924"
-     "711f895c5ed90ef17745ed2d728abd22a5f7a13479a462d71b56c19a74a40b655c58ed"
-     "fe0a188ad2cf46cbf30524f65d423c837dd1ff2bf462ac4198007345bb44dbb7b1c861"
-     "298cdf61982a833afc728fae1eda2f87aa2c9480858bec",
-     "3c593aa539fdcdae516cdf2f15000f6634185c88f505b39775fb9ab137a10aa2"},
-};
-
-// FIPS 180-4 SHA-1 examples.
-const HashVector kSha1Vectors[] = {
-    {"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
-    {"616263", "a9993e364706816aba3e25717850c26c9cd0d89d"},
-    {"6162636462636465636465666465666765666768666768696768696a68696a6b"
-     "696a6b6c6a6b6c6d6b6c6d6e6c6d6e6f6d6e6f706e6f7071",
-     "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
-};
-
-struct MacVector {
-  const char* key_hex;
-  const char* msg_hex;
-  const char* sha1_hex;    // RFC 2202 (empty = case not in RFC 2202)
-  const char* sha256_hex;  // RFC 4231 (possibly truncated)
-};
-
-// RFC 2202 / RFC 4231 shared test cases 1-7 (case 5 output truncated to
-// 128 bits in RFC 4231; we compare prefixes).
-const MacVector kMacVectors[] = {
-    {"0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b",
-     "4869205468657265",  // "Hi There"
-     "b617318655057264e28bc0b6fb378c8ef146be00",
-     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
-    {"4a656665",  // "Jefe"
-     "7768617420646f2079612077616e7420666f72206e6f7468696e673f",
-     "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
-     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
-    {"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
-     "dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd"
-     "dddddddddddddddddddddddddddddddddddd",  // 0xdd x 50
-     "125d7342b9ac11cd91a39af48aa17b4f63f175d3",
-     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"},
-    {"0102030405060708090a0b0c0d0e0f10111213141516171819",
-     "cdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd"
-     "cdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd",  // 0xcd x 50
-     "4c9007f4026250c6bc8414f9bf50c86c2d7235da",
-     "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"},
-    {"0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c",
-     "546573742057697468205472756e636174696f6e",
-     "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04",
-     "a3b6167473100ee06e0c796c2955552b"},
-    // Key longer than one block: hashed down before padding.
-    {"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
-     "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
-     "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
-     "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
-     "aaaaaa",  // 0xaa x 131
-     "54657374205573696e67204c6172676572205468616e20426c6f636b2d53697a"
-     "65204b6579202d2048617368204b6579204669727374",
-     "",  // RFC 2202 case 6 uses an 80-byte key; skip SHA-1 here
-     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"},
 };
 
 Bytes random_bytes(Rng& rng, std::size_t n) { return rng.next_bytes(n); }
@@ -176,6 +103,7 @@ TEST_F(BackendTest, Sha1VectorsAllBackends) {
 TEST_F(BackendTest, Rfc4231HmacSha256VectorsAllBackends) {
   for (const Backend* backend : available_backends()) {
     for (const auto& v : kMacVectors) {
+      if (v.sha256_hex[0] == '\0') continue;
       const Bytes key = from_hex(v.key_hex);
       const Bytes msg = from_hex(v.msg_hex);
       const std::string want(v.sha256_hex);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "vectors.hpp"
 
 namespace cra::crypto {
 namespace {
@@ -15,18 +16,13 @@ std::string sha1_hex(std::string_view msg) {
   return to_hex(BytesView(d.data(), d.size()));
 }
 
-TEST(Sha1, EmptyString) {
-  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
-}
-
-TEST(Sha1, Abc) {
-  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
-}
-
-TEST(Sha1, TwoBlockMessage) {
-  EXPECT_EQ(
-      sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
-      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+TEST(Sha1, KnownAnswerVectors) {
+  // FIPS 180-4 / RFC 3174, from the shared table in vectors.hpp.
+  for (const auto& v : vectors::kSha1Vectors) {
+    const Bytes msg = from_hex(v.msg_hex);
+    const auto d = Sha1::digest(msg);
+    EXPECT_EQ(to_hex(BytesView(d.data(), d.size())), v.digest_hex);
+  }
 }
 
 TEST(Sha1, MillionA) {

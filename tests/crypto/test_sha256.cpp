@@ -6,29 +6,19 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "vectors.hpp"
 
 namespace cra::crypto {
 namespace {
 
-std::string sha256_hex(std::string_view msg) {
-  const auto d = Sha256::digest(to_bytes(msg));
-  return to_hex(BytesView(d.data(), d.size()));
-}
-
-TEST(Sha256, EmptyString) {
-  EXPECT_EQ(sha256_hex(""),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
-}
-
-TEST(Sha256, Abc) {
-  EXPECT_EQ(sha256_hex("abc"),
-            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
-}
-
-TEST(Sha256, TwoBlockMessage) {
-  EXPECT_EQ(
-      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
-      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+TEST(Sha256, KnownAnswerVectors) {
+  // FIPS 180-4 + NIST CAVP short-message cases, from the shared table
+  // in vectors.hpp (includes a block-straddling 516-bit message).
+  for (const auto& v : vectors::kSha256Vectors) {
+    const Bytes msg = from_hex(v.msg_hex);
+    const auto d = Sha256::digest(msg);
+    EXPECT_EQ(to_hex(BytesView(d.data(), d.size())), v.digest_hex);
+  }
 }
 
 TEST(Sha256, MillionA) {

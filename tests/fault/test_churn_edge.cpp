@@ -1,0 +1,153 @@
+// Edge cases of the seeded churn generator and the kLeave/kJoin
+// membership events it emits: degenerate rates, zero-downtime
+// leave/join collisions on one tick, one-device swarms, and exact
+// Poisson replay on both simulation engines.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/plan.hpp"
+#include "net/topology.hpp"
+#include "pads/pads.hpp"
+
+namespace cra::fault {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+FaultPlan::ChurnProfile zeroed() {
+  FaultPlan::ChurnProfile p;
+  p.crash_rate = 0.0;  // default is 0.01; null out every channel
+  return p;
+}
+
+TEST(ChurnEdge, AllZeroRatesProduceAnEmptyPlan) {
+  const net::Tree tree = net::balanced_kary_tree(100);
+  const FaultPlan plan = FaultPlan::churn(
+      7, tree, SimTime::zero(), SimTime::from_sec(30.0), zeroed());
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.format(), "");
+}
+
+TEST(ChurnEdge, EmptyWindowProducesAnEmptyPlan) {
+  const net::Tree tree = net::balanced_kary_tree(50);
+  FaultPlan::ChurnProfile p = zeroed();
+  p.leave_rate = 1.0;
+  // end == start: zero periods elapse, so even a rate of 1 emits nothing.
+  const FaultPlan plan =
+      FaultPlan::churn(7, tree, SimTime::from_ms(100), SimTime::from_ms(100), p);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(ChurnEdge, ZeroDowntimeLeaveRejoinsOnTheSameTick) {
+  // leave_for with zero absence puts kLeave and kJoin at the same
+  // instant; the (time, seq) total order applies the leave first, so the
+  // device must end the tick present.
+  FaultPlan plan;
+  plan.leave_for(SimTime::from_ms(5), 3, Duration::zero());
+  ASSERT_EQ(plan.size(), 2u);
+  const auto& evs = plan.events();
+  EXPECT_EQ(evs[0].kind, FaultKind::kLeave);
+  EXPECT_EQ(evs[1].kind, FaultKind::kJoin);
+  EXPECT_EQ(evs[0].at, evs[1].at);
+  EXPECT_LT(evs[0].seq, evs[1].seq);
+
+  // Format/parse keeps the pair in order (round-trip identity).
+  const FaultPlan back = FaultPlan::parse(plan.format());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.events()[0].kind, FaultKind::kLeave);
+  EXPECT_EQ(back.events()[1].kind, FaultKind::kJoin);
+
+  // And a live round agrees: the device is present afterwards and the
+  // swarm still completes (it may miss this round's evidence window if
+  // the flicker lands before its self-attestation — membership is the
+  // claim under test, not knowledge).
+  pads::PadsConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  auto sim = pads::PadsSimulation::balanced(cfg, 10);
+  FaultPlan flicker;
+  flicker.leave_for(sim.current_time() + Duration::from_ms(1), 3,
+                    Duration::zero());
+  sim.attach_fault_plan(std::move(flicker));
+  const pads::PadsRoundReport r = sim.run_round();
+  EXPECT_TRUE(sim.device_present(3));
+  EXPECT_EQ(r.present, 10u);
+  EXPECT_EQ(r.false_untrusted, 0u);
+}
+
+TEST(ChurnEdge, OneDeviceSwarmSurvivesChurn) {
+  const net::Tree tree = net::balanced_kary_tree(1);
+  FaultPlan::ChurnProfile p = zeroed();
+  p.leave_rate = 0.8;
+  p.join_rate = 0.5;
+  p.crash_rate = 0.3;
+  const FaultPlan plan = FaultPlan::churn(
+      11, tree, SimTime::zero(), SimTime::from_sec(5.0), p);
+  // Every event must target the single device; the verifier position is
+  // never churned.
+  for (const FaultEvent& ev : plan.events()) {
+    EXPECT_EQ(ev.device, 1u) << fault_kind_name(ev.kind);
+  }
+  pads::PadsConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  auto sim = pads::PadsSimulation::balanced(cfg, 1);
+  const SimTime t0 = sim.current_time();
+  sim.attach_fault_plan(FaultPlan::churn(
+      11, sim.tree(), t0, t0 + Duration::from_sec(2.0), p));
+  const pads::PadsRoundReport r = sim.run_round();
+  EXPECT_EQ(r.devices, 1u);
+  EXPECT_EQ(r.false_untrusted, 0u);
+  EXPECT_LE(r.present, 1u);
+}
+
+TEST(ChurnEdge, PoissonTimelineReplaysExactly) {
+  // churn() is a pure function of (seed, tree shape, window, profile):
+  // the Poisson arrival counts, victim picks and downtimes must replay
+  // bit-identically call after call.
+  const net::Tree tree = net::balanced_kary_tree(200);
+  FaultPlan::ChurnProfile p = zeroed();
+  p.leave_rate = 0.05;
+  p.join_rate = 0.02;
+  p.crash_rate = 0.01;
+  const std::string a =
+      FaultPlan::churn(99, tree, SimTime::zero(), SimTime::from_sec(10.0), p)
+          .format();
+  const std::string b =
+      FaultPlan::churn(99, tree, SimTime::zero(), SimTime::from_sec(10.0), p)
+          .format();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  const std::string c =
+      FaultPlan::churn(100, tree, SimTime::zero(), SimTime::from_sec(10.0), p)
+          .format();
+  EXPECT_NE(a, c) << "different seed should draw a different timeline";
+}
+
+TEST(ChurnEdge, SameChurnPlanIsEngineInvariant) {
+  // A Poisson churn timeline replayed through the serial Scheduler and
+  // the sharded ParallelScheduler must leave the swarm in a
+  // byte-identical state (the PADS round digest covers membership,
+  // knowledge and traffic ledgers).
+  FaultPlan::ChurnProfile p = zeroed();
+  p.leave_rate = 0.1;
+  p.join_rate = 0.05;
+  p.crash_rate = 0.02;
+  auto digest_of = [&](std::uint32_t threads, std::uint32_t shards) {
+    pads::PadsConfig cfg;
+    cfg.pmem_size = 4 * 1024;
+    cfg.sim.threads = threads;
+    cfg.sim.shards = shards;
+    auto sim = pads::PadsSimulation::balanced(cfg, 60, /*seed=*/21);
+    const SimTime t0 = sim.current_time();
+    sim.attach_fault_plan(FaultPlan::churn(
+        21, sim.tree(), t0, t0 + Duration::from_sec(2.0), p));
+    return sim.run_round().digest;
+  };
+  const std::string serial = digest_of(1, 1);
+  EXPECT_EQ(digest_of(1, 4), serial);
+  EXPECT_EQ(digest_of(4, 4), serial);
+}
+
+}  // namespace
+}  // namespace cra::fault

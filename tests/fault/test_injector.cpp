@@ -103,7 +103,7 @@ TEST(FaultInjector, PartitionCutIgnoresTheVerifierPosition) {
 }
 
 TEST(FaultInjector, MetricNamesCoverEveryKind) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::kClockSkew); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kJoin); ++k) {
     const char* name = fault_metric_name(static_cast<FaultKind>(k));
     ASSERT_NE(name, nullptr);
     EXPECT_EQ(std::string(name).rfind("fault.", 0), 0u)

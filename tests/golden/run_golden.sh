@@ -1,0 +1,67 @@
+#!/bin/sh
+# Golden-output driver for the bench binaries.
+#
+#   run_golden.sh check  <golden_dir> <name> <threads> <binary> [args...]
+#   run_golden.sh update <golden_dir> <name> <threads> <binary> [args...]
+#
+# Runs the bench with --threads and --metrics-json, then compares (or
+# rewrites) two goldens:
+#   <name>.stdout.golden   - the bench's stdout, byte-for-byte
+#   <name>.metrics.golden  - the metrics JSON, normalized to one field
+#                            per line with wall-clock gauges (wall.*)
+#                            dropped, since those measure the host
+#
+# There is ONE golden per bench, not one per thread count: the whole
+# point is that the sharded engine at any worker count reproduces the
+# serial engine's output byte-for-byte. Wall-clock lines go to stderr
+# by bench convention and never reach the comparison.
+set -eu
+
+mode=$1
+dir=$2
+name=$3
+threads=$4
+bin=$5
+shift 5
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+if ! "$bin" --threads "$threads" --metrics-json "$work/metrics.json" "$@" \
+    >"$work/stdout.txt" 2>"$work/stderr.txt"; then
+  echo "FAIL: $name exited non-zero (threads=$threads)" >&2
+  cat "$work/stderr.txt" >&2
+  exit 1
+fi
+
+# Normalize the (single-line) JSON: one field per line, drop host-time
+# gauges. Identical normalization on update and check.
+tr ',' '\n' <"$work/metrics.json" | grep -v '"wall\.' >"$work/metrics.norm" || true
+
+case $mode in
+  update)
+    cp "$work/stdout.txt" "$dir/$name.stdout.golden"
+    cp "$work/metrics.norm" "$dir/$name.metrics.golden"
+    echo "updated $name goldens"
+    ;;
+  check)
+    status=0
+    if ! diff -u "$dir/$name.stdout.golden" "$work/stdout.txt" >&2; then
+      echo "FAIL: $name stdout drifted from golden (threads=$threads)" >&2
+      status=1
+    fi
+    if ! diff -u "$dir/$name.metrics.golden" "$work/metrics.norm" >&2; then
+      echo "FAIL: $name metrics drifted from golden (threads=$threads)" >&2
+      status=1
+    fi
+    if [ "$status" -ne 0 ]; then
+      echo "(regenerate intentionally changed goldens with:" >&2
+      echo "  cmake --build build --target golden-update)" >&2
+    fi
+    exit $status
+    ;;
+  *)
+    echo "unknown mode: $mode (want check|update)" >&2
+    exit 2
+    ;;
+esac

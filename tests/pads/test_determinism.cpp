@@ -1,0 +1,89 @@
+// The PR's acceptance gate: PADS 10k-device round digests are
+// byte-identical across the serial Scheduler and the sharded
+// ParallelScheduler at threads in {1, 2, 8}, including under membership
+// churn and mid-round mobility rewires.
+//
+// The digest hashes every node's final knowledge vectors, both
+// membership views, the consensus instant and the traffic ledgers — a
+// reordered merge, a dropped message or a misrouted rewire on any
+// engine configuration lands in the hash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "net/mobility.hpp"
+#include "pads/pads.hpp"
+
+namespace cra::pads {
+namespace {
+
+constexpr std::uint32_t kDevices = 10'000;
+constexpr std::uint64_t kSeed = 42;
+
+PadsConfig big_config(std::uint32_t threads, std::uint32_t shards) {
+  PadsConfig cfg;
+  cfg.pmem_size = 4 * 1024;
+  cfg.gossip_epochs = 12;  // bounded budget keeps the suite fast; the
+                           // digest contract holds converged or not
+  cfg.sim.threads = threads;
+  cfg.sim.shards = shards;
+  return cfg;
+}
+
+std::string run_digest(std::uint32_t threads, std::uint32_t shards,
+                       bool with_dynamics) {
+  auto sim = PadsSimulation::balanced(big_config(threads, shards), kDevices,
+                                      kSeed);
+  if (with_dynamics) {
+    const sim::SimTime t0 = sim.current_time();
+    fault::FaultPlan::ChurnProfile profile;
+    profile.leave_rate = 0.02;
+    profile.join_rate = 0.01;
+    profile.crash_rate = 0.01;
+    sim.attach_fault_plan(fault::FaultPlan::churn(
+        kSeed, sim.tree(), t0, t0 + sim::Duration::from_sec(3.0), profile));
+    net::MobilityConfig mcfg;
+    mcfg.step = sim::Duration::from_ms(700);
+    sim.set_rewire_schedule(net::mobility_schedule(
+        kDevices, mcfg, kSeed, t0 + sim::Duration::from_ms(600),
+        t0 + sim::Duration::from_sec(2.5)));
+  }
+  return sim.run_round().digest;
+}
+
+TEST(PadsDeterminism, TenKDigestIdenticalAcrossEnginesAndThreads) {
+  // Serial reference: the classic single-queue Scheduler.
+  const std::string serial = run_digest(/*threads=*/1, /*shards=*/1, false);
+  ASSERT_EQ(serial.size(), 64u);
+  // Sharded engine at a fixed shard count, every thread count: the
+  // horizon sequence (and so the digest) may depend on the shard
+  // layout, never on worker parallelism — and for a loss-free round it
+  // must match the serial engine bit-for-bit too.
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    const std::string d = run_digest(threads, /*shards=*/8, false);
+    EXPECT_EQ(d, serial) << "threads=" << threads;
+  }
+}
+
+TEST(PadsDeterminism, TenKDigestStableUnderChurnAndMobility) {
+  // With dynamics the serial and sharded engines see different loss
+  // sub-streams only when loss is armed (it is not here), so the digest
+  // must STILL agree across engines — and across thread counts.
+  const std::string serial = run_digest(/*threads=*/1, /*shards=*/1, true);
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    const std::string d = run_digest(threads, /*shards=*/8, true);
+    EXPECT_EQ(d, serial) << "threads=" << threads;
+  }
+}
+
+TEST(PadsDeterminism, RepeatRunReproducesExactly) {
+  const std::string a = run_digest(2, 8, true);
+  const std::string b = run_digest(2, 8, true);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cra::pads

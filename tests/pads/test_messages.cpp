@@ -1,0 +1,111 @@
+// PADS gossip wire format: round-trip identity, strict framing, and the
+// zero-copy view agreeing with the owning decoder.
+#include "pads/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace cra::pads {
+namespace {
+
+GossipMsg sample(std::uint32_t devices) {
+  GossipMsg m;
+  m.sender = 7;
+  m.epoch = 3;
+  m.devices = devices;
+  m.token = from_hex("00112233445566778899aabb");
+  m.known.assign(knowledge_blocks(devices), 0);
+  m.bad.assign(knowledge_blocks(devices), 0);
+  for (std::size_t i = 0; i < m.known.size(); ++i) {
+    m.known[i] = 0x0123456789abcdefULL * (i + 1);
+    m.bad[i] = m.known[i] & 0x00ff00ff00ff00ffULL;
+  }
+  return m;
+}
+
+TEST(PadsMessages, RoundTripIdentity) {
+  for (std::uint32_t devices : {1u, 63u, 64u, 65u, 200u, 1000u}) {
+    const GossipMsg m = sample(devices);
+    const Bytes wire = m.encode();
+    ASSERT_EQ(wire.size(), m.wire_size());
+    const auto back = GossipMsg::decode(wire);
+    ASSERT_TRUE(back.has_value()) << "devices=" << devices;
+    EXPECT_EQ(back->sender, m.sender);
+    EXPECT_EQ(back->epoch, m.epoch);
+    EXPECT_EQ(back->devices, m.devices);
+    EXPECT_EQ(back->token, m.token);
+    EXPECT_EQ(back->known, m.known);
+    EXPECT_EQ(back->bad, m.bad);
+  }
+}
+
+TEST(PadsMessages, ViewAgreesWithDecode) {
+  const GossipMsg m = sample(130);
+  const Bytes wire = m.encode();
+  GossipView v;
+  ASSERT_TRUE(GossipView::parse(wire, v));
+  EXPECT_EQ(v.sender, m.sender);
+  EXPECT_EQ(v.epoch, m.epoch);
+  EXPECT_EQ(v.devices, m.devices);
+  EXPECT_EQ(Bytes(v.token.begin(), v.token.end()), m.token);
+  ASSERT_EQ(v.blocks(), m.known.size());
+  for (std::size_t i = 0; i < v.blocks(); ++i) {
+    EXPECT_EQ(v.known_block(i), m.known[i]);
+    EXPECT_EQ(v.bad_block(i), m.bad[i]);
+  }
+}
+
+TEST(PadsMessages, SparseVectorsEncodeAsZeroTail) {
+  GossipMsg m = sample(200);
+  m.known.resize(1);  // declared width needs 4 blocks; builder gives 1
+  m.bad.clear();
+  const Bytes wire = m.encode();
+  EXPECT_EQ(wire.size(), m.wire_size());
+  const auto back = GossipMsg::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->known.size(), knowledge_blocks(200));
+  EXPECT_EQ(back->known[0], m.known[0]);
+  for (std::size_t i = 1; i < back->known.size(); ++i) {
+    EXPECT_EQ(back->known[i], 0u);
+    EXPECT_EQ(back->bad[i], 0u);
+  }
+}
+
+TEST(PadsMessages, RejectsEveryTruncation) {
+  const Bytes wire = sample(100).encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(GossipMsg::decode(BytesView(wire.data(), len)).has_value())
+        << "accepted truncation to " << len;
+  }
+}
+
+TEST(PadsMessages, RejectsTrailingGarbage) {
+  Bytes wire = sample(100).encode();
+  wire.push_back(0x00);
+  EXPECT_FALSE(GossipMsg::decode(wire).has_value());
+}
+
+TEST(PadsMessages, RejectsHostileWidth) {
+  // A 0xffffffff declared width must fail the guard, not overflow the
+  // frame arithmetic into a bogus accept.
+  GossipMsg m = sample(1);
+  Bytes wire = m.encode();
+  store_u32le(wire.data() + 8, 0xffffffffu);
+  EXPECT_FALSE(GossipMsg::decode(wire).has_value());
+  GossipView v;
+  EXPECT_FALSE(GossipView::parse(wire, v));
+}
+
+TEST(PadsMessages, RejectsTokenLengthMismatch) {
+  Bytes wire = sample(64).encode();
+  wire[12] = static_cast<std::uint8_t>(wire[12] + 1);  // declared token len
+  EXPECT_FALSE(GossipMsg::decode(wire).has_value());
+}
+
+TEST(PadsMessages, EmptyInputRejected) {
+  EXPECT_FALSE(GossipMsg::decode(BytesView()).has_value());
+}
+
+}  // namespace
+}  // namespace cra::pads
