@@ -5,7 +5,16 @@
 // that is correct — the device was clean at t = chal), so its
 // "detected" column is 0; every other strategy's compromised rounds are
 // all detected.
+//
+// Harness notes: --devices overrides the swarm size (default 63) and
+// --trials the per-strategy trial count (default 40). The adversary
+// strategies install network tamper hooks, which the sharded engine
+// rejects by design, so the game always plays on the serial engine;
+// --threads is accepted for harness uniformity (the golden suite runs
+// every bench at 1 and 8 threads) and cannot change the output.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bench_args.hpp"
@@ -14,19 +23,30 @@
 
 int main(int argc, char** argv) {
   using namespace cra;
-  const benchargs::BenchArgs args = benchargs::parse(argc, argv);
+  std::uint32_t trials = 40;
+  const benchargs::BenchArgs args = benchargs::parse(
+      argc, argv,
+      [&](std::string_view flag, const std::function<const char*()>& value) {
+        if (flag == "--trials") {
+          trials = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          if (trials == 0) trials = 1;
+          return true;
+        }
+        return false;
+      },
+      "  --trials N          trials per adversary strategy (default 40)\n");
   benchargs::ObsSession obs(args);
 
   sap::SapConfig cfg;
   cfg.pmem_size = 8 * 1024;  // the game is about tokens, not PMEM size
-  constexpr std::uint32_t kDevices = 63;
-  constexpr std::uint32_t kTrials = 40;
+  const std::uint32_t devices = args.devices != 0 ? args.devices : 63;
 
   Table table({"adversary strategy", "trials", "Adv wins", "detected"});
   bool all_secure = true;
   for (tca::AdvStrategy s : tca::all_strategies()) {
     const tca::GameResult r =
-        tca::run_security_game(cfg, kDevices, s, kTrials);
+        tca::run_security_game(cfg, devices, s, trials);
     all_secure = all_secure && r.secure();
     const std::string pre = std::string("game/") + tca::strategy_name(s) + "/";
     obs.registry().counter(pre + "trials").inc(r.trials);
@@ -37,7 +57,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("TCA-Security game (Definition 4), N=%u, %u trials per "
-              "strategy\n\n", kDevices, kTrials);
+              "strategy\n\n", devices, trials);
   std::printf("%s\n", table.to_string().c_str());
   std::printf("=> SAP is %sTCA-Secure against all modelled strategies\n",
               all_secure ? "" : "NOT ");

@@ -1,0 +1,171 @@
+// Live-socket load generator: daemon + agents on loopback, in-process.
+//
+// Spawns a VerifierDaemon on an ephemeral loopback port and --agents
+// AgentRunner threads carving up --devices simulated devices, then
+// drives --rounds attestation rounds as fast as --period-ms allows and
+// reports what the wire stack actually sustains: rounds/sec, round
+// latency (p50/p99 from the daemon's log2 histogram), token throughput,
+// and drops under the optional --loss shaper.
+//
+// NOT part of the golden suite: every number here is wall-clock. The
+// perf CI job records the wire.* gauges next to perf_baseline's (only
+// `.counters` of BENCH_perf.json are diffed, so wall-clock noise never
+// breaks a build).
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_args.hpp"
+#include "common/table.hpp"
+#include "wire/agent.hpp"
+#include "wire/daemon.hpp"
+
+namespace {
+
+/// Upper bound of the log2 bucket holding quantile `q` — the honest
+/// reading of a log-scale histogram (exact within a factor of 2).
+std::uint64_t quantile_upper_bound(const cra::obs::Histogram& h, double q) {
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(q * static_cast<double>(h.count()));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < cra::obs::Histogram::kBuckets; ++i) {
+    seen += h.buckets()[i];
+    if (seen > want) {
+      return i == 0 ? 0 : (1ull << i) - 1;
+    }
+  }
+  return h.max();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cra;
+  std::uint32_t rounds = 20;
+  std::uint32_t agents = 1;
+  std::uint32_t bad = 0;
+  std::uint64_t period_ms = 50;
+  double loss = 0.0;
+  const benchargs::BenchArgs args = benchargs::parse(
+      argc, argv,
+      [&](std::string_view flag, const std::function<const char*()>& value) {
+        if (flag == "--rounds") {
+          rounds = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          if (rounds == 0) rounds = 1;
+          return true;
+        }
+        if (flag == "--agents") {
+          agents = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          if (agents == 0) agents = 1;
+          return true;
+        }
+        if (flag == "--bad") {
+          bad = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          return true;
+        }
+        if (flag == "--period-ms") {
+          period_ms = std::strtoull(value(), nullptr, 10);
+          if (period_ms == 0) period_ms = 1;
+          return true;
+        }
+        if (flag == "--loss") {
+          loss = std::strtod(value(), nullptr);
+          return true;
+        }
+        return false;
+      },
+      "  --rounds N          attestation rounds to drive (default 20)\n"
+      "  --agents N          agent threads sharing the swarm (default 1)\n"
+      "  --bad N             compromised devices (default 0)\n"
+      "  --period-ms N       round period (default 50)\n"
+      "  --loss P            agent uplink loss probability (default 0)\n");
+  benchargs::ObsSession obs(args);
+
+  const std::uint32_t devices = args.devices != 0 ? args.devices : 10'000;
+  const Bytes master = to_bytes("cra-wire-loadgen-master");
+
+  wire::DaemonConfig dcfg;
+  dcfg.port = 0;
+  dcfg.devices = devices;
+  dcfg.master = master;
+  dcfg.rounds = rounds;
+  dcfg.period_ms = period_ms;
+  wire::VerifierDaemon daemon(std::move(dcfg));
+  const std::uint16_t port = daemon.local_port();
+
+  // Carve the id space into --agents contiguous ranges.
+  std::vector<std::unique_ptr<wire::AgentRunner>> runners;
+  std::uint32_t next_id = 1;
+  for (std::uint32_t a = 0; a < agents; ++a) {
+    const std::uint32_t share =
+        devices / agents + (a < devices % agents ? 1 : 0);
+    if (share == 0) continue;
+    wire::AgentRunnerConfig acfg;
+    acfg.daemon = wire::Endpoint::loopback(port);
+    acfg.agent.first_id = next_id;
+    acfg.agent.count = share;
+    acfg.agent.master = master;
+    acfg.agent.bad = next_id == 1 ? bad : 0;
+    acfg.shaper.baseline_loss = loss;
+    acfg.shaper.seed = 0x10adull + a;
+    runners.push_back(std::make_unique<wire::AgentRunner>(std::move(acfg)));
+    next_id += share;
+  }
+
+  benchargs::WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(runners.size());
+  for (auto& r : runners) {
+    threads.emplace_back([&r] { r->run(); });
+  }
+  daemon.run();  // returns after `rounds` rounds
+  const double elapsed = wall.sec();
+  for (auto& r : runners) r->stop();
+  for (auto& t : threads) t.join();
+
+  const obs::MetricsRegistry& m = daemon.metrics();
+  const obs::Histogram* lat = m.find_histogram("wire.daemon.round_latency_us");
+  const std::uint64_t p50 = lat ? quantile_upper_bound(*lat, 0.50) : 0;
+  const std::uint64_t p99 = lat ? quantile_upper_bound(*lat, 0.99) : 0;
+  const std::uint64_t tokens = m.counter_value("wire.daemon.tokens_received");
+  const std::uint64_t missing = m.counter_value("wire.daemon.tokens_missing");
+  const std::uint64_t repolls = m.counter_value("wire.daemon.repolls");
+  const double rps = elapsed > 0 ? daemon.rounds_completed() / elapsed : 0;
+
+  Table table({"metric", "value"});
+  table.add_row({"devices", std::to_string(devices)});
+  table.add_row({"agents", std::to_string(runners.size())});
+  table.add_row({"rounds completed", std::to_string(daemon.rounds_completed())});
+  table.add_row({"rounds/sec", std::to_string(rps)});
+  table.add_row({"round latency p50 (us, <=)", std::to_string(p50)});
+  table.add_row({"round latency p99 (us, <=)", std::to_string(p99)});
+  table.add_row({"tokens received", std::to_string(tokens)});
+  table.add_row({"tokens missing at close", std::to_string(missing)});
+  table.add_row({"repolls", std::to_string(repolls)});
+  std::printf("wire loadgen: %u devices, %u rounds, period %llu ms, "
+              "loss %.3f\n\n%s\n",
+              devices, rounds, static_cast<unsigned long long>(period_ms),
+              loss, table.to_string().c_str());
+  std::fprintf(stderr, "wall: %.3f s (%.0f tokens/sec)\n", elapsed,
+               elapsed > 0 ? static_cast<double>(tokens) / elapsed : 0);
+
+  // Exported shape: daemon counters/histograms verbatim, plus the
+  // wall-clock gauges the perf job records alongside perf_baseline's.
+  obs.capture(m);
+  for (const auto& r : runners) obs.capture(r->metrics());
+  obs.registry().gauge("wire.rounds_per_sec")
+      .set(static_cast<std::int64_t>(rps));
+  obs.registry().gauge("wire.round_p99_us")
+      .set(static_cast<std::int64_t>(p99));
+  obs.registry().gauge("wire.tokens_per_sec")
+      .set(static_cast<std::int64_t>(
+          elapsed > 0 ? static_cast<double>(tokens) / elapsed : 0));
+  obs.registry().gauge("wire.drops_under_load")
+      .set(static_cast<std::int64_t>(missing));
+
+  return daemon.rounds_completed() == rounds ? 0 : 1;
+}

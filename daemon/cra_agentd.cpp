@@ -1,0 +1,160 @@
+// cra_agentd — device agent multiplexing a swarm slice.
+//
+// Simulates --devices SAP devices (ids --first-id .. first-id+N-1) on
+// one socket against a cra_verifierd. Token computation rides the
+// process's crypto backend (CRA_CRYPTO_BACKEND=simd gets the AVX2
+// lanes), so one agent process sustains 100k devices per round on
+// loopback. The optional traffic shaper degrades the agent's own
+// uplink — loss, reordering, and FaultPlan loss-spike/partition
+// windows — which is how the loopback robustness tests exercise the
+// daemon's re-poll ladder without a network middlebox.
+//
+//   cra_agentd --connect 127.0.0.1:7450 --first-id 1 --devices 10000 \
+//       --bad 3 --loss 0.02 --seed 7
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "fault/plan.hpp"
+#include "wire/agent.hpp"
+
+namespace {
+
+cra::wire::AgentRunner* g_runner = nullptr;
+
+void on_terminate(int) {
+  if (g_runner != nullptr) g_runner->stop();
+}
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --connect HOST:PORT daemon address (default 127.0.0.1:7450)\n"
+      "  --first-id N        first device id of this agent's range "
+      "(default 1)\n"
+      "  --devices N         devices simulated by this process "
+      "(default 1000)\n"
+      "  --master-hex HEX    deployment master secret (hex)\n"
+      "  --alg A             sha1 | sha256 (default sha1)\n"
+      "  --bad N             first N devices attest tampered content\n"
+      "  --loss P            baseline uplink loss probability\n"
+      "  --reorder P         probability a token frame is delayed 2 ms\n"
+      "  --seed N            shaper randomness seed\n"
+      "  --plan PATH         FaultPlan text file for shaped loss/partition "
+      "windows\n"
+      "  --help              show this message\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cra;
+  wire::AgentRunnerConfig cfg;
+  cfg.daemon = wire::Endpoint::parse("127.0.0.1:7450");
+  cfg.agent.master = to_bytes("cra-wire-demo-master");
+  std::string plan_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(flag, "--help") == 0 || std::strcmp(flag, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(flag, "--connect") == 0) {
+      cfg.daemon = wire::Endpoint::parse(value());
+    } else if (std::strcmp(flag, "--first-id") == 0) {
+      cfg.agent.first_id =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(flag, "--devices") == 0) {
+      cfg.agent.count =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(flag, "--master-hex") == 0) {
+      cfg.agent.master = from_hex(value());
+    } else if (std::strcmp(flag, "--alg") == 0) {
+      const std::string alg = value();
+      if (alg == "sha1") {
+        cfg.agent.alg = crypto::HashAlg::kSha1;
+      } else if (alg == "sha256") {
+        cfg.agent.alg = crypto::HashAlg::kSha256;
+      } else {
+        std::fprintf(stderr, "unknown --alg %s\n", alg.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--bad") == 0) {
+      cfg.agent.bad =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(flag, "--loss") == 0) {
+      cfg.shaper.baseline_loss = std::strtod(value(), nullptr);
+    } else if (std::strcmp(flag, "--reorder") == 0) {
+      cfg.shaper.reorder = std::strtod(value(), nullptr);
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      cfg.shaper.seed = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(flag, "--plan") == 0) {
+      plan_path = value();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  fault::FaultPlan plan;
+  if (!plan_path.empty()) {
+    std::ifstream in(plan_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open --plan %s\n", plan_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      plan = fault::FaultPlan::parse(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--plan %s: %s\n", plan_path.c_str(), e.what());
+      return 2;
+    }
+    cfg.plan = &plan;
+  }
+
+  const std::uint32_t first_id = cfg.agent.first_id;
+  const std::uint32_t count = cfg.agent.count;
+  const std::string daemon_addr = cfg.daemon.to_string();
+  wire::AgentRunner runner(std::move(cfg));
+  g_runner = &runner;
+
+  struct sigaction sa{};
+  sa.sa_handler = on_terminate;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  std::fprintf(stderr, "cra_agentd: %u devices from id %u -> %s\n", count,
+               first_id, daemon_addr.c_str());
+  runner.run();
+
+  const auto& m = runner.metrics();
+  std::printf("cra_agentd: served %llu challenges, %llu repolls, "
+              "sent %llu datagrams (%llu shaped drops)\n",
+              static_cast<unsigned long long>(
+                  m.counter_value("wire.agent.chals")),
+              static_cast<unsigned long long>(
+                  m.counter_value("wire.agent.repolls")),
+              static_cast<unsigned long long>(
+                  m.counter_value("wire.agent.tx_datagrams")),
+              static_cast<unsigned long long>(
+                  m.counter_value("wire.agent.shaped_drops")));
+  g_runner = nullptr;
+  return 0;
+}

@@ -75,6 +75,15 @@ class PrecomputedHmac {
 
   [[nodiscard]] bool ready() const noexcept { return ready_; }
 
+  /// Zeroize the midstates and return to the not-ready state. A cleared
+  /// cache can be re-keyed with init(); using it before that is a bug
+  /// (callers gate on ready()).
+  void clear() noexcept {
+    secure_wipe(inner_);
+    secure_wipe(outer_);
+    ready_ = false;
+  }
+
   /// MAC of `prefix || suffix`. The two-view form lets SAP stream
   /// PMEM || chal without first concatenating them into a scratch
   /// buffer; pass an empty suffix for the single-message case.
@@ -123,8 +132,10 @@ class PrecomputedMac {
     alg_ = alg;
     if (alg == HashAlg::kSha1) {
       sha1_.init(key);
+      sha256_.clear();  // re-key must not retain the previous key's state
     } else {
       sha256_.init(key);
+      sha1_.clear();
     }
   }
 

@@ -257,74 +257,121 @@ std::string format_ns(std::int64_t ns) {
   return buf;
 }
 
-[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+/// A token plus its 1-based starting column, so every rejection can say
+/// exactly where in the line the offending text sits.
+struct Token {
+  std::string_view text;
+  std::size_t col = 1;
+};
+
+[[noreturn]] void parse_fail(std::size_t line_no, std::size_t col,
+                             const std::string& why) {
   throw std::invalid_argument("FaultPlan::parse: line " +
-                              std::to_string(line_no) + ": " + why);
+                              std::to_string(line_no) + ", col " +
+                              std::to_string(col) + ": " + why);
 }
 
-std::int64_t parse_duration_ns(std::string_view tok, std::size_t line_no) {
+std::int64_t parse_duration_ns(const Token& tok, std::size_t line_no,
+                               bool allow_negative) {
   std::int64_t scale = 0;
   std::string number;
-  if (tok.size() > 2 && tok.substr(tok.size() - 2) == "ns") {
+  const std::string_view t = tok.text;
+  if (t.size() > 2 && t.substr(t.size() - 2) == "ns") {
     scale = 1;
-    number = std::string(tok.substr(0, tok.size() - 2));
-  } else if (tok.size() > 2 && tok.substr(tok.size() - 2) == "us") {
+    number = std::string(t.substr(0, t.size() - 2));
+  } else if (t.size() > 2 && t.substr(t.size() - 2) == "us") {
     scale = 1'000;
-    number = std::string(tok.substr(0, tok.size() - 2));
-  } else if (tok.size() > 2 && tok.substr(tok.size() - 2) == "ms") {
+    number = std::string(t.substr(0, t.size() - 2));
+  } else if (t.size() > 2 && t.substr(t.size() - 2) == "ms") {
     scale = 1'000'000;
-    number = std::string(tok.substr(0, tok.size() - 2));
-  } else if (tok.size() > 1 && tok.back() == 's') {
+    number = std::string(t.substr(0, t.size() - 2));
+  } else if (t.size() > 1 && t.back() == 's') {
     scale = 1'000'000'000;
-    number = std::string(tok.substr(0, tok.size() - 1));
+    number = std::string(t.substr(0, t.size() - 1));
   } else {
-    parse_fail(line_no, "time needs a unit (ns/us/ms/s): '" +
-                            std::string(tok) + "'");
+    parse_fail(line_no, tok.col,
+               "time needs a unit (ns/us/ms/s): '" + std::string(t) + "'");
   }
   char* end = nullptr;
   const double value = std::strtod(number.c_str(), &end);
   if (end == number.c_str() || *end != '\0') {
-    parse_fail(line_no, "bad number '" + number + "'");
+    parse_fail(line_no, tok.col, "bad number '" + number + "'");
   }
-  return static_cast<std::int64_t>(value * static_cast<double>(scale) +
-                                   (value < 0 ? -0.5 : 0.5));
+  // Reject inf/nan and magnitudes the int64 nanosecond grid cannot hold
+  // BEFORE the cast — static_cast of an out-of-range double is UB, and
+  // "@infs" used to reach it.
+  const double ns = value * static_cast<double>(scale);
+  if (!(ns >= -9.2e18 && ns <= 9.2e18)) {  // !(..) also catches NaN
+    parse_fail(line_no, tok.col,
+               "duration out of range: '" + std::string(t) + "'");
+  }
+  if (!allow_negative && ns < 0) {
+    parse_fail(line_no, tok.col,
+               "negative duration not allowed here: '" + std::string(t) +
+                   "'");
+  }
+  return static_cast<std::int64_t>(ns + (ns < 0 ? -0.5 : 0.5));
 }
 
-std::uint32_t parse_node(std::string_view tok, std::size_t line_no) {
-  char* end = nullptr;
-  const std::string s(tok);
-  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') {
-    parse_fail(line_no, "bad node id '" + s + "'");
+std::uint32_t parse_node(std::string_view text, std::size_t col,
+                         std::size_t line_no) {
+  // strtoul silently wraps negative input ("-3" parses as 4294967293)
+  // and silently truncates values past 2^32, so validate by hand: plain
+  // decimal digits only, value must fit a NodeId.
+  if (text.empty()) parse_fail(line_no, col, "empty node id");
+  unsigned long long v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      parse_fail(line_no, col, "bad node id '" + std::string(text) + "'");
+    }
+    v = v * 10 + static_cast<unsigned long long>(c - '0');
+    if (v > 0xffff'ffffULL) {
+      parse_fail(line_no, col,
+                 "node id out of range '" + std::string(text) + "'");
+    }
   }
   return static_cast<std::uint32_t>(v);
 }
 
-std::vector<net::NodeId> parse_node_list(std::string_view tok,
+std::uint32_t parse_node(const Token& tok, std::size_t line_no) {
+  return parse_node(tok.text, tok.col, line_no);
+}
+
+std::vector<net::NodeId> parse_node_list(const Token& tok,
                                          std::size_t line_no) {
   std::vector<net::NodeId> out;
+  const std::string_view t = tok.text;
   std::size_t pos = 0;
-  while (pos < tok.size()) {
-    std::size_t comma = tok.find(',', pos);
-    if (comma == std::string_view::npos) comma = tok.size();
-    const std::string_view part = tok.substr(pos, comma - pos);
+  // Walk comma-separated parts; an empty part (leading, doubled, or
+  // trailing comma — "3,5," used to pass silently) is a parse error.
+  while (true) {
+    std::size_t comma = t.find(',', pos);
+    if (comma == std::string_view::npos) comma = t.size();
+    const std::string_view part = t.substr(pos, comma - pos);
+    const std::size_t part_col = tok.col + pos;
+    if (part.empty()) {
+      parse_fail(line_no, part_col, "empty entry in node list '" +
+                                        std::string(t) + "'");
+    }
     const std::size_t dash = part.find('-');
     if (dash == std::string_view::npos) {
-      out.push_back(parse_node(part, line_no));
+      out.push_back(parse_node(part, part_col, line_no));
     } else {
-      const std::uint32_t lo = parse_node(part.substr(0, dash), line_no);
-      const std::uint32_t hi = parse_node(part.substr(dash + 1), line_no);
-      if (hi < lo) parse_fail(line_no, "descending range");
+      const std::uint32_t lo =
+          parse_node(part.substr(0, dash), part_col, line_no);
+      const std::uint32_t hi =
+          parse_node(part.substr(dash + 1), part_col + dash + 1, line_no);
+      if (hi < lo) parse_fail(line_no, part_col, "descending range");
       for (std::uint32_t n = lo; n <= hi; ++n) out.push_back(n);
     }
+    if (comma == t.size()) break;
     pos = comma + 1;
   }
-  if (out.empty()) parse_fail(line_no, "empty node list");
   return out;
 }
 
-std::vector<std::string_view> split_ws(std::string_view line) {
-  std::vector<std::string_view> toks;
+std::vector<Token> split_ws(std::string_view line) {
+  std::vector<Token> toks;
   std::size_t i = 0;
   while (i < line.size()) {
     while (i < line.size() &&
@@ -336,7 +383,7 @@ std::vector<std::string_view> split_ws(std::string_view line) {
            !std::isspace(static_cast<unsigned char>(line[i]))) {
       ++i;
     }
-    if (i > start) toks.push_back(line.substr(start, i - start));
+    if (i > start) toks.push_back({line.substr(start, i - start), start + 1});
   }
   return toks;
 }
@@ -423,21 +470,37 @@ FaultPlan FaultPlan::parse(std::string_view text) {
     ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string_view::npos) line = line.substr(0, hash);
-    const std::vector<std::string_view> toks = split_ws(line);
+    const std::vector<Token> toks = split_ws(line);
     if (toks.empty()) {
       if (pos > text.size()) break;
       continue;
     }
-    if (toks[0].size() < 2 || toks[0][0] != '@') {
-      parse_fail(line_no, "expected '@<time>'");
+    if (toks[0].text.size() < 2 || toks[0].text[0] != '@') {
+      parse_fail(line_no, toks[0].col, "expected '@<time>'");
     }
-    const sim::SimTime at(parse_duration_ns(toks[0].substr(1), line_no));
-    if (toks.size() < 2) parse_fail(line_no, "missing fault kind");
-    const std::string_view kind = toks[1];
+    const Token time_tok{toks[0].text.substr(1), toks[0].col + 1};
+    // Event times must be non-negative; FaultPlan::add would also throw,
+    // but without saying which line put the event before t=0.
+    const sim::SimTime at(
+        parse_duration_ns(time_tok, line_no, /*allow_negative=*/false));
+    if (toks.size() < 2) {
+      parse_fail(line_no, toks[0].col + toks[0].text.size(),
+                 "missing fault kind");
+    }
+    const std::string_view kind = toks[1].text;
+    // Argument-count contract doubles as the trailing-garbage check: a
+    // well-formed event followed by extra tokens names the first
+    // unconsumed token instead of silently ignoring it.
     auto want = [&](std::size_t n) {
-      if (toks.size() != 2 + n) {
-        parse_fail(line_no, std::string(kind) + " takes " +
-                                std::to_string(n) + " argument(s)");
+      if (toks.size() > 2 + n) {
+        parse_fail(line_no, toks[2 + n].col,
+                   "trailing garbage after " + std::string(kind) + ": '" +
+                       std::string(toks[2 + n].text) + "'");
+      }
+      if (toks.size() < 2 + n) {
+        parse_fail(line_no, toks.back().col + toks.back().text.size(),
+                   std::string(kind) + " takes " + std::to_string(n) +
+                       " argument(s)");
       }
     };
     if (kind == "crash") {
@@ -475,10 +538,10 @@ FaultPlan FaultPlan::parse(std::string_view text) {
     } else if (kind == "loss") {
       want(1);
       char* end = nullptr;
-      const std::string s(toks[2]);
+      const std::string s(toks[2].text);
       const double rate = std::strtod(s.c_str(), &end);
-      if (end == s.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
-        parse_fail(line_no, "bad loss rate '" + s + "'");
+      if (end == s.c_str() || *end != '\0' || !(rate >= 0.0) || rate > 1.0) {
+        parse_fail(line_no, toks[2].col, "bad loss rate '" + s + "'");
       }
       plan.loss_spike(at, rate);
     } else if (kind == "loss-clear") {
@@ -486,10 +549,13 @@ FaultPlan FaultPlan::parse(std::string_view text) {
       plan.loss_clear(at);
     } else if (kind == "skew") {
       want(2);
-      plan.clock_skew(at, parse_node(toks[2], line_no),
-                      sim::Duration(parse_duration_ns(toks[3], line_no)));
+      plan.clock_skew(
+          at, parse_node(toks[2], line_no),
+          sim::Duration(parse_duration_ns(toks[3], line_no,
+                                          /*allow_negative=*/true)));
     } else {
-      parse_fail(line_no, "unknown fault kind '" + std::string(kind) + "'");
+      parse_fail(line_no, toks[1].col,
+                 "unknown fault kind '" + std::string(kind) + "'");
     }
   }
   return plan;

@@ -1,0 +1,98 @@
+#include "fault/shaper.hpp"
+
+#include <algorithm>
+
+namespace cra::fault {
+
+TrafficShaper::TrafficShaper(const ShaperConfig& config, const FaultPlan* plan)
+    : config_(config), draws_(config.seed) {
+  segments_.push_back(LossSegment{0, config_.baseline_loss});
+  if (plan == nullptr) return;
+
+  // Compile the plan's network events into flat timelines once; decide()
+  // then runs two binary searches per datagram.
+  std::vector<std::size_t> open;  // indices of un-healed windows
+  for (const FaultEvent& ev : plan->events()) {
+    const std::uint64_t at =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(ev.at.ns(), 0));
+    switch (ev.kind) {
+      case FaultKind::kLossSpike:
+        segments_.push_back(LossSegment{at, ev.rate});
+        break;
+      case FaultKind::kLossClear:
+        segments_.push_back(LossSegment{at, config_.baseline_loss});
+        break;
+      case FaultKind::kPartition: {
+        PartitionWindow w;
+        w.start_ns = at;
+        w.end_ns = ~0ull;
+        w.island = ev.island;
+        open.push_back(windows_.size());
+        windows_.push_back(std::move(w));
+        break;
+      }
+      case FaultKind::kHeal: {
+        // Close the earliest still-open window with the same island
+        // (the plan pairs partition/heal on identical island lists).
+        for (auto it = open.begin(); it != open.end(); ++it) {
+          if (windows_[*it].island == ev.island) {
+            windows_[*it].end_ns = at;
+            open.erase(it);
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        break;  // device/link faults are endpoint state, not pipe state
+    }
+  }
+  // Events are already time-sorted in the plan, so both timelines are
+  // sorted too; keep the invariant explicit for the searches below.
+  std::stable_sort(segments_.begin(), segments_.end(),
+                   [](const LossSegment& a, const LossSegment& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+}
+
+double TrafficShaper::loss_at(std::uint64_t elapsed_ns) const noexcept {
+  // Last segment with start_ns <= elapsed: upper_bound then step back.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), elapsed_ns,
+      [](std::uint64_t t, const LossSegment& s) { return t < s.start_ns; });
+  return std::prev(it)->rate;  // segments_[0].start_ns == 0, never empty
+}
+
+bool TrafficShaper::partitioned_at(std::uint64_t elapsed_ns,
+                                   std::uint32_t device_id) const noexcept {
+  for (const PartitionWindow& w : windows_) {
+    if (w.start_ns > elapsed_ns) break;
+    if (elapsed_ns < w.end_ns &&
+        std::find(w.island.begin(), w.island.end(), device_id) !=
+            w.island.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TrafficShaper::Verdict TrafficShaper::decide(std::uint64_t elapsed_ns,
+                                             std::uint32_t device_id) {
+  ++decisions_;
+  if (partitioned_at(elapsed_ns, device_id)) {
+    ++dropped_;
+    return Verdict{Fate::kDrop, 0};
+  }
+  const double loss = loss_at(elapsed_ns);
+  if (loss > 0.0 && draws_.next_bool(loss)) {
+    ++dropped_;
+    return Verdict{Fate::kDrop, 0};
+  }
+  if (config_.reorder > 0.0 && draws_.next_bool(config_.reorder)) {
+    ++delayed_;
+    return Verdict{Fate::kDelay, config_.reorder_delay_ns};
+  }
+  return Verdict{Fate::kDeliver, 0};
+}
+
+}  // namespace cra::fault

@@ -1,0 +1,95 @@
+// Socket-layer traffic shaper: FaultPlan semantics for live datagrams.
+//
+// The simulator injects faults through the scheduler; a real UDP
+// deployment has no scheduler, so the wire agent (and the loopback
+// tests) shape traffic at the socket boundary instead. A TrafficShaper
+// replays the network-facing subset of a FaultPlan — loss spikes
+// (kLossSpike/kLossClear) and partitions (kPartition/kHeal) — against
+// wall-clock time elapsed since start(), plus a steady-state baseline:
+// uniform loss and probabilistic reordering (a datagram held back for
+// a fixed delay, re-ordering it behind its successors).
+//
+// Determinism mirrors the plan's philosophy: all randomness comes from
+// one SplitMix64 stream seeded at construction, so two runs that make
+// the same sequence of decide() calls shed and delay the exact same
+// datagrams. (Across runs the *set* of calls shifts with wall-clock
+// timing — the stream pins the per-call draws, which is what makes
+// loss-rate assertions in tests tight.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+
+namespace cra::fault {
+
+struct ShaperConfig {
+  /// Steady-state drop probability applied to every datagram.
+  double baseline_loss = 0.0;
+  /// Probability a delivered datagram is delayed by `reorder_delay_ns`
+  /// instead of going out immediately (lands behind later traffic).
+  double reorder = 0.0;
+  std::uint64_t reorder_delay_ns = 2'000'000;  // 2 ms
+  std::uint64_t seed = 0x73686170;             // "shap"
+};
+
+class TrafficShaper {
+ public:
+  enum class Fate : std::uint8_t {
+    kDeliver,  // send now
+    kDrop,     // shed silently
+    kDelay,    // hold for `delay_ns`, then send
+  };
+
+  struct Verdict {
+    Fate fate = Fate::kDeliver;
+    std::uint64_t delay_ns = 0;
+  };
+
+  /// `plan` may be null (baseline-only shaping). Only kLossSpike,
+  /// kLossClear, kPartition, and kHeal events are consulted; the plan's
+  /// device/link faults belong to the endpoints, not the pipe.
+  TrafficShaper(const ShaperConfig& config, const FaultPlan* plan = nullptr);
+
+  /// Decide the fate of one datagram owned by device `device_id`
+  /// (an agent's base id, or 0 for verifier traffic), `elapsed_ns`
+  /// after the shaping clock started.
+  Verdict decide(std::uint64_t elapsed_ns, std::uint32_t device_id);
+
+  /// Effective loss probability at `elapsed_ns`: baseline overlaid by
+  /// any active plan spike (spikes replace, not stack — matching the
+  /// injector's loss_spike/loss_clear semantics).
+  double loss_at(std::uint64_t elapsed_ns) const noexcept;
+
+  /// True if `device_id` sits in a partition island active at
+  /// `elapsed_ns` (its traffic is dropped outright).
+  bool partitioned_at(std::uint64_t elapsed_ns,
+                      std::uint32_t device_id) const noexcept;
+
+  std::uint64_t decisions() const noexcept { return decisions_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t delayed() const noexcept { return delayed_; }
+
+ private:
+  struct LossSegment {
+    std::uint64_t start_ns;
+    double rate;  // absolute loss probability from start_ns on
+  };
+  struct PartitionWindow {
+    std::uint64_t start_ns;
+    std::uint64_t end_ns;  // UINT64_MAX when never healed
+    std::vector<std::uint32_t> island;
+  };
+
+  ShaperConfig config_;
+  std::vector<LossSegment> segments_;     // sorted by start_ns
+  std::vector<PartitionWindow> windows_;  // sorted by start_ns
+  Rng draws_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace cra::fault

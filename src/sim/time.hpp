@@ -27,8 +27,14 @@ class SimTime {
   static constexpr SimTime from_ns(std::int64_t ns) noexcept { return SimTime(ns); }
   static constexpr SimTime from_us(std::int64_t us) noexcept { return SimTime(us * 1'000); }
   static constexpr SimTime from_ms(std::int64_t ms) noexcept { return SimTime(ms * 1'000'000); }
+  /// Rounds to the nearest nanosecond (ties away from zero). Truncation
+  /// here caused 1 ns drift for values like 2.9 whose product with 1e9
+  /// is not exactly representable (2.9e9 computes as 2899999999.9999995,
+  /// which used to truncate to 2899999999); service periods built from
+  /// seconds then drifted off the tick grid by one period per round.
   static constexpr SimTime from_sec(double sec) noexcept {
-    return SimTime(static_cast<std::int64_t>(sec * 1e9));
+    const double ns = sec * 1e9;
+    return SimTime(static_cast<std::int64_t>(ns + (ns < 0 ? -0.5 : 0.5)));
   }
 
   constexpr std::int64_t ns() const noexcept { return ns_; }

@@ -1,0 +1,358 @@
+#include "wire/daemon.hpp"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sap/messages.hpp"
+
+namespace cra::wire {
+
+volatile std::sig_atomic_t VerifierDaemon::snapshot_requested_ = 0;
+
+namespace {
+
+sap::SapConfig sap_config_for(const DaemonConfig& cfg) {
+  sap::SapConfig sap;
+  sap.alg = cfg.alg;
+  sap.qoa = cfg.mode;
+  sap.adaptive = cfg.adaptive;
+  sap.adaptive.enabled = true;
+  return sap;
+}
+
+}  // namespace
+
+VerifierDaemon::VerifierDaemon(DaemonConfig config)
+    : config_(std::move(config)),
+      verifier_(sap_config_for(config_), config_.devices, config_.master),
+      socket_(UdpSocket::bind(config_.port)),
+      have_(config_.devices, 0) {
+  if (config_.devices == 0) {
+    throw std::invalid_argument("VerifierDaemon: zero devices");
+  }
+  // Seed the valid-state set VS: daemon and agents derive the same
+  // per-device content from the shared master, so no provisioning
+  // round-trip is needed before attestation can start.
+  for (std::uint32_t id = 1; id <= config_.devices; ++id) {
+    verifier_.set_expected_content(
+        id, device_content(config_.master, id, config_.content_size));
+  }
+  loop_.add_fd(socket_.fd(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
+  loop_.set_wakeup_hook([this] {
+    if (snapshot_requested_ != 0) {
+      snapshot_requested_ = 0;
+      write_snapshot();
+    }
+  });
+}
+
+bool VerifierDaemon::coverage_complete() const noexcept {
+  return covered_ >= config_.devices;
+}
+
+void VerifierDaemon::handle_hello(const Frame& frame, const Endpoint& from) {
+  const auto hello = decode_hello(frame.payload);
+  if (!hello.has_value()) {
+    metrics_.counter("wire.daemon.decode_errors").inc();
+    return;
+  }
+  auto [it, fresh] = agents_.try_emplace(hello->first_id);
+  AgentEntry& entry = it->second;
+  if (fresh) {
+    // Range sanity: inside [1, devices], no overlap with the neighbor
+    // below or above (map order = id order).
+    const std::uint64_t end =
+        static_cast<std::uint64_t>(hello->first_id) + hello->count;
+    bool ok = hello->first_id >= 1 && end <= config_.devices + 1ull;
+    if (ok && it != agents_.begin()) {
+      const AgentEntry& below = std::prev(it)->second;
+      ok = below.first_id + below.count <= hello->first_id;
+    }
+    if (ok && std::next(it) != agents_.end()) {
+      ok = end <= std::next(it)->second.first_id;
+    }
+    if (!ok) {
+      agents_.erase(it);
+      metrics_.counter("wire.daemon.rejected_hellos").inc();
+      return;
+    }
+    entry.first_id = hello->first_id;
+    entry.count = hello->count;
+    covered_ += hello->count;
+    metrics_.counter("wire.daemon.agents_registered").inc();
+    metrics_.gauge("wire.daemon.devices_covered")
+        .set(static_cast<std::int64_t>(covered_));
+  }
+  entry.addr = from;  // re-hello may carry a new source port
+  FrameHeader ack;
+  ack.kind = FrameKind::kHelloAck;
+  ack.seq = 0;
+  const Bytes out = encode_frame(ack, frame.payload);
+  (void)socket_.send_one(from, out);
+  metrics_.counter("wire.daemon.tx_datagrams").inc();
+  metrics_.counter("wire.daemon.tx_bytes").inc(out.size());
+}
+
+void VerifierDaemon::handle_tokens(const Frame& frame) {
+  const auto it = agents_.find(frame.header.sender);
+  if (it == agents_.end()) {
+    metrics_.counter("wire.daemon.unknown_sender").inc();
+    return;
+  }
+  // Sequence accounting: a regression means the datagram overtook a
+  // later one somewhere (reorder); gaps show up as lost frames only if
+  // the round also misses tokens, so they are not double-counted here.
+  AgentEntry& agent = it->second;
+  if (agent.saw_seq && frame.header.seq < agent.last_seq) {
+    metrics_.counter("wire.daemon.reordered_datagrams").inc();
+  }
+  if (!agent.saw_seq || frame.header.seq > agent.last_seq) {
+    agent.last_seq = frame.header.seq;
+    agent.saw_seq = true;
+  }
+
+  if (!round_open_ || frame.header.tick != tick_) {
+    metrics_.counter("wire.daemon.stale_tokens").inc();
+    return;
+  }
+  const auto reports =
+      sap::decode_identify_ex(frame.payload, verifier_.config().token_size());
+  if (!reports.has_value()) {
+    metrics_.counter("wire.daemon.decode_errors").inc();
+    return;
+  }
+  for (const sap::DeviceReport& rep : *reports) {
+    if (rep.id == 0 || rep.id > config_.devices) {
+      metrics_.counter("wire.daemon.bogus_device_ids").inc();
+      continue;
+    }
+    if (have_[rep.id - 1] != 0) continue;  // re-poll duplicate
+    have_[rep.id - 1] = 1;
+    ++received_;
+    reports_.push_back(rep);
+  }
+  if (received_ >= config_.devices) finish_round();
+}
+
+std::vector<WantRange> VerifierDaemon::missing_ranges() const {
+  std::vector<WantRange> ranges;
+  std::uint32_t run_start = 0;
+  for (std::uint32_t id = 1; id <= config_.devices + 1; ++id) {
+    const bool missing = id <= config_.devices && have_[id - 1] == 0;
+    if (missing && run_start == 0) run_start = id;
+    if (!missing && run_start != 0) {
+      ranges.push_back(WantRange{run_start, id - run_start});
+      run_start = 0;
+    }
+  }
+  return ranges;
+}
+
+void VerifierDaemon::send_chal(const std::vector<WantRange>& want) {
+  const std::size_t chal_size = verifier_.config().chal_size();
+  Bytes payload = sap::encode_chal(tick_, /*auth_key=*/{}, chal_size);
+  // The want trailer must fit the frame; if the missing set is too
+  // fragmented, fall back to "everything" (correct, just more bytes).
+  if (!want.empty() &&
+      payload.size() + want.size() * 8 <= kMaxPayload) {
+    append_want_ranges(payload, want);
+  }
+  FrameHeader h;
+  h.kind = FrameKind::kChal;
+  h.tick = tick_;
+
+  // One frame per relevant agent. The reserve guarantees no
+  // reallocation, so the SendDatagram views into `frames` stay valid.
+  std::vector<Bytes> frames;
+  std::vector<SendDatagram> out;
+  frames.reserve(agents_.size());
+  out.reserve(agents_.size());
+  for (const auto& [first_id, agent] : agents_) {
+    // On re-polls, skip agents with nothing missing.
+    if (!want.empty()) {
+      bool relevant = false;
+      for (const WantRange& r : want) {
+        if (r.start < first_id + agent.count &&
+            first_id < r.start + r.count) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) continue;
+    }
+    frames.push_back(encode_frame(h, payload));
+    out.push_back(SendDatagram{agent.addr, frames.back()});
+  }
+  const std::size_t sent = socket_.send_batch(out.data(), out.size());
+  metrics_.counter("wire.daemon.tx_datagrams").inc(sent);
+  for (std::size_t i = 0; i < sent; ++i) {
+    metrics_.counter("wire.daemon.tx_bytes").inc(out[i].data.size());
+  }
+  if (sent < out.size()) {
+    metrics_.counter("wire.daemon.tx_backpressure").inc(out.size() - sent);
+  }
+}
+
+void VerifierDaemon::arm_repoll() {
+  const std::uint64_t backoff_ns = static_cast<std::uint64_t>(
+      verifier_.config().adaptive.backoff_for(repoll_attempt_ + 1).ns());
+  repoll_timer_ = loop_.schedule_after(backoff_ns, [this] {
+    repoll_timer_ = 0;
+    if (!round_open_) return;
+    if (repoll_attempt_ >= verifier_.config().adaptive.max_repolls) {
+      finish_round();  // budget spent: close degraded
+      return;
+    }
+    ++repoll_attempt_;
+    metrics_.counter("wire.daemon.repolls").inc();
+    send_chal(missing_ranges());
+    arm_repoll();
+  });
+}
+
+void VerifierDaemon::start_round() {
+  if (round_open_) {
+    // Previous round still open at the next period boundary — the
+    // re-poll ladder will close it; skip this slot rather than overlap.
+    metrics_.counter("wire.daemon.rounds_overrun").inc();
+    return;
+  }
+  if (!coverage_complete()) {
+    metrics_.counter("wire.daemon.rounds_waiting_coverage").inc();
+    return;
+  }
+  round_open_ = true;
+  ++tick_;
+  round_start_ns_ = loop_.now_ns();
+  received_ = 0;
+  std::fill(have_.begin(), have_.end(), 0);
+  reports_.clear();
+  repoll_attempt_ = 0;
+  metrics_.counter("wire.daemon.rounds_started").inc();
+  send_chal({});
+  arm_repoll();
+}
+
+void VerifierDaemon::finish_round() {
+  if (!round_open_) return;
+  round_open_ = false;
+  if (repoll_timer_ != 0) {
+    loop_.cancel(repoll_timer_);
+    repoll_timer_ = 0;
+  }
+
+  const std::uint64_t latency_ns = loop_.now_ns() - round_start_ns_;
+  metrics_.histogram("wire.daemon.round_latency_us")
+      .record(latency_ns / 1'000);
+  metrics_.counter("wire.daemon.rounds_completed").inc();
+  metrics_.counter("wire.daemon.tokens_received").inc(received_);
+  metrics_.counter("wire.daemon.tokens_missing")
+      .inc(config_.devices - received_);
+
+  if (config_.mode == sap::QoaMode::kBinary) {
+    // The transport always carries per-device tokens; binary mode is a
+    // verifier-side fold, exactly like the in-tree aggregation.
+    if (received_ == config_.devices) {
+      Bytes acc(verifier_.config().token_size(), 0);
+      for (const sap::DeviceReport& rep : reports_) {
+        xor_inplace(acc, rep.token);
+      }
+      metrics_
+          .counter(verifier_.verify(acc, tick_)
+                       ? "wire.daemon.rounds_verified"
+                       : "wire.daemon.rounds_failed")
+          .inc();
+    } else {
+      metrics_.counter("wire.daemon.rounds_incomplete").inc();
+    }
+  } else {
+    const auto verdict = verifier_.classify(reports_, tick_);
+    metrics_.counter("wire.daemon.devices_healthy").inc(verdict.healthy);
+    metrics_.counter("wire.daemon.devices_untrusted").inc(verdict.untrusted);
+    metrics_.counter("wire.daemon.devices_unreachable")
+        .inc(verdict.unreachable);
+    metrics_.counter("wire.daemon.devices_rebooted").inc(verdict.rebooted);
+    metrics_
+        .counter(verdict.all_healthy() ? "wire.daemon.rounds_verified"
+                                       : "wire.daemon.rounds_failed")
+        .inc();
+  }
+
+  ++rounds_done_;
+  if (config_.dump_every != 0 && rounds_done_ % config_.dump_every == 0) {
+    write_snapshot();
+  }
+  if (config_.rounds != 0 && rounds_done_ >= config_.rounds) {
+    // Tell the agents the session is over, then leave the loop.
+    FrameHeader bye;
+    bye.kind = FrameKind::kBye;
+    const Bytes frame = encode_frame(bye, {});
+    for (const auto& [first_id, agent] : agents_) {
+      (void)socket_.send_one(agent.addr, frame);
+    }
+    loop_.stop();
+  }
+}
+
+void VerifierDaemon::on_readable() {
+  RecvDatagram batch[UdpSocket::kBatch];
+  for (;;) {
+    const std::size_t n = socket_.recv_batch(batch, UdpSocket::kBatch);
+    if (n == 0) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      metrics_.counter("wire.daemon.rx_datagrams").inc();
+      metrics_.counter("wire.daemon.rx_bytes").inc(batch[i].data.size());
+      const auto frame = decode_frame(batch[i].data);
+      if (!frame.has_value()) {
+        metrics_.counter("wire.daemon.decode_errors").inc();
+        continue;
+      }
+      switch (frame->header.kind) {
+        case FrameKind::kHello:
+          handle_hello(*frame, batch[i].from);
+          break;
+        case FrameKind::kTokens:
+          handle_tokens(*frame);
+          break;
+        case FrameKind::kBye:
+          break;  // agents going away surface as unreachable devices
+        default:
+          metrics_.counter("wire.daemon.unexpected_kind").inc();
+          break;
+      }
+    }
+  }
+}
+
+void VerifierDaemon::run() {
+  // Period ticker: fires every period_ms and re-arms itself.
+  const std::uint64_t period_ns = config_.period_ms * 1'000'000;
+  const auto arm = [this, period_ns](const auto& self) -> void {
+    loop_.schedule_after(period_ns, [this, self] {
+      start_round();
+      self(self);
+    });
+  };
+  start_round();  // waits on coverage internally
+  arm(arm);
+  loop_.run();
+  write_snapshot();
+}
+
+void VerifierDaemon::write_snapshot() {
+  if (config_.metrics_path.empty()) return;
+  const std::string json = metrics_.to_json();
+  const std::string tmp = config_.metrics_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  (void)std::rename(tmp.c_str(), config_.metrics_path.c_str());
+  metrics_.counter("wire.daemon.snapshots_written").inc();
+}
+
+}  // namespace cra::wire

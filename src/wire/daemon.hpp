@@ -1,0 +1,120 @@
+// The SAP verifier daemon: long-lived rounds on real sockets.
+//
+// VerifierDaemon drives the protocol the simulator models, against
+// live agents: every `period_ms` it broadcasts a challenge frame to
+// each registered agent, collects identify-ex token frames, re-polls
+// stragglers on the AdaptiveTimeoutConfig backoff ladder (now in wall
+// time instead of simulated ticks — the same 25 ms × 2 up to 200 ms
+// defaults), and closes the round through sap::Verifier:
+//
+//   * kIdentify mode: classify() yields the degraded-mode census
+//     (healthy / untrusted / unreachable / rebooted) per round;
+//   * kBinary mode: the XOR-fold of all received tokens is compared
+//     against expected_result(tick) — one bit per round, the paper's
+//     TCA-Model outcome.
+//
+// Re-polls carry want-ranges, so a straggling agent re-sends only the
+// token frames the daemon is actually missing.
+//
+// Observability: every round updates an obs::MetricsRegistry, exported
+// as a JSON snapshot (atomic rename) to `metrics_path` every
+// `dump_every` rounds, at shutdown, and whenever request_snapshot() —
+// wired to SIGUSR1 in cra_verifierd — is flagged.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sap/config.hpp"
+#include "sap/verifier.hpp"
+#include "wire/event_loop.hpp"
+#include "wire/frame.hpp"
+#include "wire/udp.hpp"
+
+namespace cra::wire {
+
+struct DaemonConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral (loadgen/tests)
+  std::uint32_t devices = 1000;
+  Bytes master;
+  crypto::HashAlg alg = crypto::HashAlg::kSha1;
+  sap::QoaMode mode = sap::QoaMode::kIdentify;
+  std::size_t content_size = 64;
+  std::uint64_t period_ms = 250;
+  /// Rounds to run before stopping; 0 = run until stop()/SIGTERM.
+  std::uint32_t rounds = 0;
+  /// Re-poll ladder; `enabled` is forced on — a wire daemon without
+  /// timeouts would hang on the first lost datagram.
+  sap::AdaptiveTimeoutConfig adaptive{};
+  std::string metrics_path;      // empty = no snapshots
+  std::uint32_t dump_every = 0;  // 0 = only at shutdown/signal
+};
+
+class VerifierDaemon {
+ public:
+  explicit VerifierDaemon(DaemonConfig config);
+
+  /// Blocks until `rounds` rounds complete or stop() is called.
+  void run();
+  /// Cross-thread safe.
+  void stop() noexcept { loop_.stop(); }
+
+  std::uint16_t local_port() const { return socket_.local_port(); }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  std::uint32_t rounds_completed() const noexcept { return rounds_done_; }
+
+  /// Async-signal-safe snapshot request; the loop writes the JSON on
+  /// its next iteration. The signal itself interrupts epoll_wait, so
+  /// the write happens promptly even on an idle daemon.
+  static void request_snapshot() noexcept { snapshot_requested_ = 1; }
+
+  /// Write the metrics JSON to `metrics_path` now (tmp file + rename).
+  void write_snapshot();
+
+ private:
+  struct AgentEntry {
+    Endpoint addr;
+    std::uint32_t first_id = 0;
+    std::uint32_t count = 0;
+    std::uint32_t last_seq = 0;
+    bool saw_seq = false;
+  };
+
+  void on_readable();
+  void handle_hello(const Frame& frame, const Endpoint& from);
+  void handle_tokens(const Frame& frame);
+  void start_round();
+  void send_chal(const std::vector<WantRange>& want);
+  void finish_round();
+  void arm_repoll();
+  bool coverage_complete() const noexcept;
+  std::vector<WantRange> missing_ranges() const;
+
+  DaemonConfig config_;
+  sap::Verifier verifier_;
+  UdpSocket socket_;
+  EventLoop loop_;
+  obs::MetricsRegistry metrics_;
+
+  std::map<std::uint32_t, AgentEntry> agents_;  // keyed by first_id
+  std::uint32_t covered_ = 0;  // devices claimed by registered agents
+
+  // Round state.
+  bool round_open_ = false;
+  std::uint32_t tick_ = 0;
+  std::uint64_t round_start_ns_ = 0;
+  std::uint32_t received_ = 0;
+  std::vector<std::uint8_t> have_;             // index id-1
+  std::vector<sap::DeviceReport> reports_;
+  std::uint32_t repoll_attempt_ = 0;
+  TimerWheel::TimerId repoll_timer_ = 0;
+  std::uint32_t rounds_done_ = 0;
+
+  static volatile std::sig_atomic_t snapshot_requested_;
+};
+
+}  // namespace cra::wire

@@ -1,0 +1,82 @@
+// Single-threaded epoll event loop.
+//
+// The daemon and the agent are both one loop around three sources:
+// readable sockets, the timer wheel (round periods and the adaptive
+// re-poll ladder), and out-of-band pokes (a signal's EINTR, or a
+// cross-thread stop() through an eventfd). The loop computes its
+// epoll_wait timeout from the wheel's next deadline, so an idle daemon
+// sleeps in the kernel instead of spinning.
+//
+// Threading: everything except stop() must be called from the loop
+// thread. stop() is safe from any thread and from signal handlers'
+// perspective unnecessary — signals interrupt epoll_wait on their own
+// and the wakeup hook runs on every iteration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "wire/timer_wheel.hpp"
+
+namespace cra::wire {
+
+/// CLOCK_MONOTONIC in nanoseconds.
+std::uint64_t monotonic_ns() noexcept;
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(std::uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watch `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback runs
+  /// on the loop thread with the ready event mask.
+  void add_fd(int fd, std::uint32_t events, IoCallback cb);
+  void remove_fd(int fd);
+
+  /// Arm a one-shot timer `delay_ns` from now.
+  TimerWheel::TimerId schedule_after(std::uint64_t delay_ns,
+                                     TimerWheel::Callback cb);
+  bool cancel(TimerWheel::TimerId id) { return wheel_.cancel(id); }
+
+  /// Hook invoked once per loop iteration, after epoll_wait returns
+  /// (including EINTR returns) and before IO/timer dispatch — the place
+  /// to check sig_atomic_t flags set by signal handlers.
+  void set_wakeup_hook(std::function<void()> hook) {
+    wakeup_hook_ = std::move(hook);
+  }
+
+  /// Run until stop(). Dispatch order per iteration: wakeup hook, IO
+  /// callbacks, due timers.
+  void run();
+
+  /// End run() after the current iteration. Callable from any thread
+  /// (writes an eventfd to interrupt a sleeping epoll_wait).
+  void stop() noexcept;
+
+  bool running() const noexcept { return running_; }
+
+  /// Monotonic now, cached once per loop iteration so a burst of
+  /// callbacks sees one consistent timestamp.
+  std::uint64_t now_ns() const noexcept { return now_ns_; }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd for cross-thread stop()
+  // shared_ptr so a handler that remove_fd()s itself mid-dispatch is
+  // kept alive until its invocation returns.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> io_;
+  TimerWheel wheel_;
+  std::function<void()> wakeup_hook_;
+  std::uint64_t now_ns_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace cra::wire

@@ -1,0 +1,91 @@
+#include "wire/timer_wheel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cra::wire {
+
+TimerWheel::TimerWheel(std::uint64_t granularity_ns, std::size_t slots)
+    : granularity_(granularity_ns), mask_(slots - 1), slots_(slots) {
+  if (granularity_ns == 0) {
+    throw std::invalid_argument("TimerWheel: zero granularity");
+  }
+  if (slots == 0 || (slots & (slots - 1)) != 0) {
+    throw std::invalid_argument("TimerWheel: slots must be a power of two");
+  }
+}
+
+TimerWheel::TimerId TimerWheel::schedule(std::uint64_t deadline_ns,
+                                         Callback cb) {
+  const TimerId id = next_id_++;
+  // A deadline already in the past would hash to a slot the clock has
+  // passed this revolution and silently wait a full lap; park it in the
+  // current slot instead so the next advance() fires it (the entry keeps
+  // its real deadline for next_deadline() and the due check).
+  const std::uint64_t slot_key = std::max(deadline_ns, last_advance_);
+  slots_[slot_for(slot_key)].push_back(Entry{id, deadline_ns, std::move(cb)});
+  ++live_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  if (id == 0 || id >= next_id_) return false;
+  for (auto& slot : slots_) {
+    for (Entry& e : slot) {
+      if (e.id == id) {
+        e.id = 0;
+        e.cb = nullptr;
+        --live_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t TimerWheel::advance(std::uint64_t now_ns) {
+  std::size_t fired = 0;
+  // Scan each slot the clock crossed since the last advance (at most
+  // one full revolution — beyond that every slot is a candidate).
+  const std::uint64_t from = last_advance_ / granularity_;
+  const std::uint64_t to = now_ns / granularity_;
+  const std::uint64_t span = std::min<std::uint64_t>(to - from, mask_ + 1);
+  for (std::uint64_t g = 0; g <= span; ++g) {
+    auto& slot = slots_[static_cast<std::size_t>(from + g) & mask_];
+    // Fire due entries in deadline order; keep the rest. Callbacks may
+    // push into this very slot, so index, don't iterate.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (slot[i].id != 0 && slot[i].deadline_ns <= now_ns) {
+        Callback cb = std::move(slot[i].cb);
+        slot[i].id = 0;
+        --live_;
+        ++fired;
+        cb();
+      }
+    }
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (slot[i].id != 0) {
+        if (kept != i) slot[kept] = std::move(slot[i]);
+        ++kept;
+      }
+    }
+    slot.resize(kept);
+  }
+  last_advance_ = now_ns;
+  return fired;
+}
+
+std::uint64_t TimerWheel::next_deadline() const noexcept {
+  if (live_ == 0) return std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& slot : slots_) {
+    for (const Entry& e : slot) {
+      if (e.id != 0 && e.deadline_ns < best) best = e.deadline_ns;
+    }
+  }
+  return best;
+}
+
+}  // namespace cra::wire

@@ -1,0 +1,76 @@
+// Hashed timer wheel for the wire event loop.
+//
+// SAP's adaptive re-poll ladder arms thousands of short, mostly
+// cancelled timers per round (one per outstanding agent, re-armed at
+// every backoff step). A heap would pay O(log n) per arm/cancel and
+// churn allocations; a hashed wheel pays O(1) amortized for both: a
+// timer lands in the slot its deadline hashes to, and expiry scans only
+// the slots the clock actually crossed. Deadlines beyond one wheel
+// revolution simply stay in their slot until the lap counter says they
+// are due (the classic "hashed" scheme — no hierarchical cascade
+// needed at our horizon of seconds).
+//
+// The wheel is clock-agnostic: callers pass absolute nanosecond
+// timestamps to schedule() and advance(). The event loop feeds it
+// CLOCK_MONOTONIC; the unit tests feed it a hand-rolled clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cra::wire {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+  /// 0 is never a live timer id.
+  using TimerId = std::uint64_t;
+
+  /// `granularity_ns` is the wheel's tick (timers fire at most one
+  /// granule late); `slots` must be a power of two.
+  explicit TimerWheel(std::uint64_t granularity_ns = 1'000'000,
+                      std::size_t slots = 256);
+
+  /// Arm a timer for absolute time `deadline_ns`. Deadlines in the past
+  /// fire on the next advance().
+  TimerId schedule(std::uint64_t deadline_ns, Callback cb);
+
+  /// Disarm. Returns false if the id already fired or was cancelled.
+  /// O(1): the entry is tombstoned in place and reclaimed when its slot
+  /// is next scanned.
+  bool cancel(TimerId id);
+
+  /// Fire every timer with deadline <= now_ns (insertion order within a
+  /// slot — ties within one granule carry no ordering promise). Returns
+  /// the number fired. Callbacks may freely schedule() and cancel()
+  /// (including re-arming themselves).
+  std::size_t advance(std::uint64_t now_ns);
+
+  /// Earliest pending deadline, or UINT64_MAX when idle — the event
+  /// loop's epoll_wait timeout. O(slots) worst case but exits at the
+  /// first occupied slot within one revolution.
+  std::uint64_t next_deadline() const noexcept;
+
+  std::size_t pending() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    TimerId id = 0;  // 0 = tombstone
+    std::uint64_t deadline_ns = 0;
+    Callback cb;
+  };
+
+  std::size_t slot_for(std::uint64_t deadline_ns) const noexcept {
+    return static_cast<std::size_t>(deadline_ns / granularity_) & mask_;
+  }
+
+  std::uint64_t granularity_;
+  std::size_t mask_;
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t last_advance_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cra::wire

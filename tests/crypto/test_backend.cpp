@@ -157,6 +157,64 @@ TEST_F(BackendTest, BatchMatchesSerialAtAwkwardSizes) {
   }
 }
 
+// Degenerate batch sizes through every backend: zero jobs must be a
+// no-op (no null-pointer touch, no lane packing on nothing), and a
+// single job must take the scalar fallback and still match the serial
+// reference. These are the edges the SIMD grouping code special-cases.
+TEST_F(BackendTest, ZeroAndOneJobBatchesAllBackends) {
+  for (const Backend* backend : available_backends()) {
+    for (const HashAlg alg : {HashAlg::kSha1, HashAlg::kSha256}) {
+      // n = 0 with null arrays: must return without reading anything.
+      backend->hmac_batch(nullptr, 0, nullptr);
+      EXPECT_EQ(backend->verify_tokens_batch(nullptr, 0, nullptr), 0u)
+          << backend->name();
+
+      // n = 1: exercises the below-lane-width scalar path.
+      Rng rng(9);
+      const Bytes key = random_bytes(rng, 20);
+      PrecomputedMac mac(alg, key);
+      const Bytes msg = to_bytes("single-job body");
+      MacJob job{&mac, msg, {}};
+      MacBuf out;
+      backend->hmac_batch(&job, 1, &out);
+      EXPECT_EQ(to_hex(out.view()), to_hex(mac.mac(msg))) << backend->name();
+
+      const Bytes token = mac.mac(msg);
+      VerifyJob good{&mac, msg, {}, token};
+      std::uint8_t ok = 0xff;
+      EXPECT_EQ(backend->verify_tokens_batch(&good, 1, &ok), 1u)
+          << backend->name();
+      EXPECT_EQ(ok, 1u);
+
+      Bytes forged = token;
+      forged[0] ^= 0x80;
+      VerifyJob bad{&mac, msg, {}, forged};
+      EXPECT_EQ(backend->verify_tokens_batch(&bad, 1, &ok), 0u)
+          << backend->name();
+      EXPECT_EQ(ok, 0u);
+    }
+  }
+}
+
+// Same for the raw digest batches.
+TEST_F(BackendTest, ZeroAndOneMessageDigestBatches) {
+  for (const Backend* backend : available_backends()) {
+    backend->sha1_batch(nullptr, 0, nullptr);
+    backend->sha256_batch(nullptr, 0, nullptr);
+    const Bytes msg = to_bytes("abc");
+    const BytesView view(msg);
+    Sha1::Digest d1;
+    backend->sha1_batch(&view, 1, &d1);
+    EXPECT_EQ(to_hex(d1), "a9993e364706816aba3e25717850c26c9cd0d89d")
+        << backend->name();
+    Sha256::Digest d256;
+    backend->sha256_batch(&view, 1, &d256);
+    EXPECT_EQ(to_hex(d256),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+        << backend->name();
+  }
+}
+
 TEST_F(BackendTest, VerifyTokensBatch) {
   const Backend& backend = active_backend();
   Rng rng(77);

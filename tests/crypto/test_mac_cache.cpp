@@ -129,6 +129,61 @@ TEST(PrecomputedMac, MacIntoMatchesBytesApi) {
   EXPECT_EQ(Bytes(buf.view().begin(), buf.view().end()), expect);
 }
 
+// Rekey after an explicit clear(): the secure-wiped cache must accept a
+// fresh init and then produce RFC-correct digests, and the wipe itself
+// must leave the object not-ready (never silently MAC with zeroed
+// midstates, which would be a constant-key HMAC).
+TEST(PrecomputedHmac, RekeyAfterSecureWipe) {
+  const Bytes k1 = to_bytes("Jefe");
+  const Bytes k2(20, 0x0b);  // RFC 2202 case 1 key
+  const Bytes m1 = to_bytes("what do ya want for nothing?");
+  const Bytes m2 = to_bytes("Hi There");
+
+  PrecomputedHmac<Sha1> p(k1);
+  ASSERT_TRUE(p.ready());
+  const auto before = p.mac(m1);
+  EXPECT_EQ(to_hex(BytesView(before.data(), before.size())),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+
+  p.clear();
+  EXPECT_FALSE(p.ready());
+  // The wiped midstates are all-zero — nothing of k1 survives.
+  for (const auto w : p.inner_midstate()) EXPECT_EQ(w, 0u);
+  for (const auto w : p.outer_midstate()) EXPECT_EQ(w, 0u);
+
+  p.init(k2);
+  ASSERT_TRUE(p.ready());
+  const auto after = p.mac(m2);
+  EXPECT_EQ(to_hex(BytesView(after.data(), after.size())),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+  // And the rekeyed cache matches the streaming reference for the old
+  // message too (k1's digest must NOT reappear).
+  EXPECT_EQ(p.mac(m1), Hmac<Sha1>::mac(k2, m1));
+}
+
+// Switching PrecomputedMac to the other algorithm must wipe the now
+// inactive cache: midstates are key-derived secrets and the old key may
+// have been rotated out precisely because it leaked.
+TEST(PrecomputedMac, AlgSwitchWipesTheInactiveCache) {
+  const Bytes k1 = to_bytes("old-rotated-key");
+  const Bytes k2 = to_bytes("new-key");
+  PrecomputedMac m;
+  m.init(HashAlg::kSha1, k1);
+  ASSERT_TRUE(m.sha1().ready());
+
+  m.init(HashAlg::kSha256, k2);
+  EXPECT_EQ(m.alg(), HashAlg::kSha256);
+  EXPECT_TRUE(m.sha256().ready());
+  EXPECT_FALSE(m.sha1().ready());
+  for (const auto w : m.sha1().inner_midstate()) EXPECT_EQ(w, 0u);
+  for (const auto w : m.sha1().outer_midstate()) EXPECT_EQ(w, 0u);
+
+  // Switch back: fully functional again under the new key.
+  m.init(HashAlg::kSha1, k2);
+  EXPECT_EQ(m.mac(to_bytes("x")), as_bytes(Hmac<Sha1>::mac(k2, to_bytes("x"))));
+  EXPECT_FALSE(m.sha256().ready());
+}
+
 TEST(PrecomputedMac, ReinitSwitchesKey) {
   const Bytes k1 = to_bytes("first"), k2 = to_bytes("second");
   const Bytes msg = to_bytes("m");

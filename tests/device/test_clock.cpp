@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sap/config.hpp"
+
 namespace cra::device {
 namespace {
 
@@ -75,6 +77,44 @@ TEST(SecureClock, CustomRates) {
   EXPECT_NEAR(fast.tick_period().ms(), 10.0, 0.001);
   EXPECT_THROW(SecureClock(0, 1), std::invalid_argument);
   EXPECT_THROW(SecureClock(1, 0), std::invalid_argument);
+}
+
+// Regression for the second<->tick audit (docs/robustness.md): pin the
+// exact tick values second-denominated service knobs resolve to on the
+// paper's clock (24 MHz / 250,000 => 96 ticks per second). from_sec's
+// old truncation made some of these land one nanosecond early, which
+// time_to_tick_ceil then rounded to the same tick only by luck of the
+// double grid — pinning the values keeps any future conversion change
+// honest.
+TEST(SecureClock, SecondDenominatedKnobsPinToExactTicks) {
+  const SecureClock c;  // paper defaults
+  // ServicePolicy::period default: 2.0 s = exactly 192 ticks.
+  EXPECT_EQ(c.time_to_tick_ceil(sim::Duration::from_sec(2.0)), 192u);
+  EXPECT_EQ(c.tick_to_time(192).ns(), 2'000'000'000);
+  // Round-trip: tick 192's start converts back to the same tick.
+  EXPECT_EQ(c.time_to_tick_ceil(c.tick_to_time(192)), 192u);
+  // Non-representable seconds: 2.9 s * 96 ticks/s = 278.4 -> ceil 279.
+  EXPECT_EQ(c.time_to_tick_ceil(sim::Duration::from_sec(2.9)), 279u);
+  // 0.3 s * 96 = 28.8 -> 29; the truncated 299999999 ns gave the same
+  // tick, but 1.0 s exactly must give exactly 96, never 97.
+  EXPECT_EQ(c.time_to_tick_ceil(sim::Duration::from_sec(0.3)), 29u);
+  EXPECT_EQ(c.time_to_tick_ceil(sim::Duration::from_sec(1.0)), 96u);
+}
+
+// SAP adaptive timeouts are millisecond-denominated; pin the exact
+// backoff ladder and total budget so Duration changes cannot silently
+// stretch the verifier's round deadline.
+TEST(SecureClock, AdaptiveBackoffLadderIsExact) {
+  const sap::AdaptiveTimeoutConfig adaptive;  // defaults: 25ms *2 <= 200ms
+  EXPECT_EQ(adaptive.backoff_for(1).ns(), 25'000'000);
+  EXPECT_EQ(adaptive.backoff_for(2).ns(), 50'000'000);
+  EXPECT_EQ(adaptive.backoff_for(3).ns(), 100'000'000);
+  EXPECT_EQ(adaptive.backoff_for(4).ns(), 200'000'000);
+  EXPECT_EQ(adaptive.backoff_for(5).ns(), 200'000'000);  // clamped
+  EXPECT_EQ(adaptive.budget().ns(), 375'000'000);
+  // The budget expressed in ticks of the paper clock: 375 ms = 36 ticks.
+  const SecureClock c;
+  EXPECT_EQ(c.time_to_tick_ceil(adaptive.budget()), 36u);
 }
 
 TEST(SecureClock, MonotoneInTime) {

@@ -117,6 +117,73 @@ TEST(FaultPlan, ParseRejectsGarbageWithLineNumber) {
   }
 }
 
+// Regression suite for the silent-acceptance audit: every malformed
+// input below used to either partially apply, wrap around an integer
+// type, or hit UB in a double->int64 cast. All must now throw with a
+// line AND column diagnostic.
+TEST(FaultPlan, ParseRejectionsCarryLineAndColumn) {
+  auto expect_rejects = [](const char* text, const char* needle) {
+    try {
+      (void)FaultPlan::parse(text);
+      FAIL() << "expected std::invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line "), std::string::npos) << what;
+      EXPECT_NE(what.find("col "), std::string::npos) << what;
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "wanted '" << needle << "' in: " << what;
+    }
+  };
+  // Unknown event kind (never silently skipped).
+  expect_rejects("@10ms explode 3", "unknown fault kind");
+  // Trailing garbage after a well-formed event used to fail only via the
+  // generic arity message; now it names the stray token.
+  expect_rejects("@10ms crash 3 7", "trailing garbage");
+  expect_rejects("@10ms loss-clear oops", "trailing garbage");
+  expect_rejects("@10ms skew 2 5ms extra", "trailing garbage");
+  // Negative event time: rejected at parse with location (FaultPlan::add
+  // would throw too, but without naming the line).
+  expect_rejects("@-5ms crash 3", "negative duration");
+  // Negative node ids used to wrap through strtoul to 4294967293.
+  expect_rejects("@10ms crash -3", "bad node id");
+  // Node ids past 2^32 used to truncate silently.
+  expect_rejects("@10ms crash 4294967296", "node id out of range");
+  // Trailing comma in a node list used to be silently dropped.
+  expect_rejects("@10ms partition 3,5,", "empty entry in node list");
+  expect_rejects("@10ms heal ,3", "empty entry in node list");
+  // Non-finite / overflowing durations used to reach UB in the cast.
+  expect_rejects("@infs crash 3", "duration out of range");
+  expect_rejects("@10ms skew 2 1e300s", "duration out of range");
+  expect_rejects("@nans crash 3", "bad number");
+  // Negative and out-of-range loss rates.
+  expect_rejects("@10ms loss -0.1", "bad loss rate");
+  expect_rejects("@10ms loss 1.5", "bad loss rate");
+  expect_rejects("@10ms loss nan", "bad loss rate");
+}
+
+// A malformed line must reject the WHOLE plan, not apply the events
+// before it: parse is all-or-nothing.
+TEST(FaultPlan, ParseIsAllOrNothing) {
+  EXPECT_THROW((void)FaultPlan::parse("@1ms crash 2\n@2ms crash 3 junk\n"),
+               std::invalid_argument);
+}
+
+// Negative skew stays legal (clock drift goes both ways), and column
+// numbers point at the offending token, not the line start.
+TEST(FaultPlan, ParseColumnPointsAtOffendingToken) {
+  const FaultPlan ok = FaultPlan::parse("@10ms skew 2 -5ms\n");
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok.events()[0].skew_ns, -5'000'000);
+  try {
+    (void)FaultPlan::parse("@10ms crash bogus\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // "bogus" starts at column 13 of the line.
+    EXPECT_NE(std::string(e.what()).find("col 13"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
   const FaultPlan plan = FaultPlan::parse(
       "# chaos scenario\n"

@@ -39,6 +39,30 @@ TEST(SimTime, Ordering) {
   EXPECT_GE(SimTime::from_ms(1), SimTime::from_us(1000));
 }
 
+// Regression: from_sec used to truncate `sec * 1e9`, so seconds whose
+// nanosecond product is not exactly representable in double landed 1 ns
+// short (2.9 * 1e9 computes as 2899999999.9999995). A ServicePolicy
+// period built from such a value drifted off the secure-clock tick grid
+// by one nanosecond per round. from_sec now rounds to nearest.
+TEST(SimTime, FromSecRoundsToNearestNanosecond) {
+  EXPECT_EQ(SimTime::from_sec(2.9).ns(), 2'900'000'000);
+  EXPECT_EQ(SimTime::from_sec(0.3).ns(), 300'000'000);
+  EXPECT_EQ(SimTime::from_sec(4.7).ns(), 4'700'000'000);
+  EXPECT_EQ(SimTime::from_sec(-2.9).ns(), -2'900'000'000);
+  // Exactly-representable values stay exact.
+  EXPECT_EQ(SimTime::from_sec(2.0).ns(), 2'000'000'000);
+  EXPECT_EQ(SimTime::from_sec(0.5).ns(), 500'000'000);
+}
+
+// Second -> nanosecond -> second round-trips are the identity for the
+// values service policies are configured with.
+TEST(SimTime, FromSecRoundTrip) {
+  for (const double sec : {0.1, 0.3, 0.7, 1.0, 2.0, 2.9, 10.42}) {
+    EXPECT_DOUBLE_EQ(SimTime::from_sec(SimTime::from_sec(sec).sec()).sec(),
+                     SimTime::from_sec(sec).sec());
+  }
+}
+
 TEST(TransmissionDelay, PaperParameters) {
   // 20 bytes at 250 kbit/s = 160 bits / 250000 bps = 640 µs.
   EXPECT_EQ(transmission_delay(160, 250'000).us(), 640.0);

@@ -1,0 +1,140 @@
+// TrafficShaper: FaultPlan loss/partition windows replayed against
+// wall-clock offsets, plus the baseline loss/reorder draws.
+#include "fault/shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace cra::fault {
+namespace {
+
+using sim::SimTime;
+using Fate = TrafficShaper::Fate;
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+TEST(TrafficShaper, DefaultConfigDeliversEverything) {
+  TrafficShaper shaper{ShaperConfig{}};
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    EXPECT_EQ(shaper.decide(t * kMs, 42).fate, Fate::kDeliver);
+  }
+  EXPECT_EQ(shaper.decisions(), 1000u);
+  EXPECT_EQ(shaper.dropped(), 0u);
+  EXPECT_EQ(shaper.delayed(), 0u);
+}
+
+TEST(TrafficShaper, CertainLossDropsEverything) {
+  ShaperConfig cfg;
+  cfg.baseline_loss = 1.0;
+  TrafficShaper shaper{cfg};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(shaper.decide(0, 1).fate, Fate::kDrop);
+  }
+  EXPECT_EQ(shaper.dropped(), 100u);
+}
+
+TEST(TrafficShaper, SameSeedSameVerdictSequence) {
+  ShaperConfig cfg;
+  cfg.baseline_loss = 0.3;
+  cfg.reorder = 0.2;
+  TrafficShaper a{cfg};
+  TrafficShaper b{cfg};
+  for (int i = 0; i < 2000; ++i) {
+    const auto va = a.decide(static_cast<std::uint64_t>(i) * kMs, 7);
+    const auto vb = b.decide(static_cast<std::uint64_t>(i) * kMs, 7);
+    ASSERT_EQ(va.fate, vb.fate) << "diverged at call " << i;
+    ASSERT_EQ(va.delay_ns, vb.delay_ns);
+  }
+
+  cfg.seed = 0xd1ffe4ull;
+  TrafficShaper c{cfg};
+  int diverged = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (c.decide(static_cast<std::uint64_t>(i) * kMs, 7).fate !=
+        a.decide(static_cast<std::uint64_t>(i) * kMs, 7).fate) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0) << "a different seed never changed a verdict";
+}
+
+TEST(TrafficShaper, BaselineLossRateIsRoughlyHonoured) {
+  ShaperConfig cfg;
+  cfg.baseline_loss = 0.25;
+  TrafficShaper shaper{cfg};
+  const int kN = 20'000;
+  for (int i = 0; i < kN; ++i) (void)shaper.decide(0, 1);
+  const double rate =
+      static_cast<double>(shaper.dropped()) / static_cast<double>(kN);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(TrafficShaper, PlanLossSpikeWindowOverridesBaseline) {
+  ShaperConfig cfg;
+  cfg.baseline_loss = 0.05;
+  FaultPlan plan;
+  plan.loss_spike(SimTime::from_ms(100), 1.0);
+  plan.loss_clear(SimTime::from_ms(200));
+  TrafficShaper shaper{cfg, &plan};
+
+  EXPECT_DOUBLE_EQ(shaper.loss_at(0), 0.05);
+  EXPECT_DOUBLE_EQ(shaper.loss_at(99 * kMs), 0.05);
+  EXPECT_DOUBLE_EQ(shaper.loss_at(100 * kMs), 1.0);
+  EXPECT_DOUBLE_EQ(shaper.loss_at(199 * kMs), 1.0);
+  // loss_clear returns to the shaper's own baseline, not zero.
+  EXPECT_DOUBLE_EQ(shaper.loss_at(200 * kMs), 0.05);
+
+  // Inside the total-loss window every datagram is shed.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(shaper.decide(150 * kMs, 9).fate, Fate::kDrop);
+  }
+}
+
+TEST(TrafficShaper, PartitionDropsOnlyIslandMembers) {
+  FaultPlan plan;
+  plan.partition(SimTime::from_ms(50), {3, 4, 5});
+  plan.heal(SimTime::from_ms(150), {3, 4, 5});
+  TrafficShaper shaper{ShaperConfig{}, &plan};
+
+  EXPECT_FALSE(shaper.partitioned_at(0, 4));
+  EXPECT_TRUE(shaper.partitioned_at(100 * kMs, 4));
+  EXPECT_FALSE(shaper.partitioned_at(100 * kMs, 6));  // outside the island
+  EXPECT_FALSE(shaper.partitioned_at(150 * kMs, 4));  // healed
+
+  EXPECT_EQ(shaper.decide(100 * kMs, 4).fate, Fate::kDrop);
+  EXPECT_EQ(shaper.decide(100 * kMs, 6).fate, Fate::kDeliver);
+  EXPECT_EQ(shaper.decide(160 * kMs, 4).fate, Fate::kDeliver);
+}
+
+TEST(TrafficShaper, UnhealedPartitionLastsForever) {
+  FaultPlan plan;
+  plan.partition(SimTime::from_ms(10), {1});
+  TrafficShaper shaper{ShaperConfig{}, &plan};
+  EXPECT_TRUE(shaper.partitioned_at(10 * kMs, 1));
+  EXPECT_TRUE(shaper.partitioned_at(1'000'000 * kMs, 1));
+}
+
+TEST(TrafficShaper, ReorderDelaysWithConfiguredHold) {
+  ShaperConfig cfg;
+  cfg.reorder = 1.0;
+  cfg.reorder_delay_ns = 5 * kMs;
+  TrafficShaper shaper{cfg};
+  const auto v = shaper.decide(0, 1);
+  EXPECT_EQ(v.fate, Fate::kDelay);
+  EXPECT_EQ(v.delay_ns, 5 * kMs);
+  EXPECT_EQ(shaper.delayed(), 1u);
+}
+
+TEST(TrafficShaper, DeviceAndLinkFaultsAreIgnoredByThePipe) {
+  // Endpoint faults (crash/sleep/link) must not shape datagrams.
+  FaultPlan plan;
+  plan.crash(SimTime::from_ms(10), 7);
+  plan.link_down(SimTime::from_ms(10), 1, 2);
+  TrafficShaper shaper{ShaperConfig{}, &plan};
+  EXPECT_EQ(shaper.decide(50 * kMs, 7).fate, Fate::kDeliver);
+  EXPECT_DOUBLE_EQ(shaper.loss_at(50 * kMs), 0.0);
+}
+
+}  // namespace
+}  // namespace cra::fault

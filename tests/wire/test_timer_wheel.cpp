@@ -1,0 +1,133 @@
+// TimerWheel under a hand-rolled clock: the wheel is clock-agnostic, so
+// every schedule/cancel/lap behaviour is testable with plain integers.
+#include "wire/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cra::wire {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+TEST(TimerWheel, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(10 * kMs, [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(9 * kMs), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.advance(10 * kMs), 1u);
+  EXPECT_EQ(fired, 1);
+  // One-shot: advancing further never re-fires.
+  EXPECT_EQ(wheel.advance(500 * kMs), 0u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel;
+  (void)wheel.advance(50 * kMs);
+  int fired = 0;
+  wheel.schedule(1 * kMs, [&] { ++fired; });  // already in the past
+  EXPECT_EQ(wheel.advance(50 * kMs), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.schedule(5 * kMs, [&] { ++fired; });
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel: already gone
+  EXPECT_EQ(wheel.advance(100 * kMs), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheel, CancelAfterFireReturnsFalse) {
+  TimerWheel wheel;
+  const auto id = wheel.schedule(2 * kMs, [] {});
+  EXPECT_EQ(wheel.advance(2 * kMs), 1u);
+  EXPECT_FALSE(wheel.cancel(id));
+}
+
+TEST(TimerWheel, CallbackMayRearmItself) {
+  TimerWheel wheel;
+  // The adaptive re-poll pattern: each firing schedules the next step.
+  std::vector<std::uint64_t> fire_times;
+  std::uint64_t next_delay = 25 * kMs;
+  std::function<void()> rearm;
+  std::uint64_t now = 0;
+  rearm = [&] {
+    fire_times.push_back(now);
+    if (fire_times.size() < 4) {
+      next_delay *= 2;
+      wheel.schedule(now + next_delay, rearm);
+    }
+  };
+  wheel.schedule(25 * kMs, rearm);
+  for (now = 0; now <= 1000 * kMs; now += kMs) wheel.advance(now);
+  ASSERT_EQ(fire_times.size(), 4u);
+  EXPECT_EQ(fire_times[0], 25 * kMs);
+  EXPECT_EQ(fire_times[1], 75 * kMs);   // +50
+  EXPECT_EQ(fire_times[2], 175 * kMs);  // +100
+  EXPECT_EQ(fire_times[3], 375 * kMs);  // +200
+}
+
+TEST(TimerWheel, DeadlineBeyondOneRevolutionWaitsItsLap) {
+  // 256 slots x 1 ms granularity = 256 ms per revolution. A 300 ms
+  // timer hashes into an early slot but must not fire on the first
+  // pass over that slot (~44 ms in).
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(300 * kMs, [&] { ++fired; });
+  for (std::uint64_t t = 0; t < 300; ++t) {
+    wheel.advance(t * kMs);
+    ASSERT_EQ(fired, 0) << "fired a lap early at t=" << t << "ms";
+  }
+  wheel.advance(300 * kMs);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestPending) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.next_deadline(), UINT64_MAX);
+  wheel.schedule(40 * kMs, [] {});
+  const auto early = wheel.schedule(10 * kMs, [] {});
+  EXPECT_LE(wheel.next_deadline(), 10 * kMs);
+  EXPECT_GT(wheel.next_deadline(), 0u);
+  wheel.cancel(early);
+  const std::uint64_t after = wheel.next_deadline();
+  EXPECT_GT(after, 10 * kMs);
+  EXPECT_LE(after, 40 * kMs);
+  wheel.advance(40 * kMs);
+  EXPECT_EQ(wheel.next_deadline(), UINT64_MAX);
+}
+
+TEST(TimerWheel, ManyTimersOneSlotFireTogether) {
+  TimerWheel wheel;
+  int fired = 0;
+  // Same granule -> same slot; all due at once, insertion order kept
+  // as a batch (no ordering promise within the granule, only the count).
+  for (int i = 0; i < 1000; ++i) wheel.schedule(7 * kMs, [&] { ++fired; });
+  EXPECT_EQ(wheel.pending(), 1000u);
+  EXPECT_EQ(wheel.advance(7 * kMs), 1000u);
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, IdsAreNeverReusedOrZero) {
+  TimerWheel wheel;
+  std::vector<TimerWheel::TimerId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(wheel.schedule(kMs, [] {}));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i], 0u);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cra::wire
