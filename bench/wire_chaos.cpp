@@ -1,0 +1,523 @@
+// Process-level chaos for the live wire stack: fork the real daemons,
+// SIGKILL them at seeded plan points, and prove the census converges.
+//
+// The supervisor forks a VerifierDaemon child (journaled) plus --agents
+// AgentRunner children on loopback, then replays the FaultPlan's
+// proc-kill events against the live processes: `@<t> proc-kill 0` kills
+// the verifier, `proc-kill N` (N >= 1) kills agent N, and each victim
+// is respawned after its downtime. The restarted verifier replays its
+// snapshot + WAL and resumes the interrupted round; restarted agents
+// re-hello with a fresh journaled epoch and rejoin mid-round.
+//
+// Asserted per repeat (exit 1 on any violation):
+//   * the verifier finishes all --rounds rounds (exit 0, and the final
+//     state snapshot says rounds_done == --rounds with no round open);
+//   * zero false-untrusted: the devices_untrusted counters summed over
+//     every verifier incarnation are 0 (all agents attest honestly);
+//   * every round closed exactly once across incarnations;
+//   * recovery reconverged within 2 extra rounds (wire.recovery_rounds
+//     counts the resumed round, so the bound is <= 3);
+//   * byte-identical replay: the supervisor replays the journal files
+//     itself right after the kill and the restarted daemon's
+//     wire.daemon.recovered_digest_lo gauge must equal that digest.
+//
+// Recovery metrics (wire.recovery_ms, wire.recovery_rounds) are
+// exported through --metrics-json for the perf job's BENCH_perf.json.
+//
+// NOT part of the golden suite: timings are wall-clock.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_args.hpp"
+#include "crypto/hmac.hpp"
+#include "fault/plan.hpp"
+#include "wire/agent.hpp"
+#include "wire/daemon.hpp"
+#include "wire/journal.hpp"
+
+namespace {
+
+using namespace cra;
+
+struct ChaosOptions {
+  std::uint32_t devices = 2000;
+  std::uint32_t agents = 2;
+  std::uint32_t rounds = 16;
+  std::uint64_t period_ms = 50;
+  double loss = 0.02;
+  std::uint64_t seed = 0xc4a05ull;
+  std::uint32_t repeat = 3;
+  std::string plan_path;
+  std::uint64_t deadline_ms = 90'000;
+};
+
+/// Grab an ephemeral loopback port, then release it for the verifier
+/// child to bind. The tiny reuse race is acceptable on loopback.
+std::uint16_t probe_port() {
+  const wire::UdpSocket s = wire::UdpSocket::bind(0);
+  return s.local_port();
+}
+
+[[noreturn]] void run_verifier_child(const ChaosOptions& opt,
+                                     std::uint16_t port,
+                                     const std::string& dir,
+                                     std::uint32_t generation) {
+  try {
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { wire::VerifierDaemon::request_shutdown(); };
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    wire::DaemonConfig cfg;
+    cfg.port = port;
+    cfg.devices = opt.devices;
+    cfg.master = to_bytes("cra-wire-chaos-master");
+    cfg.rounds = opt.rounds;
+    cfg.period_ms = opt.period_ms;
+    cfg.journal_path = dir + "/verifier";
+    cfg.snapshot_every = 4;
+    cfg.metrics_path = dir + "/verifier." + std::to_string(generation) +
+                       ".json";
+    wire::VerifierDaemon daemon(std::move(cfg));
+    daemon.run();
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "verifier child: %s\n", e.what());
+    ::_exit(3);
+  } catch (...) {
+    ::_exit(3);
+  }
+}
+
+[[noreturn]] void run_agent_child(const ChaosOptions& opt, std::uint16_t port,
+                                  const std::string& dir, std::uint32_t index,
+                                  std::uint32_t first_id,
+                                  std::uint32_t count) {
+  try {
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { wire::AgentRunner::request_shutdown(); };
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    wire::AgentRunnerConfig cfg;
+    cfg.daemon = wire::Endpoint::loopback(port);
+    cfg.agent.first_id = first_id;
+    cfg.agent.count = count;
+    cfg.agent.master = to_bytes("cra-wire-chaos-master");
+    cfg.shaper.baseline_loss = opt.loss;
+    cfg.shaper.seed = opt.seed + index;
+    cfg.journal_path = dir + "/agent" + std::to_string(index) + ".epoch";
+    cfg.metrics_path = dir + "/agent" + std::to_string(index) + ".json";
+    wire::AgentRunner runner(std::move(cfg));
+    runner.run();
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "agent child: %s\n", e.what());
+    ::_exit(3);
+  } catch (...) {
+    ::_exit(3);
+  }
+}
+
+/// Replay the verifier's journal exactly the way the daemon does, and
+/// return the 63-bit digest the restarted daemon must report.
+std::uint64_t replay_digest(const std::string& base, std::uint32_t devices,
+                            wire::VerifierState* out = nullptr) {
+  const std::size_t token_size = crypto::digest_size(crypto::HashAlg::kSha1);
+  wire::VerifierState st;
+  st.devices = devices;
+  if (const auto snap = wire::read_snapshot_file(base + ".snap")) {
+    auto decoded = wire::VerifierState::decode(*snap, token_size);
+    if (decoded.has_value() && decoded->devices == devices) {
+      st = std::move(*decoded);
+    }
+  }
+  wire::Journal::OpenStats jstats;
+  wire::Journal journal = wire::Journal::open(
+      base + ".wal", [&](std::uint8_t kind, BytesView payload) {
+        st.apply(kind, payload, token_size);
+      },
+      &jstats);
+  const std::uint64_t digest =
+      st.digest64(token_size) & 0x7fffffffffffffffull;
+  if (std::getenv("WIRE_CHAOS_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "[replay] records=%zu torn=%zu rounds_done=%u tick=%u "
+                 "open=%d agents=%zu reports=%zu digest=%llu\n",
+                 jstats.records, jstats.truncated_bytes, st.rounds_done,
+                 st.tick, st.round_open ? 1 : 0, st.agents.size(),
+                 st.reports.size(),
+                 static_cast<unsigned long long>(digest));
+  }
+  if (out != nullptr) *out = std::move(st);
+  return digest;
+}
+
+/// `"name":<integer>` extractor for the daemons' metrics JSON — the
+/// repo has no JSON parser and the writer's output shape is fixed.
+bool find_metric(const std::string& json, const std::string& name,
+                 long long* out) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t pos = json.find(key);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoll(json.c_str() + pos + key.size(), nullptr, 10);
+  return true;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+bool wait_exit(pid_t pid, std::uint64_t timeout_ms, int* status) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t got = ::waitpid(pid, status, WNOHANG);
+    if (got == pid) return true;
+    if (got < 0) return false;  // already reaped / gone
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+struct RepeatResult {
+  bool ok = true;
+  std::vector<std::string> failures;
+  long long recovery_ms = -1;
+  long long recovery_rounds = -1;
+  std::uint64_t verifier_kills = 0;
+  std::uint64_t agent_kills = 0;
+
+  void fail(std::string why) {
+    ok = false;
+    failures.push_back(std::move(why));
+  }
+};
+
+RepeatResult run_repeat(const ChaosOptions& opt, const fault::FaultPlan& plan,
+                        const std::string& dir) {
+  RepeatResult res;
+  const std::uint16_t port = probe_port();
+
+  // pids[0] = verifier, pids[1..] = agents. Generation counts verifier
+  // incarnations (each writes its own metrics file).
+  std::vector<pid_t> pids(1 + opt.agents, -1);
+  std::vector<std::uint32_t> first_ids(opt.agents, 0);
+  std::vector<std::uint32_t> counts(opt.agents, 0);
+  std::uint32_t next_id = 1;
+  for (std::uint32_t a = 0; a < opt.agents; ++a) {
+    counts[a] = opt.devices / opt.agents +
+                (a < opt.devices % opt.agents ? 1 : 0);
+    first_ids[a] = next_id;
+    next_id += counts[a];
+  }
+  std::uint32_t generation = 0;
+  const auto spawn = [&](std::uint32_t proc) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      if (proc == 0) {
+        run_verifier_child(opt, port, dir, generation);
+      } else {
+        run_agent_child(opt, port, dir, proc - 1, first_ids[proc - 1],
+                        counts[proc - 1]);
+      }
+    }
+    pids[proc] = pid;
+  };
+  const auto kill_all = [&] {
+    for (const pid_t pid : pids) {
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        int st;
+        (void)::waitpid(pid, &st, 0);
+      }
+    }
+  };
+
+  for (std::uint32_t a = 0; a < opt.agents; ++a) spawn(a + 1);
+  spawn(0);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Replay the proc-kill timeline against the live processes. The
+  // expected digest is captured between the verifier's death and its
+  // respawn, while the journal files are quiescent.
+  std::uint64_t expected_digest = 0;
+  bool have_expected_digest = false;
+  for (const fault::FaultEvent& ev : plan.events()) {
+    if (ev.kind != fault::FaultKind::kProcKill) continue;
+    const std::uint32_t proc = ev.device;
+    if (proc >= pids.size()) continue;
+    std::this_thread::sleep_until(
+        t0 + std::chrono::nanoseconds(ev.at.ns()));
+    if (pids[proc] <= 0 || ::kill(pids[proc], SIGKILL) != 0) continue;
+    int st;
+    (void)::waitpid(pids[proc], &st, 0);
+    pids[proc] = -1;
+    if (proc == 0) {
+      ++res.verifier_kills;
+      expected_digest = replay_digest(dir + "/verifier", opt.devices);
+      have_expected_digest = true;
+      ++generation;
+    } else {
+      ++res.agent_kills;
+    }
+    const std::int64_t downtime_ns =
+        ev.duration > sim::Duration::zero() ? ev.duration.ns()
+                                            : 150'000'000;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(downtime_ns));
+    spawn(proc);
+  }
+
+  int vstatus = 0;
+  if (!wait_exit(pids[0], opt.deadline_ms, &vstatus)) {
+    res.fail("verifier did not finish within the deadline");
+    kill_all();
+    return res;
+  }
+  pids[0] = -1;
+  if (!WIFEXITED(vstatus) || WEXITSTATUS(vstatus) != 0) {
+    res.fail("verifier exited abnormally (status " +
+             std::to_string(vstatus) + ")");
+  }
+
+  // Agents exit on the verifier's kBye; SIGTERM is the backup path
+  // (which also exercises their graceful metrics export).
+  for (std::uint32_t a = 0; a < opt.agents; ++a) {
+    if (pids[a + 1] <= 0) continue;
+    ::kill(pids[a + 1], SIGTERM);
+    int st;
+    if (!wait_exit(pids[a + 1], 5'000, &st)) {
+      ::kill(pids[a + 1], SIGKILL);
+      (void)::waitpid(pids[a + 1], &st, 0);
+      res.fail("agent " + std::to_string(a) + " ignored SIGTERM");
+    }
+    pids[a + 1] = -1;
+  }
+
+  // Census completeness from the durable state itself: the final
+  // snapshot + WAL must say every round closed and none is in flight.
+  wire::VerifierState final_state;
+  (void)replay_digest(dir + "/verifier", opt.devices, &final_state);
+  if (final_state.rounds_done != opt.rounds) {
+    res.fail("journal says " + std::to_string(final_state.rounds_done) +
+             " rounds done, want " + std::to_string(opt.rounds));
+  }
+  if (final_state.round_open) {
+    res.fail("journal left a round open after shutdown");
+  }
+
+  // Summed counters across every verifier incarnation that lived to
+  // export metrics. (A SIGKILLed incarnation's counters die with it;
+  // round accounting is asserted from the journal above, which is
+  // exactly why it exists.)
+  long long untrusted_total = 0;
+  std::string last_json;
+  for (std::uint32_t g = 0; g <= generation; ++g) {
+    const std::string json =
+        slurp(dir + "/verifier." + std::to_string(g) + ".json");
+    if (json.empty()) {
+      // A killed incarnation never reaches its exit snapshot; only the
+      // generations that closed rounds are required to have files.
+      continue;
+    }
+    long long v = 0;
+    if (find_metric(json, "wire.daemon.devices_untrusted", &v)) {
+      untrusted_total += v;
+    }
+    last_json = json;
+  }
+  if (untrusted_total != 0) {
+    res.fail("false-untrusted: devices_untrusted summed to " +
+             std::to_string(untrusted_total));
+  }
+
+  if (res.verifier_kills > 0) {
+    if (last_json.empty()) {
+      res.fail("no metrics file from the final verifier incarnation");
+      return res;
+    }
+    long long digest = 0;
+    if (!find_metric(last_json, "wire.daemon.recovered_digest_lo",
+                     &digest)) {
+      res.fail("restarted verifier reported no recovered_digest_lo");
+    } else if (have_expected_digest &&
+               static_cast<std::uint64_t>(digest) != expected_digest) {
+      res.fail("recovered-state digest mismatch: daemon " +
+               std::to_string(digest) + " vs supervisor replay " +
+               std::to_string(expected_digest));
+    }
+    if (!find_metric(last_json, "wire.recovery_ms", &res.recovery_ms)) {
+      res.fail("wire.recovery_ms missing: restart never reconverged");
+    }
+    if (!find_metric(last_json, "wire.recovery_rounds",
+                     &res.recovery_rounds)) {
+      res.fail("wire.recovery_rounds missing");
+    } else if (res.recovery_rounds - 1 > 2) {
+      res.fail("reconvergence took " +
+               std::to_string(res.recovery_rounds - 1) +
+               " extra rounds (> 2)");
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosOptions opt;
+  const benchargs::BenchArgs args = benchargs::parse(
+      argc, argv,
+      [&](std::string_view flag, const std::function<const char*()>& value) {
+        if (flag == "--agents") {
+          opt.agents = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          if (opt.agents == 0) opt.agents = 1;
+          return true;
+        }
+        if (flag == "--rounds") {
+          opt.rounds = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          if (opt.rounds == 0) opt.rounds = 1;
+          return true;
+        }
+        if (flag == "--period-ms") {
+          opt.period_ms = std::strtoull(value(), nullptr, 10);
+          if (opt.period_ms == 0) opt.period_ms = 1;
+          return true;
+        }
+        if (flag == "--loss") {
+          opt.loss = std::strtod(value(), nullptr);
+          return true;
+        }
+        if (flag == "--seed") {
+          opt.seed = std::strtoull(value(), nullptr, 10);
+          return true;
+        }
+        if (flag == "--repeat") {
+          opt.repeat = static_cast<std::uint32_t>(
+              std::strtoul(value(), nullptr, 10));
+          if (opt.repeat == 0) opt.repeat = 1;
+          return true;
+        }
+        if (flag == "--plan") {
+          opt.plan_path = value();
+          return true;
+        }
+        if (flag == "--deadline-ms") {
+          opt.deadline_ms = std::strtoull(value(), nullptr, 10);
+          return true;
+        }
+        return false;
+      },
+      "  --agents N          agent processes sharing the swarm (default 2)\n"
+      "  --rounds N          rounds the verifier must complete "
+      "(default 16)\n"
+      "  --period-ms N       round period (default 50)\n"
+      "  --loss P            shaped agent uplink loss (default 0.02)\n"
+      "  --seed N            shaper seed (default 0xc4a05)\n"
+      "  --repeat N          scenario repetitions (default 3)\n"
+      "  --plan PATH         FaultPlan text; proc-kill events drive the "
+      "kills (default: built-in verifier+agent kill)\n"
+      "  --deadline-ms N     per-repeat watchdog (default 90000)\n");
+  benchargs::ObsSession obs(args);
+  if (args.devices != 0) opt.devices = args.devices;
+
+  fault::FaultPlan plan;
+  if (!opt.plan_path.empty()) {
+    const std::string text = slurp(opt.plan_path);
+    if (text.empty()) {
+      std::fprintf(stderr, "cannot read --plan %s\n", opt.plan_path.c_str());
+      return 2;
+    }
+    try {
+      plan = fault::FaultPlan::parse(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--plan %s: %s\n", opt.plan_path.c_str(),
+                   e.what());
+      return 2;
+    }
+  } else {
+    // Built-in scenario: SIGKILL the verifier mid-run, then one agent.
+    plan.proc_kill_for(sim::SimTime::from_ms(230), 0,
+                       sim::Duration::from_ms(150));
+    plan.proc_kill_for(sim::SimTime::from_ms(520), 1,
+                       sim::Duration::from_ms(150));
+  }
+
+  char dir_template[] = "/tmp/wire_chaos.XXXXXX";
+  const char* base_dir = ::mkdtemp(dir_template);
+  if (base_dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 2;
+  }
+
+  std::printf("wire chaos: %u devices, %u agents, %u rounds, period %llu "
+              "ms, loss %.3f, %u repeats\n",
+              opt.devices, opt.agents, opt.rounds,
+              static_cast<unsigned long long>(opt.period_ms), opt.loss,
+              opt.repeat);
+
+  bool all_ok = true;
+  long long recovery_ms_max = -1;
+  long long recovery_rounds_max = -1;
+  std::uint64_t kills_total = 0;
+  for (std::uint32_t rep = 0; rep < opt.repeat; ++rep) {
+    const std::string dir = std::string(base_dir) + "/r" +
+                            std::to_string(rep);
+    if (::mkdir(dir.c_str(), 0700) != 0) {
+      std::fprintf(stderr, "mkdir %s failed\n", dir.c_str());
+      return 2;
+    }
+    benchargs::WallTimer wall;
+    const RepeatResult res = run_repeat(opt, plan, dir);
+    kills_total += res.verifier_kills + res.agent_kills;
+    recovery_ms_max = std::max(recovery_ms_max, res.recovery_ms);
+    recovery_rounds_max = std::max(recovery_rounds_max, res.recovery_rounds);
+    std::printf("  repeat %u: %s (%llu kills, recovery %lld ms / %lld "
+                "rounds, %.2f s)\n",
+                rep, res.ok ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(res.verifier_kills +
+                                                res.agent_kills),
+                res.recovery_ms, res.recovery_rounds, wall.sec());
+    for (const std::string& why : res.failures) {
+      std::printf("    FAIL: %s\n", why.c_str());
+    }
+    all_ok = all_ok && res.ok;
+  }
+
+  obs.registry().counter("chaos.proc_kills").inc(kills_total);
+  if (recovery_ms_max >= 0) {
+    obs.registry().gauge("wire.recovery_ms").set(recovery_ms_max);
+  }
+  if (recovery_rounds_max >= 0) {
+    obs.registry().gauge("wire.recovery_rounds").set(recovery_rounds_max);
+  }
+  obs.registry().gauge("wire.chaos_converged").set(all_ok ? 1 : 0);
+
+  std::printf("wire chaos: %s\n", all_ok ? "all repeats converged"
+                                         : "FAILED");
+  if (all_ok) {
+    // Keep the journals around on failure for post-mortems.
+    std::error_code ec;
+    std::filesystem::remove_all(base_dir, ec);
+  } else {
+    std::fprintf(stderr, "journals kept in %s\n", base_dir);
+  }
+  return all_ok ? 0 : 1;
+}

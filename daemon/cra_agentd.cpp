@@ -24,10 +24,9 @@
 
 namespace {
 
-cra::wire::AgentRunner* g_runner = nullptr;
-
 void on_terminate(int) {
-  if (g_runner != nullptr) g_runner->stop();
+  // Graceful: best-effort goodbye to the daemon, metrics export, exit.
+  cra::wire::AgentRunner::request_shutdown();
 }
 
 void usage(const char* prog) {
@@ -47,6 +46,9 @@ void usage(const char* prog) {
       "  --seed N            shaper randomness seed\n"
       "  --plan PATH         FaultPlan text file for shaped loss/partition "
       "windows\n"
+      "  --journal PATH      session-epoch journal; each restart hellos "
+      "with a fresh epoch so the daemon resets seq accounting\n"
+      "  --metrics-json PATH metrics JSON written when the agent exits\n"
       "  --help              show this message\n",
       prog);
 }
@@ -104,6 +106,10 @@ int main(int argc, char** argv) {
       cfg.shaper.seed = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(flag, "--plan") == 0) {
       plan_path = value();
+    } else if (std::strcmp(flag, "--journal") == 0) {
+      cfg.journal_path = value();
+    } else if (std::strcmp(flag, "--metrics-json") == 0) {
+      cfg.metrics_path = value();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag);
       usage(argv[0]);
@@ -133,7 +139,6 @@ int main(int argc, char** argv) {
   const std::uint32_t count = cfg.agent.count;
   const std::string daemon_addr = cfg.daemon.to_string();
   wire::AgentRunner runner(std::move(cfg));
-  g_runner = &runner;
 
   struct sigaction sa{};
   sa.sa_handler = on_terminate;
@@ -155,6 +160,5 @@ int main(int argc, char** argv) {
                   m.counter_value("wire.agent.tx_datagrams")),
               static_cast<unsigned long long>(
                   m.counter_value("wire.agent.shaped_drops")));
-  g_runner = nullptr;
   return 0;
 }

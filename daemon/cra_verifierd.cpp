@@ -19,12 +19,12 @@
 
 namespace {
 
-cra::wire::VerifierDaemon* g_daemon = nullptr;
-
 void on_sigusr1(int) { cra::wire::VerifierDaemon::request_snapshot(); }
 
 void on_terminate(int) {
-  if (g_daemon != nullptr) g_daemon->stop();
+  // Graceful: drain the in-flight round, write the final state snapshot
+  // and metrics export, then leave the loop.
+  cra::wire::VerifierDaemon::request_shutdown();
 }
 
 void usage(const char* prog) {
@@ -40,6 +40,10 @@ void usage(const char* prog) {
       "  --rounds N          stop after N rounds (default 0 = forever)\n"
       "  --metrics-json PATH snapshot file (SIGUSR1 / --dump-every / exit)\n"
       "  --dump-every N      also snapshot every N completed rounds\n"
+      "  --journal PATH      crash-safe state journal base path "
+      "(PATH.wal + PATH.snap); restart resumes the interrupted round\n"
+      "  --snapshot-every N  compact the journal every N rounds "
+      "(default 8)\n"
       "  --help              show this message\n",
       prog);
 }
@@ -103,6 +107,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(flag, "--dump-every") == 0) {
       cfg.dump_every =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(flag, "--journal") == 0) {
+      cfg.journal_path = value();
+    } else if (std::strcmp(flag, "--snapshot-every") == 0) {
+      cfg.snapshot_every =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag);
       usage(argv[0]);
@@ -111,7 +120,10 @@ int main(int argc, char** argv) {
   }
 
   wire::VerifierDaemon daemon(std::move(cfg));
-  g_daemon = &daemon;
+  if (daemon.recovered()) {
+    std::fprintf(stderr, "cra_verifierd: recovered journaled state "
+                 "(round %u)\n", daemon.rounds_completed());
+  }
 
   struct sigaction sa{};
   sa.sa_handler = on_sigusr1;  // no SA_RESTART: must interrupt epoll_wait
@@ -136,6 +148,5 @@ int main(int argc, char** argv) {
                   m.counter_value("wire.daemon.tokens_received")),
               static_cast<unsigned long long>(
                   m.counter_value("wire.daemon.tokens_missing")));
-  g_daemon = nullptr;
   return 0;
 }

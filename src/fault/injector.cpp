@@ -21,6 +21,7 @@ void FaultTally::count(FaultKind kind) noexcept {
     case FaultKind::kClockSkew: ++clock_skews; break;
     case FaultKind::kLeave: ++leaves; break;
     case FaultKind::kJoin: ++joins; break;
+    case FaultKind::kProcKill: ++proc_kills; break;
   }
 }
 
@@ -39,6 +40,7 @@ const char* fault_metric_name(FaultKind kind) noexcept {
     case FaultKind::kClockSkew: return "fault.clock_skews";
     case FaultKind::kLeave: return "fault.leaves";
     case FaultKind::kJoin: return "fault.joins";
+    case FaultKind::kProcKill: return "fault.proc_kills";
   }
   return "fault.unknown";
 }

@@ -39,12 +39,13 @@ struct FaultTally {
   std::uint64_t clock_skews = 0;
   std::uint64_t leaves = 0;
   std::uint64_t joins = 0;
+  std::uint64_t proc_kills = 0;
 
   void count(FaultKind kind) noexcept;
   std::uint64_t total() const noexcept {
     return crashes + reboots + sleeps + wakes + links_down + links_up +
            partitions + heals + loss_spikes + loss_clears + clock_skews +
-           leaves + joins;
+           leaves + joins + proc_kills;
   }
 };
 

@@ -24,6 +24,7 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kClockSkew: return "skew";
     case FaultKind::kLeave: return "leave";
     case FaultKind::kJoin: return "join";
+    case FaultKind::kProcKill: return "proc-kill";
   }
   return "?";
 }
@@ -204,6 +205,22 @@ FaultPlan& FaultPlan::leave_for(sim::SimTime at, net::NodeId device,
   return join(at + absence, device);
 }
 
+FaultPlan& FaultPlan::proc_kill(sim::SimTime at, net::NodeId proc) {
+  add(at, FaultKind::kProcKill).device = proc;
+  return *this;
+}
+
+FaultPlan& FaultPlan::proc_kill_for(sim::SimTime at, net::NodeId proc,
+                                    sim::Duration downtime) {
+  if (downtime < sim::Duration::zero()) {
+    throw std::invalid_argument("FaultPlan: negative proc-kill downtime");
+  }
+  FaultEvent& ev = add(at, FaultKind::kProcKill);
+  ev.device = proc;
+  ev.duration = downtime;
+  return *this;
+}
+
 const std::vector<FaultEvent>& FaultPlan::events() const {
   if (!sorted_) {
     std::stable_sort(events_.begin(), events_.end(),
@@ -231,6 +248,7 @@ const std::vector<FaultEvent>& FaultPlan::events() const {
 //   @<time> loss <rate>
 //   @<time> loss-clear
 //   @<time> skew <device> <signed duration>
+//   @<time> proc-kill <proc> [<downtime>]
 //
 // with <time>/<duration> = <number><unit>, unit in {ns, us, ms, s}.
 // '#' starts a comment; blank lines are ignored.
@@ -452,6 +470,14 @@ std::string FaultPlan::format() const {
         out += ' ';
         out += format_ns(ev.skew_ns);
         break;
+      case FaultKind::kProcKill:
+        out += ' ';
+        out += std::to_string(ev.device);
+        if (ev.duration > sim::Duration::zero()) {
+          out += ' ';
+          out += format_ns(ev.duration.ns());
+        }
+        break;
     }
     out += '\n';
   }
@@ -553,6 +579,17 @@ FaultPlan FaultPlan::parse(std::string_view text) {
           at, parse_node(toks[2], line_no),
           sim::Duration(parse_duration_ns(toks[3], line_no,
                                           /*allow_negative=*/true)));
+    } else if (kind == "proc-kill") {
+      // One or two args: the restart downtime is optional.
+      if (toks.size() == 3) {
+        plan.proc_kill(at, parse_node(toks[2], line_no));
+      } else {
+        want(2);
+        plan.proc_kill_for(
+            at, parse_node(toks[2], line_no),
+            sim::Duration(parse_duration_ns(toks[3], line_no,
+                                            /*allow_negative=*/false)));
+      }
     } else {
       parse_fail(line_no, toks[1].col,
                  "unknown fault kind '" + std::string(kind) + "'");

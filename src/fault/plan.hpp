@@ -46,6 +46,11 @@ enum class FaultKind : std::uint8_t {
   kLeave,      // device departs the swarm (mobility churn; excluded from
                // membership until it joins again)
   kJoin,       // the device (re)joins the swarm
+  kProcKill,   // process-level chaos (bench/wire_chaos): SIGKILL the
+               // process at index `device` (0 = verifier, 1.. = agents);
+               // `duration` = downtime before the supervisor restarts it.
+               // A no-op for in-simulator runs — only the wire-chaos
+               // supervisor interprets it.
 };
 
 const char* fault_kind_name(FaultKind kind) noexcept;
@@ -111,6 +116,11 @@ class FaultPlan {
   /// leave + join `absence` later.
   FaultPlan& leave_for(sim::SimTime at, net::NodeId device,
                        sim::Duration absence);
+  /// SIGKILL process `proc` (0 = verifier, 1.. = agents); the wire-chaos
+  /// supervisor restarts it after `downtime` (zero = its default).
+  FaultPlan& proc_kill(sim::SimTime at, net::NodeId proc);
+  FaultPlan& proc_kill_for(sim::SimTime at, net::NodeId proc,
+                           sim::Duration downtime);
 
   /// Events sorted by (time, insertion order).
   const std::vector<FaultEvent>& events() const;

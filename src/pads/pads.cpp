@@ -302,6 +302,8 @@ void PadsSimulation::schedule_fault(const fault::FaultEvent& ev) {
       loss_spiked_ = false;
       apply_loss(baseline_loss_rate_, baseline_loss_seed_, ev.at);
       break;
+    case FaultKind::kProcKill:
+      break;  // process-level chaos: only the wire-chaos supervisor acts
   }
 }
 

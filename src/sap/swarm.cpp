@@ -295,6 +295,8 @@ void SapSimulation::schedule_fault(const fault::FaultEvent& ev) {
       loss_spiked_ = false;
       apply_loss(baseline_loss_rate_, baseline_loss_seed_, ev.at);
       break;
+    case FaultKind::kProcKill:
+      break;  // process-level chaos: only the wire-chaos supervisor acts
   }
 }
 

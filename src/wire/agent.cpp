@@ -7,8 +7,11 @@
 
 #include "crypto/backend.hpp"
 #include "crypto/kdf.hpp"
+#include "wire/journal.hpp"
 
 namespace cra::wire {
+
+volatile std::sig_atomic_t AgentRunner::shutdown_requested_ = 0;
 
 namespace {
 
@@ -109,8 +112,8 @@ std::vector<Bytes> AgentCore::token_payloads(
   return payloads;
 }
 
-Bytes AgentCore::hello_payload() const {
-  return encode_hello(HelloPayload{config_.first_id, config_.count});
+Bytes AgentCore::hello_payload(std::uint64_t epoch) const {
+  return encode_hello(HelloPayload{config_.first_id, config_.count, epoch});
 }
 
 AgentRunner::AgentRunner(AgentRunnerConfig config)
@@ -118,7 +121,23 @@ AgentRunner::AgentRunner(AgentRunnerConfig config)
       core_(config_.agent),
       socket_(UdpSocket::bind(0)),
       shaper_(config_.shaper, config_.plan) {
+  // Session epoch: journaled (crash-persistent, strictly increasing
+  // across restarts) when a journal path is configured, otherwise the
+  // monotonic clock — unique per process start either way.
+  epoch_ = config_.journal_path.empty()
+               ? monotonic_ns()
+               : next_agent_epoch(config_.journal_path);
   loop_.add_fd(socket_.fd(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
+  loop_.set_wakeup_hook([this] {
+    if (shutdown_requested_ != 0) {
+      shutdown_requested_ = 0;
+      // Goodbye is best-effort — the daemon re-classifies our devices
+      // unreachable either way; the metrics export is the durable part.
+      send_frame(FrameKind::kBye, 0, {});
+      metrics_.counter("wire.agent.graceful_shutdowns").inc();
+      loop_.stop();
+    }
+  });
 }
 
 void AgentRunner::send_frame(FrameKind kind, std::uint32_t tick,
@@ -260,7 +279,7 @@ void AgentRunner::on_readable() {
 
 void AgentRunner::send_hello_and_rearm() {
   if (registered_) return;
-  send_frame(FrameKind::kHello, 0, core_.hello_payload());
+  send_frame(FrameKind::kHello, 0, core_.hello_payload(epoch_));
   hello_timer_ = loop_.schedule_after(config_.hello_retry_ms * 1'000'000,
                                       [this] { send_hello_and_rearm(); });
 }
@@ -270,6 +289,30 @@ void AgentRunner::run() {
   // Hello, re-sent until acked (the daemon may start after us).
   send_hello_and_rearm();
   loop_.run();
+  write_metrics();
+}
+
+void AgentRunner::sync_socket_stats() {
+  const UdpSocket::Stats& s = socket_.stats();
+  if (s.enobufs > stats_synced_.enobufs) {
+    metrics_.counter("wire.agent.tx_enobufs")
+        .inc(s.enobufs - stats_synced_.enobufs);
+  }
+  if (s.emsgsize > stats_synced_.emsgsize) {
+    metrics_.counter("wire.agent.tx_emsgsize")
+        .inc(s.emsgsize - stats_synced_.emsgsize);
+  }
+  if (s.econnrefused > stats_synced_.econnrefused) {
+    metrics_.counter("wire.agent.tx_econnrefused")
+        .inc(s.econnrefused - stats_synced_.econnrefused);
+  }
+  stats_synced_ = s;
+}
+
+void AgentRunner::write_metrics() {
+  if (config_.metrics_path.empty()) return;
+  sync_socket_stats();
+  (void)write_text_atomic(config_.metrics_path, metrics_.to_json() + "\n");
 }
 
 }  // namespace cra::wire

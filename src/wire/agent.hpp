@@ -14,8 +14,10 @@
 // TrafficShaper that degrades its own uplink.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
@@ -55,7 +57,9 @@ class AgentCore {
   std::vector<Bytes> token_payloads(std::uint32_t tick,
                                     const std::vector<WantRange>& want);
 
-  Bytes hello_payload() const;
+  /// Hello payload carrying `epoch`, the session epoch the daemon uses
+  /// to tell a restarted agent from a reordered datagram.
+  Bytes hello_payload(std::uint64_t epoch) const;
 
   /// Tokens computed since construction (each device counts once per
   /// distinct tick).
@@ -83,6 +87,15 @@ struct AgentRunnerConfig {
   const fault::FaultPlan* plan = nullptr;  // optional, not owned
   /// Re-send the hello every this many ms until the ack arrives.
   std::uint64_t hello_retry_ms = 250;
+  /// Epoch journal path (wire/journal.hpp next_agent_epoch): each
+  /// process start appends a fresh epoch so the daemon resets seq-gap
+  /// accounting on restart instead of misreading the new session's low
+  /// sequence numbers as reorders. Empty = epoch from the monotonic
+  /// clock (still unique per start, just not crash-persistent).
+  std::string journal_path;
+  /// Metrics JSON export path, written (tmp + rename) when run()
+  /// returns — including graceful SIGTERM/SIGINT shutdown. Empty = off.
+  std::string metrics_path;
 };
 
 /// Socket-facing agent driver. run() blocks until stop() (cross-thread
@@ -97,6 +110,11 @@ class AgentRunner {
   bool registered() const noexcept { return registered_; }
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   std::uint16_t local_port() const { return socket_.local_port(); }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Async-signal-safe graceful shutdown (SIGTERM/SIGINT in
+  /// cra_agentd): tell the daemon goodbye, export metrics, leave run().
+  static void request_shutdown() noexcept { shutdown_requested_ = 1; }
 
  private:
   void on_readable();
@@ -104,6 +122,9 @@ class AgentRunner {
   void handle_chal(const Frame& frame);
   void send_frame(FrameKind kind, std::uint32_t tick, BytesView payload);
   void flush_delayed();
+  void write_metrics();
+  /// Mirror the socket's error tallies into wire.agent.* counters.
+  void sync_socket_stats();
 
   AgentRunnerConfig config_;
   AgentCore core_;
@@ -113,10 +134,14 @@ class AgentRunner {
   obs::MetricsRegistry metrics_;
   std::uint64_t start_ns_ = 0;
   std::uint32_t seq_ = 0;
+  std::uint64_t epoch_ = 0;  // session epoch carried in the hello
   bool registered_ = false;
   TimerWheel::TimerId hello_timer_ = 0;
   // Shaper-delayed datagrams waiting on their release timer.
   std::deque<Bytes> delayed_;
+  UdpSocket::Stats stats_synced_;  // socket tallies already exported
+
+  static volatile std::sig_atomic_t shutdown_requested_;
 };
 
 }  // namespace cra::wire

@@ -11,6 +11,7 @@
 namespace cra::wire {
 
 volatile std::sig_atomic_t VerifierDaemon::snapshot_requested_ = 0;
+volatile std::sig_atomic_t VerifierDaemon::shutdown_requested_ = 0;
 
 namespace {
 
@@ -46,7 +47,100 @@ VerifierDaemon::VerifierDaemon(DaemonConfig config)
       snapshot_requested_ = 0;
       write_snapshot();
     }
+    if (shutdown_requested_ != 0) {
+      shutdown_requested_ = 0;
+      if (round_open_) {
+        // Drain: the re-poll ladder closes the round, finish_round sees
+        // draining_ and finalizes.
+        draining_ = true;
+      } else {
+        finalize_and_stop();
+      }
+    }
   });
+  recover_from_journal();
+}
+
+void VerifierDaemon::recover_from_journal() {
+  if (config_.journal_path.empty()) return;
+  const std::size_t token_size = verifier_.config().token_size();
+  VerifierState st;
+  st.devices = config_.devices;
+  bool any = false;
+  if (const auto snap = read_snapshot_file(config_.journal_path + ".snap")) {
+    auto decoded = VerifierState::decode(*snap, token_size);
+    // A snapshot for a differently-sized swarm is a config change, not
+    // a restart: start fresh rather than resurrect a mismatched census.
+    if (decoded.has_value() && decoded->devices == config_.devices) {
+      st = std::move(*decoded);
+      any = true;
+    }
+  }
+  Journal::OpenStats jstats;
+  journal_ = Journal::open(
+      config_.journal_path + ".wal",
+      [&](std::uint8_t kind, BytesView payload) {
+        st.apply(kind, payload, token_size);
+      },
+      &jstats);
+  journaling_ = true;
+  if (jstats.records > 0) any = true;
+  if (jstats.truncated_bytes > 0) {
+    metrics_.counter("wire.daemon.journal_torn_bytes")
+        .inc(jstats.truncated_bytes);
+  }
+  if (any) {
+    // Digest BEFORE adopting: the move below guts st.reports, and the
+    // chaos supervisor compares this value against its own replay of
+    // the same files.
+    const std::uint64_t digest_lo =
+        st.digest64(token_size) & 0x7fffffffffffffffull;
+    // Adopt the recovered state wholesale. Agent socket addresses come
+    // from the journal; an agent that restarted meanwhile re-hellos
+    // with a fresh epoch and heals its entry.
+    tick_ = st.tick;
+    rounds_done_ = st.rounds_done;
+    round_open_ = st.round_open;
+    repoll_attempt_ = st.repoll_attempt;
+    covered_ = 0;
+    agents_.clear();
+    for (const auto& [first_id, a] : st.agents) {
+      AgentEntry entry;
+      entry.first_id = a.first_id;
+      entry.count = a.count;
+      entry.epoch = a.epoch;
+      entry.addr.sa.sin_addr.s_addr = a.ip;
+      entry.addr.sa.sin_port = a.port;
+      agents_[first_id] = entry;
+      covered_ += a.count;
+    }
+    received_ = 0;
+    std::fill(have_.begin(), have_.end(), 0);
+    reports_.clear();
+    if (round_open_) {
+      have_ = st.have;
+      have_.resize(config_.devices, 0);
+      for (const std::uint8_t h : have_) {
+        received_ += h != 0 ? 1u : 0u;
+      }
+      reports_ = std::move(st.reports);
+    }
+    recovered_ = true;
+    recovery_pending_ = true;
+    recovery_start_ns_ = monotonic_ns();
+    metrics_.counter("wire.daemon.recoveries").inc();
+    metrics_.counter("wire.daemon.journal_records_replayed")
+        .inc(jstats.records);
+    // Low 63 bits of the recovered-state digest, for byte-identical
+    // replay checks across processes.
+    metrics_.gauge("wire.daemon.recovered_digest_lo")
+        .set(static_cast<std::int64_t>(digest_lo));
+    metrics_.gauge("wire.daemon.devices_covered")
+        .set(static_cast<std::int64_t>(covered_));
+  }
+  // Compact immediately: the snapshot now carries everything the WAL
+  // said, and the WAL restarts empty.
+  persist_state();
 }
 
 bool VerifierDaemon::coverage_complete() const noexcept {
@@ -61,6 +155,7 @@ void VerifierDaemon::handle_hello(const Frame& frame, const Endpoint& from) {
   }
   auto [it, fresh] = agents_.try_emplace(hello->first_id);
   AgentEntry& entry = it->second;
+  bool changed = fresh;
   if (fresh) {
     // Range sanity: inside [1, devices], no overlap with the neighbor
     // below or above (map order = id order).
@@ -81,12 +176,29 @@ void VerifierDaemon::handle_hello(const Frame& frame, const Endpoint& from) {
     }
     entry.first_id = hello->first_id;
     entry.count = hello->count;
+    entry.epoch = hello->epoch;
     covered_ += hello->count;
     metrics_.counter("wire.daemon.agents_registered").inc();
     metrics_.gauge("wire.daemon.devices_covered")
         .set(static_cast<std::int64_t>(covered_));
+  } else {
+    if (hello->count != entry.count) {
+      // A known range re-registering with a different width is a
+      // config change, not a restart; don't let it corrupt coverage.
+      metrics_.counter("wire.daemon.rejected_hellos").inc();
+      return;
+    }
+    if (hello->epoch != entry.epoch) {
+      // The agent restarted: new session, sequence space starts over.
+      entry.epoch = hello->epoch;
+      entry.seq.reset();
+      metrics_.counter("wire.daemon.agent_restarts").inc();
+      changed = true;
+    }
   }
+  if (!(entry.addr == from)) changed = true;
   entry.addr = from;  // re-hello may carry a new source port
+  if (changed) journal_agent(entry, /*sync=*/true);
   FrameHeader ack;
   ack.kind = FrameKind::kHelloAck;
   ack.seq = 0;
@@ -102,16 +214,15 @@ void VerifierDaemon::handle_tokens(const Frame& frame) {
     metrics_.counter("wire.daemon.unknown_sender").inc();
     return;
   }
-  // Sequence accounting: a regression means the datagram overtook a
-  // later one somewhere (reorder); gaps show up as lost frames only if
-  // the round also misses tokens, so they are not double-counted here.
+  // Sequence accounting in serial-number arithmetic: a regression means
+  // the datagram overtook a later one somewhere (reorder); gaps show up
+  // as lost frames only if the round also misses tokens, so they are
+  // not double-counted here. The tracker is epoch-aware — handle_hello
+  // resets it when the agent restarts — so a fresh session's low seq is
+  // kFirst, not a spurious reorder.
   AgentEntry& agent = it->second;
-  if (agent.saw_seq && frame.header.seq < agent.last_seq) {
+  if (agent.seq.observe(frame.header.seq) == SeqTracker::Verdict::kReorder) {
     metrics_.counter("wire.daemon.reordered_datagrams").inc();
-  }
-  if (!agent.saw_seq || frame.header.seq > agent.last_seq) {
-    agent.last_seq = frame.header.seq;
-    agent.saw_seq = true;
   }
 
   if (!round_open_ || frame.header.tick != tick_) {
@@ -124,6 +235,7 @@ void VerifierDaemon::handle_tokens(const Frame& frame) {
     metrics_.counter("wire.daemon.decode_errors").inc();
     return;
   }
+  const std::size_t accepted_start = reports_.size();
   for (const sap::DeviceReport& rep : *reports) {
     if (rep.id == 0 || rep.id > config_.devices) {
       metrics_.counter("wire.daemon.bogus_device_ids").inc();
@@ -133,6 +245,15 @@ void VerifierDaemon::handle_tokens(const Frame& frame) {
     have_[rep.id - 1] = 1;
     ++received_;
     reports_.push_back(rep);
+  }
+  if (journaling_ && reports_.size() > accepted_start) {
+    // No sync: a lost unsynced report tail just re-polls on restart.
+    journal_append(VerifierState::kReports,
+                   VerifierState::encode_reports(
+                       tick_, reports_.data() + accepted_start,
+                       reports_.size() - accepted_start,
+                       verifier_.config().token_size()),
+                   /*sync=*/false);
   }
   if (received_ >= config_.devices) finish_round();
 }
@@ -208,12 +329,18 @@ void VerifierDaemon::arm_repoll() {
     }
     ++repoll_attempt_;
     metrics_.counter("wire.daemon.repolls").inc();
+    if (journaling_) {
+      journal_append(VerifierState::kRepoll,
+                     VerifierState::encode_repoll(tick_, repoll_attempt_),
+                     /*sync=*/false);
+    }
     send_chal(missing_ranges());
     arm_repoll();
   });
 }
 
 void VerifierDaemon::start_round() {
+  if (draining_) return;  // shutting down: no new rounds
   if (round_open_) {
     // Previous round still open at the next period boundary — the
     // re-poll ladder will close it; skip this slot rather than overlap.
@@ -232,7 +359,27 @@ void VerifierDaemon::start_round() {
   reports_.clear();
   repoll_attempt_ = 0;
   metrics_.counter("wire.daemon.rounds_started").inc();
+  if (journaling_) {
+    // Committed before the first challenge leaves: a crash after this
+    // point resumes tick_, it never reissues it as a fresh round.
+    journal_append(VerifierState::kRoundStart,
+                   VerifierState::encode_round_start(tick_), /*sync=*/true);
+  }
   send_chal({});
+  arm_repoll();
+}
+
+void VerifierDaemon::resume_round() {
+  // Called once from run() when recovery left a round open: keep the
+  // journaled tick/coverage/attempt and rejoin the re-poll ladder where
+  // the crashed process left it, re-challenging only the missing set.
+  round_start_ns_ = loop_.now_ns();
+  metrics_.counter("wire.daemon.rounds_resumed").inc();
+  if (received_ >= config_.devices) {
+    finish_round();
+    return;
+  }
+  send_chal(missing_ranges());
   arm_repoll();
 }
 
@@ -282,6 +429,34 @@ void VerifierDaemon::finish_round() {
   }
 
   ++rounds_done_;
+  if (journaling_) {
+    journal_append(VerifierState::kRoundClose,
+                   VerifierState::encode_round_close(tick_, rounds_done_),
+                   /*sync=*/true);
+    if (config_.snapshot_every != 0 &&
+        rounds_done_ % config_.snapshot_every == 0) {
+      persist_state();
+    }
+  }
+  if (recovery_pending_) {
+    ++rounds_since_recovery_;
+    if (received_ >= config_.devices) {
+      // First fully-covered round since the restart: the service is
+      // reconverged. recovery_rounds counts closed rounds including the
+      // resumed one, so "extra rounds to reconverge" is this minus 1.
+      recovery_pending_ = false;
+      metrics_.gauge("wire.recovery_ms")
+          .set(static_cast<std::int64_t>(
+              (monotonic_ns() - recovery_start_ns_) / 1'000'000));
+      metrics_.gauge("wire.recovery_rounds")
+          .set(static_cast<std::int64_t>(rounds_since_recovery_));
+    }
+  }
+  sync_socket_stats();
+  if (draining_) {
+    finalize_and_stop();
+    return;
+  }
   if (config_.dump_every != 0 && rounds_done_ % config_.dump_every == 0) {
     write_snapshot();
   }
@@ -336,23 +511,105 @@ void VerifierDaemon::run() {
       self(self);
     });
   };
-  start_round();  // waits on coverage internally
-  arm(arm);
-  loop_.run();
+  // A journal recovered at the round limit means the previous
+  // incarnation finished; don't run an extra round on restart.
+  if (config_.rounds == 0 || round_open_ || rounds_done_ < config_.rounds) {
+    if (round_open_) {
+      resume_round();  // recovered mid-round: finish it, don't restart
+    } else {
+      start_round();  // waits on coverage internally
+    }
+    arm(arm);
+    loop_.run();
+  }
+  if (journaling_) persist_state();
   write_snapshot();
+}
+
+void VerifierDaemon::journal_append(std::uint8_t kind, BytesView payload,
+                                    bool sync) {
+  journal_.append(kind, payload);
+  if (sync) journal_.sync();
+}
+
+void VerifierDaemon::journal_agent(const AgentEntry& entry, bool sync) {
+  if (!journaling_) return;
+  VerifierState::Agent a;
+  a.first_id = entry.first_id;
+  a.count = entry.count;
+  a.epoch = entry.epoch;
+  a.ip = entry.addr.sa.sin_addr.s_addr;
+  a.port = entry.addr.sa.sin_port;
+  journal_append(VerifierState::kAgentRecord, VerifierState::encode_agent(a),
+                 sync);
+}
+
+VerifierState VerifierDaemon::current_state() const {
+  VerifierState st;
+  st.devices = config_.devices;
+  st.rounds_done = rounds_done_;
+  st.tick = tick_;
+  st.round_open = round_open_;
+  st.repoll_attempt = repoll_attempt_;
+  for (const auto& [first_id, entry] : agents_) {
+    VerifierState::Agent a;
+    a.first_id = entry.first_id;
+    a.count = entry.count;
+    a.epoch = entry.epoch;
+    a.ip = entry.addr.sa.sin_addr.s_addr;
+    a.port = entry.addr.sa.sin_port;
+    st.agents.emplace(first_id, a);
+  }
+  if (round_open_) {
+    st.have = have_;
+    st.reports = reports_;
+  }
+  return st;
+}
+
+void VerifierDaemon::persist_state() {
+  if (!journaling_) return;
+  const Bytes payload =
+      current_state().encode(verifier_.config().token_size());
+  if (write_snapshot_file(config_.journal_path + ".snap", payload)) {
+    journal_.reset();
+    metrics_.counter("wire.daemon.state_snapshots").inc();
+  }
+  // On write failure the WAL is kept — recovery still has everything.
+}
+
+void VerifierDaemon::finalize_and_stop() {
+  draining_ = false;
+  if (journaling_) persist_state();
+  write_snapshot();
+  metrics_.counter("wire.daemon.graceful_shutdowns").inc();
+  loop_.stop();
+}
+
+void VerifierDaemon::sync_socket_stats() {
+  const UdpSocket::Stats& s = socket_.stats();
+  if (s.enobufs > stats_synced_.enobufs) {
+    metrics_.counter("wire.daemon.tx_enobufs")
+        .inc(s.enobufs - stats_synced_.enobufs);
+  }
+  if (s.emsgsize > stats_synced_.emsgsize) {
+    metrics_.counter("wire.daemon.tx_emsgsize")
+        .inc(s.emsgsize - stats_synced_.emsgsize);
+  }
+  if (s.econnrefused > stats_synced_.econnrefused) {
+    metrics_.counter("wire.daemon.tx_econnrefused")
+        .inc(s.econnrefused - stats_synced_.econnrefused);
+  }
+  stats_synced_ = s;
 }
 
 void VerifierDaemon::write_snapshot() {
   if (config_.metrics_path.empty()) return;
+  sync_socket_stats();
   const std::string json = metrics_.to_json();
-  const std::string tmp = config_.metrics_path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return;
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  (void)std::rename(tmp.c_str(), config_.metrics_path.c_str());
-  metrics_.counter("wire.daemon.snapshots_written").inc();
+  if (write_text_atomic(config_.metrics_path, json + "\n")) {
+    metrics_.counter("wire.daemon.snapshots_written").inc();
+  }
 }
 
 }  // namespace cra::wire

@@ -33,6 +33,7 @@
 #include "sap/verifier.hpp"
 #include "wire/event_loop.hpp"
 #include "wire/frame.hpp"
+#include "wire/journal.hpp"
 #include "wire/udp.hpp"
 
 namespace cra::wire {
@@ -52,6 +53,15 @@ struct DaemonConfig {
   sap::AdaptiveTimeoutConfig adaptive{};
   std::string metrics_path;      // empty = no snapshots
   std::uint32_t dump_every = 0;  // 0 = only at shutdown/signal
+  /// Base path for crash-safe state journaling (wire/journal.hpp):
+  /// `<path>.wal` is the write-ahead log, `<path>.snap` the compacted
+  /// snapshot. Empty = stateless (pre-PR-9 behavior). On construction
+  /// the daemon replays snapshot + WAL, adopts the recovered
+  /// registration table / round counter / in-flight round, and resumes
+  /// the interrupted round instead of starting a new one.
+  std::string journal_path;
+  /// Compact the WAL into a fresh snapshot every N closed rounds.
+  std::uint32_t snapshot_every = 8;
 };
 
 class VerifierDaemon {
@@ -72,27 +82,47 @@ class VerifierDaemon {
   /// the write happens promptly even on an idle daemon.
   static void request_snapshot() noexcept { snapshot_requested_ = 1; }
 
+  /// Async-signal-safe graceful shutdown (SIGTERM/SIGINT in
+  /// cra_verifierd): the in-flight round drains through the re-poll
+  /// ladder, then a final state snapshot + metrics export are written
+  /// before run() returns. An idle daemon exits on the next iteration.
+  static void request_shutdown() noexcept { shutdown_requested_ = 1; }
+
   /// Write the metrics JSON to `metrics_path` now (tmp file + rename).
   void write_snapshot();
+
+  /// True when construction adopted journaled state (restart recovery).
+  bool recovered() const noexcept { return recovered_; }
 
  private:
   struct AgentEntry {
     Endpoint addr;
     std::uint32_t first_id = 0;
     std::uint32_t count = 0;
-    std::uint32_t last_seq = 0;
-    bool saw_seq = false;
+    std::uint64_t epoch = 0;  // agent session epoch from its hello
+    SeqTracker seq;
   };
 
   void on_readable();
   void handle_hello(const Frame& frame, const Endpoint& from);
   void handle_tokens(const Frame& frame);
   void start_round();
+  void resume_round();
   void send_chal(const std::vector<WantRange>& want);
   void finish_round();
   void arm_repoll();
   bool coverage_complete() const noexcept;
   std::vector<WantRange> missing_ranges() const;
+  void recover_from_journal();
+  void journal_append(std::uint8_t kind, BytesView payload, bool sync);
+  void journal_agent(const AgentEntry& entry, bool sync);
+  VerifierState current_state() const;
+  /// Compact: write the state snapshot, then reset the WAL.
+  void persist_state();
+  /// Final snapshot + metrics export, then leave the loop.
+  void finalize_and_stop();
+  /// Mirror the socket's error tallies into wire.daemon.* counters.
+  void sync_socket_stats();
 
   DaemonConfig config_;
   sap::Verifier verifier_;
@@ -114,7 +144,21 @@ class VerifierDaemon {
   TimerWheel::TimerId repoll_timer_ = 0;
   std::uint32_t rounds_done_ = 0;
 
+  // Crash-safety state (see wire/journal.hpp).
+  Journal journal_;
+  bool journaling_ = false;
+  bool recovered_ = false;
+  /// recovered_ until the first post-restart round closes with full
+  /// coverage — that close stamps wire.recovery_ms / wire.recovery_rounds.
+  bool recovery_pending_ = false;
+  std::uint32_t rounds_since_recovery_ = 0;
+  std::uint64_t recovery_start_ns_ = 0;
+
+  bool draining_ = false;  // SIGTERM received; close out, don't start
+  UdpSocket::Stats stats_synced_;  // socket tallies already exported
+
   static volatile std::sig_atomic_t snapshot_requested_;
+  static volatile std::sig_atomic_t shutdown_requested_;
 };
 
 }  // namespace cra::wire

@@ -84,14 +84,21 @@ Bytes encode_hello(const HelloPayload& hello) {
   Bytes out;
   append_u32le(out, hello.first_id);
   append_u32le(out, hello.count);
+  append_u64le(out, hello.epoch);
   return out;
 }
 
 std::optional<HelloPayload> decode_hello(BytesView payload) noexcept {
-  if (payload.size() != 8) return std::nullopt;
+  // 16 bytes = current (epoch-carrying); 8 = legacy, epoch stays 0.
+  if (payload.size() != 8 && payload.size() != 16) return std::nullopt;
   HelloPayload h;
   h.first_id = load_u32le(payload.data());
   h.count = load_u32le(payload.data() + 4);
+  if (payload.size() == 16) {
+    h.epoch = static_cast<std::uint64_t>(load_u32le(payload.data() + 8)) |
+              (static_cast<std::uint64_t>(load_u32le(payload.data() + 12))
+               << 32);
+  }
   if (h.first_id == 0 || h.count == 0) return std::nullopt;
   return h;
 }

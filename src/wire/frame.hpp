@@ -75,13 +75,21 @@ std::size_t encode_frame_into(const FrameHeader& header, BytesView payload,
 std::optional<Frame> decode_frame(BytesView datagram) noexcept;
 
 /// kHello / kHelloAck payload: the contiguous device-id range an agent
-/// serves.
+/// serves, plus the agent's session epoch. The epoch changes on every
+/// agent restart (persisted via next_agent_epoch(), or derived from the
+/// monotonic clock), so a daemon that sees a new epoch from a known
+/// range resets its per-agent sequence accounting instead of reading
+/// the restarted agent's seq=0 as a massive reorder.
 struct HelloPayload {
   std::uint32_t first_id = 0;
   std::uint32_t count = 0;
+  std::uint64_t epoch = 0;
 };
 
+/// 16 bytes: first_id(4) || count(4) || epoch(8).
 Bytes encode_hello(const HelloPayload& hello);
+/// Accepts the 16-byte form and the legacy 8-byte (epoch-less) form —
+/// a pre-epoch agent decodes as epoch 0.
 std::optional<HelloPayload> decode_hello(BytesView payload) noexcept;
 
 /// Optional kChal trailer: after the fixed-size sap chal bytes, a
@@ -100,6 +108,48 @@ void append_want_ranges(Bytes& payload, const std::vector<WantRange>& ranges);
 /// = no trailer (poll everything); nullopt = malformed trailer.
 std::optional<std::vector<WantRange>> decode_want_ranges(
     BytesView payload, std::size_t chal_size) noexcept;
+
+/// Per-sender datagram sequence accounting that survives 32-bit
+/// wraparound. Serial-number arithmetic (RFC 1982): the signed
+/// difference `seq - last` classifies a frame as forward progress,
+/// duplicate, or reorder, so the 0xffffffff -> 0 step on a long-lived
+/// agent reads as one forward step instead of a 4-billion-frame
+/// regression. reset() on an epoch change — a restarted agent starts
+/// over at seq 0 legitimately.
+class SeqTracker {
+ public:
+  enum class Verdict : std::uint8_t {
+    kFirst,      // nothing observed yet
+    kAdvance,    // forward progress (possibly past a gap)
+    kDuplicate,  // same seq again
+    kReorder,    // arrived behind the newest seen
+  };
+
+  Verdict observe(std::uint32_t seq) noexcept {
+    if (!seen_) {
+      seen_ = true;
+      last_ = seq;
+      return Verdict::kFirst;
+    }
+    const std::int32_t delta = static_cast<std::int32_t>(seq - last_);
+    if (delta > 0) {
+      last_ = seq;
+      return Verdict::kAdvance;
+    }
+    return delta == 0 ? Verdict::kDuplicate : Verdict::kReorder;
+  }
+
+  void reset() noexcept {
+    seen_ = false;
+    last_ = 0;
+  }
+  bool seen() const noexcept { return seen_; }
+  std::uint32_t last() const noexcept { return last_; }
+
+ private:
+  std::uint32_t last_ = 0;
+  bool seen_ = false;
+};
 
 /// The deployment's expected PMEM digest for device `id`, derived from
 /// the shared master secret. Daemon and agents derive the same bytes

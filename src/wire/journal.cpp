@@ -1,0 +1,529 @@
+#include "wire/journal.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <system_error>
+
+namespace cra::wire {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Read exactly `n` bytes at `off` (EINTR-retrying); returns bytes read
+/// (short at EOF).
+std::size_t pread_full(int fd, std::uint8_t* buf, std::size_t n,
+                       std::uint64_t off) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::pread(fd, buf + got, n - got,
+                              static_cast<off_t>(off + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("journal pread");
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_full(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("journal write");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+/// fsync the directory containing `path` so a fresh file / rename is
+/// durable, not just the bytes. Best effort: some filesystems reject
+/// directory fsync and the rename is still ordered on the ones we run.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr std::size_t kRecordHeader = 8;  // len(4) || crc(4)
+
+constexpr char kSnapMagic[4] = {'C', 'R', 'A', 'S'};
+constexpr std::uint8_t kSnapVersion = 1;
+constexpr std::size_t kSnapHeader = 4 + 1 + 4 + 4;
+
+}  // namespace
+
+std::uint32_t crc32_ieee(BytesView data, std::uint32_t seed) noexcept {
+  const auto& t = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = t[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(other.fd_), offset_(other.offset_) {
+  other.fd_ = -1;
+  other.offset_ = 0;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    other.fd_ = -1;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+Journal Journal::open(const std::string& path, const ReplayFn& replay,
+                      OpenStats* stats) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("journal open");
+  Journal j(fd);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) throw_errno("journal fstat");
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+
+  OpenStats local;
+  Bytes record;
+  std::uint64_t pos = 0;
+  while (pos < file_size) {
+    std::uint8_t header[kRecordHeader];
+    if (pread_full(fd, header, kRecordHeader, pos) < kRecordHeader) break;
+    const std::uint32_t len = read_u32le(BytesView(header, 4), 0);
+    const std::uint32_t crc = read_u32le(BytesView(header, 8), 4);
+    // len covers kind + payload; 0 or absurd means a torn/garbage tail.
+    if (len == 0 || len > kMaxRecord) break;
+    if (pos + kRecordHeader + len > file_size) break;
+    record.resize(len);
+    if (pread_full(fd, record.data(), len, pos + kRecordHeader) < len) break;
+    if (crc32_ieee(record) != crc) break;
+    if (replay) {
+      replay(record[0], BytesView(record.data() + 1, len - 1));
+    }
+    ++local.records;
+    pos += kRecordHeader + len;
+  }
+
+  if (pos < file_size) {
+    local.truncated_bytes = static_cast<std::size_t>(file_size - pos);
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0) {
+      throw_errno("journal ftruncate");
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(pos), SEEK_SET) < 0) {
+    throw_errno("journal lseek");
+  }
+  j.offset_ = pos;
+  if (stats != nullptr) *stats = local;
+  return j;
+}
+
+void Journal::append(std::uint8_t kind, BytesView payload) {
+  if (fd_ < 0) return;
+  Bytes rec;
+  rec.reserve(kRecordHeader + 1 + payload.size());
+  append_u32le(rec, static_cast<std::uint32_t>(1 + payload.size()));
+  append_u32le(rec, 0);  // crc placeholder
+  rec.push_back(kind);
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  const std::uint32_t crc =
+      crc32_ieee(BytesView(rec.data() + kRecordHeader,
+                           rec.size() - kRecordHeader));
+  store_u32le(rec.data() + 4, crc);
+  write_full(fd_, rec.data(), rec.size());
+  offset_ += rec.size();
+}
+
+void Journal::sync() {
+  if (fd_ >= 0) (void)::fdatasync(fd_);
+}
+
+void Journal::reset() {
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, 0) != 0) throw_errno("journal reset ftruncate");
+  if (::lseek(fd_, 0, SEEK_SET) < 0) throw_errno("journal reset lseek");
+  offset_ = 0;
+  (void)::fdatasync(fd_);
+}
+
+bool write_snapshot_file(const std::string& path, BytesView payload) {
+  Bytes out;
+  out.reserve(kSnapHeader + payload.size());
+  out.insert(out.end(), kSnapMagic, kSnapMagic + 4);
+  out.push_back(kSnapVersion);
+  append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  append_u32le(out, crc32_ieee(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  try {
+    write_full(fd, out.data(), out.size());
+  } catch (const std::system_error&) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+std::optional<Bytes> read_snapshot_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < kSnapHeader) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  Bytes file(static_cast<std::size_t>(st.st_size));
+  const std::size_t got = pread_full(fd, file.data(), file.size(), 0);
+  ::close(fd);
+  if (got < file.size()) return std::nullopt;
+  if (std::memcmp(file.data(), kSnapMagic, 4) != 0) return std::nullopt;
+  if (file[4] != kSnapVersion) return std::nullopt;
+  const std::uint32_t len = read_u32le(file, 5);
+  const std::uint32_t crc = read_u32le(file, 9);
+  if (file.size() != kSnapHeader + len) return std::nullopt;
+  Bytes payload(file.begin() + kSnapHeader, file.end());
+  if (crc32_ieee(payload) != crc) return std::nullopt;
+  return payload;
+}
+
+bool write_text_atomic(const std::string& path, std::string_view text) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  try {
+    write_full(fd, reinterpret_cast<const std::uint8_t*>(text.data()),
+               text.size());
+    const std::uint8_t nl = '\n';
+    write_full(fd, &nl, 1);
+  } catch (const std::system_error&) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- VerifierState ---
+
+namespace {
+
+constexpr std::size_t kAgentRecordSize = 4 + 4 + 8 + 4 + 2;
+
+/// identify-ex-shaped report entry inside kReports / snapshots:
+/// id(4) || status(1) || tick(4) || token(l).
+std::size_t report_entry_size(std::size_t token_size) noexcept {
+  return 9 + token_size;
+}
+
+void append_report(Bytes& out, const sap::DeviceReport& rep,
+                   std::size_t token_size) {
+  append_u32le(out, rep.id);
+  out.push_back(static_cast<std::uint8_t>(rep.status));
+  append_u32le(out, rep.tick);
+  // Tokens are fixed-size per deployment; pad/trim defensively so a
+  // malformed in-memory report cannot skew the framing.
+  const std::size_t n = std::min(token_size, rep.token.size());
+  out.insert(out.end(), rep.token.begin(),
+             rep.token.begin() + static_cast<std::ptrdiff_t>(n));
+  out.insert(out.end(), token_size - n, 0);
+}
+
+sap::DeviceReport parse_report(BytesView data, std::size_t off,
+                               std::size_t token_size) {
+  sap::DeviceReport rep;
+  rep.id = read_u32le(data, off);
+  rep.status = static_cast<sap::DeviceReportStatus>(data[off + 4]);
+  rep.tick = read_u32le(data, off + 5);
+  rep.token.assign(data.begin() + static_cast<std::ptrdiff_t>(off + 9),
+                   data.begin() +
+                       static_cast<std::ptrdiff_t>(off + 9 + token_size));
+  return rep;
+}
+
+}  // namespace
+
+Bytes VerifierState::encode_agent(const Agent& a) {
+  Bytes out;
+  out.reserve(kAgentRecordSize);
+  append_u32le(out, a.first_id);
+  append_u32le(out, a.count);
+  append_u64le(out, a.epoch);
+  append_u32le(out, a.ip);
+  out.push_back(static_cast<std::uint8_t>(a.port));
+  out.push_back(static_cast<std::uint8_t>(a.port >> 8));
+  return out;
+}
+
+Bytes VerifierState::encode_round_start(std::uint32_t tick) {
+  Bytes out;
+  append_u32le(out, tick);
+  return out;
+}
+
+Bytes VerifierState::encode_reports(std::uint32_t tick,
+                                    const sap::DeviceReport* reports,
+                                    std::size_t count,
+                                    std::size_t token_size) {
+  Bytes out;
+  out.reserve(8 + count * report_entry_size(token_size));
+  append_u32le(out, tick);
+  append_u32le(out, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    append_report(out, reports[i], token_size);
+  }
+  return out;
+}
+
+Bytes VerifierState::encode_repoll(std::uint32_t tick,
+                                   std::uint32_t attempt) {
+  Bytes out;
+  append_u32le(out, tick);
+  append_u32le(out, attempt);
+  return out;
+}
+
+Bytes VerifierState::encode_round_close(std::uint32_t tick,
+                                        std::uint32_t rounds_done) {
+  Bytes out;
+  append_u32le(out, tick);
+  append_u32le(out, rounds_done);
+  return out;
+}
+
+void VerifierState::apply(std::uint8_t kind, BytesView payload,
+                          std::size_t token_size) {
+  switch (kind) {
+    case kAgentRecord: {
+      if (payload.size() != kAgentRecordSize) return;
+      Agent a;
+      a.first_id = read_u32le(payload, 0);
+      a.count = read_u32le(payload, 4);
+      a.epoch = read_u64le(payload, 8);
+      a.ip = read_u32le(payload, 16);
+      a.port = static_cast<std::uint16_t>(payload[20] |
+                                          (payload[21] << 8));
+      if (a.first_id == 0 || a.count == 0) return;
+      agents[a.first_id] = a;  // latest record wins (epoch/addr updates)
+      return;
+    }
+    case kRoundStart: {
+      if (payload.size() != 4) return;
+      const std::uint32_t t = read_u32le(payload, 0);
+      if (t <= tick) return;  // stale or duplicate on replay
+      tick = t;
+      round_open = true;
+      repoll_attempt = 0;
+      have.assign(devices, 0);
+      reports.clear();
+      return;
+    }
+    case kReports: {
+      if (payload.size() < 8) return;
+      const std::uint32_t t = read_u32le(payload, 0);
+      const std::uint32_t n = read_u32le(payload, 4);
+      if (!round_open || t != tick) return;
+      const std::size_t entry = report_entry_size(token_size);
+      if (payload.size() != 8 + static_cast<std::size_t>(n) * entry) return;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        sap::DeviceReport rep = parse_report(payload, 8 + i * entry,
+                                             token_size);
+        if (rep.id == 0 || rep.id > devices) continue;
+        if (have[rep.id - 1] != 0) continue;  // replay duplicate
+        have[rep.id - 1] = 1;
+        reports.push_back(std::move(rep));
+      }
+      return;
+    }
+    case kRepoll: {
+      if (payload.size() != 8) return;
+      const std::uint32_t t = read_u32le(payload, 0);
+      if (!round_open || t != tick) return;
+      repoll_attempt = std::max(repoll_attempt, read_u32le(payload, 4));
+      return;
+    }
+    case kRoundClose: {
+      if (payload.size() != 8) return;
+      const std::uint32_t t = read_u32le(payload, 0);
+      if (!round_open || t != tick) return;
+      round_open = false;
+      repoll_attempt = 0;
+      have.clear();
+      reports.clear();
+      rounds_done = std::max(rounds_done, read_u32le(payload, 4));
+      return;
+    }
+    default:
+      return;  // future record kind: skip, don't fail recovery
+  }
+}
+
+Bytes VerifierState::encode(std::size_t token_size) const {
+  Bytes out;
+  append_u32le(out, devices);
+  append_u32le(out, rounds_done);
+  append_u32le(out, tick);
+  out.push_back(round_open ? 1 : 0);
+  append_u32le(out, repoll_attempt);
+  append_u32le(out, static_cast<std::uint32_t>(agents.size()));
+  for (const auto& [first_id, a] : agents) {
+    const Bytes rec = encode_agent(a);
+    out.insert(out.end(), rec.begin(), rec.end());
+  }
+  if (round_open) {
+    out.insert(out.end(), have.begin(), have.end());
+    std::vector<sap::DeviceReport> sorted = reports;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const sap::DeviceReport& a, const sap::DeviceReport& b) {
+                return a.id < b.id;
+              });
+    append_u32le(out, static_cast<std::uint32_t>(sorted.size()));
+    for (const sap::DeviceReport& rep : sorted) {
+      append_report(out, rep, token_size);
+    }
+  }
+  return out;
+}
+
+std::optional<VerifierState> VerifierState::decode(BytesView payload,
+                                                   std::size_t token_size) {
+  constexpr std::size_t kFixed = 4 + 4 + 4 + 1 + 4 + 4;
+  if (payload.size() < kFixed) return std::nullopt;
+  VerifierState st;
+  st.devices = read_u32le(payload, 0);
+  st.rounds_done = read_u32le(payload, 4);
+  st.tick = read_u32le(payload, 8);
+  const std::uint8_t open_flag = payload[12];
+  if (open_flag > 1) return std::nullopt;
+  st.round_open = open_flag == 1;
+  st.repoll_attempt = read_u32le(payload, 13);
+  const std::uint32_t n_agents = read_u32le(payload, 17);
+  std::size_t off = kFixed;
+  if (payload.size() < off + static_cast<std::size_t>(n_agents) *
+                                 kAgentRecordSize) {
+    return std::nullopt;
+  }
+  for (std::uint32_t i = 0; i < n_agents; ++i) {
+    Agent a;
+    a.first_id = read_u32le(payload, off);
+    a.count = read_u32le(payload, off + 4);
+    a.epoch = read_u64le(payload, off + 8);
+    a.ip = read_u32le(payload, off + 16);
+    a.port = static_cast<std::uint16_t>(payload[off + 20] |
+                                        (payload[off + 21] << 8));
+    if (a.first_id == 0 || a.count == 0) return std::nullopt;
+    st.agents[a.first_id] = a;
+    off += kAgentRecordSize;
+  }
+  if (st.round_open) {
+    if (payload.size() < off + st.devices + 4) return std::nullopt;
+    st.have.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                   payload.begin() +
+                       static_cast<std::ptrdiff_t>(off + st.devices));
+    off += st.devices;
+    const std::uint32_t n_reports = read_u32le(payload, off);
+    off += 4;
+    const std::size_t entry = report_entry_size(token_size);
+    if (payload.size() != off + static_cast<std::size_t>(n_reports) * entry) {
+      return std::nullopt;
+    }
+    st.reports.reserve(n_reports);
+    for (std::uint32_t i = 0; i < n_reports; ++i) {
+      st.reports.push_back(parse_report(payload, off, token_size));
+      off += entry;
+    }
+  } else if (payload.size() != off) {
+    return std::nullopt;
+  }
+  return st;
+}
+
+crypto::Sha256::Digest VerifierState::digest(std::size_t token_size) const {
+  return crypto::Sha256::digest(encode(token_size));
+}
+
+std::uint64_t VerifierState::digest64(std::size_t token_size) const {
+  const auto d = digest(token_size);
+  return read_u64le(BytesView(d.data(), d.size()), 0);
+}
+
+std::uint64_t next_agent_epoch(const std::string& path) {
+  std::uint64_t last = 0;
+  Journal j = Journal::open(path, [&](std::uint8_t kind, BytesView payload) {
+    if (kind == 1 && payload.size() == 8) {
+      last = std::max(last, read_u64le(payload, 0));
+    }
+  });
+  const std::uint64_t epoch = last + 1;
+  Bytes rec;
+  append_u64le(rec, epoch);
+  j.append(1, rec);
+  j.sync();
+  return epoch;
+}
+
+}  // namespace cra::wire

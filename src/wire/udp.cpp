@@ -174,9 +174,24 @@ std::size_t UdpSocket::send_batch(const SendDatagram* msgs, std::size_t n) {
     } while (pushed < 0 && errno == EINTR);
     if (pushed < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return sent;
+      if (errno == ENOBUFS) {
+        // Kernel transiently out of socket buffer memory — same
+        // backpressure contract as EAGAIN, but tallied apart so chaos
+        // runs can tell kernel pressure from shaped loss.
+        ++stats_.enobufs;
+        return sent;
+      }
       if (errno == ECONNREFUSED) {
         // Latched ICMP error from an earlier flight; the current
         // datagram was not sent. Skip one and keep going.
+        ++stats_.econnrefused;
+        ++sent;
+        continue;
+      }
+      if (errno == EMSGSIZE) {
+        // This datagram can never fit; retrying is pointless. Drop it
+        // and move on so one oversized frame cannot wedge the flight.
+        ++stats_.emsgsize;
         ++sent;
         continue;
       }

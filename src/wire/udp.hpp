@@ -14,6 +14,11 @@
 //   * ECONNREFUSED — a peer's port closed between its hello and now;
 //               recv reports it as a normal empty read (UDP keeps the
 //               error latched on the socket), send drops the datagram.
+//   * ENOBUFS  — send: kernel transiently out of buffer space; treated
+//               like EAGAIN (short count, caller retries) but tallied
+//               separately in Stats.
+//   * EMSGSIZE — send: the datagram cannot fit the path MTU; it will
+//               never succeed, so it is dropped (skip one) and tallied.
 // Anything else throws std::system_error: real misconfiguration.
 #pragma once
 
@@ -64,6 +69,16 @@ class UdpSocket {
   static constexpr std::size_t kBatch = 64;
   static constexpr std::size_t kRecvBufSize = 2048;
 
+  /// Distinct send-path error tallies, so chaos runs can tell kernel
+  /// backpressure (ENOBUFS), oversized datagrams (EMSGSIZE), and dead
+  /// peers (ECONNREFUSED) apart from shaped loss. The daemons mirror
+  /// these into `wire.*` counters after each send burst.
+  struct Stats {
+    std::uint64_t enobufs = 0;       // kernel out of buffer space
+    std::uint64_t emsgsize = 0;      // datagram exceeded the path MTU
+    std::uint64_t econnrefused = 0;  // peer port closed (latched ICMP)
+  };
+
   UdpSocket() = default;
   ~UdpSocket();
   UdpSocket(UdpSocket&& other) noexcept;
@@ -95,12 +110,15 @@ class UdpSocket {
   /// Single-datagram convenience; true if the kernel accepted it.
   bool send_one(const Endpoint& to, BytesView data);
 
+  const Stats& stats() const noexcept { return stats_; }
+
  private:
   explicit UdpSocket(int fd);
 
   int fd_ = -1;
   // recvmmsg scatter buffers, allocated lazily on first recv_batch.
   Bytes recv_pool_;
+  Stats stats_;
 };
 
 }  // namespace cra::wire

@@ -238,6 +238,56 @@ TEST(FaultPlan, ChurnRespectsTheWindowAndPairsRecoveries) {
   EXPECT_EQ(crashes, reboots) << "every churn crash schedules its reboot";
 }
 
+TEST(FaultPlan, ProcKillGrammarRoundTrip) {
+  // proc-kill drives the wire-chaos supervisor: device is a process
+  // index (0 = verifier, 1.. = agents), duration the restart downtime.
+  FaultPlan plan;
+  plan.proc_kill(SimTime::from_ms(100), 0)
+      .proc_kill_for(SimTime::from_ms(250), 2, Duration::from_ms(150));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kProcKill);
+  EXPECT_EQ(plan.events()[0].device, 0u);
+  EXPECT_EQ(plan.events()[0].duration, Duration::zero());
+  EXPECT_EQ(plan.events()[1].device, 2u);
+  EXPECT_EQ(plan.events()[1].duration, Duration::from_ms(150));
+  // Unlike crash_for, proc_kill_for schedules NO recovery event — the
+  // supervisor owns the respawn, so the plan stays two events.
+
+  const FaultPlan parsed = FaultPlan::parse(plan.format());
+  ASSERT_EQ(parsed.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed.events()[i].kind, plan.events()[i].kind) << i;
+    EXPECT_EQ(parsed.events()[i].at, plan.events()[i].at) << i;
+    EXPECT_EQ(parsed.events()[i].device, plan.events()[i].device) << i;
+    EXPECT_EQ(parsed.events()[i].duration, plan.events()[i].duration) << i;
+  }
+  EXPECT_EQ(parsed.format(), plan.format());
+
+  // Text forms: bare kill and kill-with-downtime.
+  const FaultPlan text = FaultPlan::parse(
+      "@230ms proc-kill 0 150ms\n@520ms proc-kill 1\n");
+  ASSERT_EQ(text.size(), 2u);
+  EXPECT_EQ(text.events()[0].kind, FaultKind::kProcKill);
+  EXPECT_EQ(text.events()[0].duration, Duration::from_ms(150));
+  EXPECT_EQ(text.events()[1].device, 1u);
+  EXPECT_EQ(text.events()[1].duration, Duration::zero());
+}
+
+TEST(FaultPlan, ProcKillRejectsMalformedInput) {
+  EXPECT_THROW((void)FaultPlan::parse("@10ms proc-kill"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("@10ms proc-kill zero"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("@10ms proc-kill 0 -5ms"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("@10ms proc-kill 0 150ms extra"),
+               std::invalid_argument);
+  FaultPlan plan;
+  EXPECT_THROW(plan.proc_kill_for(SimTime::from_ms(1), 0,
+                                  Duration::from_ms(-10)),
+               std::invalid_argument);
+}
+
 TEST(FaultPlan, ZeroRatesYieldAnEmptyPlan) {
   const net::Tree tree = net::balanced_kary_tree(30, 2);
   FaultPlan::ChurnProfile quiet;
