@@ -30,6 +30,8 @@
 #include "crypto/mac_cache.hpp"
 #include "crypto/tally.hpp"
 #include "sap/swarm.hpp"
+#include "sim/parallel.hpp"
+#include "sim/process_group.hpp"
 
 namespace {
 
@@ -195,6 +197,90 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "wall: sap n=%u rounds=2 %.3fs (%.0f events/s)\n",
                devices, rounds_sec, dispatched / rounds_sec);
 
+  // ---- Workload 3: PDES scaling across shard placements ----
+  // The same two-round SAP workload on the sharded engine (shards=8),
+  // once per placement: inproc lanes at 1/2/8 worker threads and the
+  // shared-memory ring transport split across 2 processes. The pdes.*
+  // counters (events dispatched, cross-shard posts, conservative
+  // epochs, lane reallocations) are recorded from the threads=1 run and
+  // asserted equal at every other placement — the engine's "run is a
+  // pure function of (inputs, shard count)" bar, enforced right here so
+  // the committed BENCH_perf.json doubles as the invariance golden.
+  // Only the wall.pdes_*_events_per_sec gauges may differ by placement.
+  struct Placement {
+    const char* name;
+    std::uint32_t threads;
+    sim::ShardTransport transport;
+    std::uint32_t procs;
+  };
+  const Placement placements[] = {
+      {"t1", 1, sim::ShardTransport::kInproc, 1},
+      {"t2", 2, sim::ShardTransport::kInproc, 1},
+      {"t8", 8, sim::ShardTransport::kInproc, 1},
+      {"shm2p", 2, sim::ShardTransport::kShm, 2},
+  };
+  std::uint64_t pdes_events = 0, pdes_cross = 0, pdes_epochs = 0;
+  std::uint64_t pdes_lane_reallocs = 0;
+  for (const Placement& p : placements) {
+    sap::SapConfig pcfg;
+    pcfg.sim.threads = p.threads;
+    pcfg.sim.shards = 8;
+    pcfg.sim.transport = p.transport;  // explicit: immune to the env var
+    pcfg.sim.processes = p.procs;
+    auto psim = sap::SapSimulation::balanced(pcfg, devices);
+    sim::ProcessGroup& pg = sim::ProcessGroup::instance();
+    std::uint32_t rank = 0;
+    if (p.procs > 1) rank = pg.spawn(p.procs);
+    const benchargs::WallTimer pdes_wall;
+    bool ok = true;
+    try {
+      ok = psim.run_round().verified;
+      psim.advance_time(sim::Duration::from_ms(250));
+      ok = psim.run_round().verified && ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pdes[%s] rank %u: %s\n", p.name, rank, e.what());
+      if (rank != 0) pg.child_exit(1);
+      return 1;
+    }
+    const double pdes_sec = pdes_wall.sec();
+    // Children exit 0 regardless of `ok`: the verifier verdict is only
+    // authoritative on rank 0, which owns shard 0.
+    if (rank != 0) pg.child_exit(0);
+    if (p.procs > 1) pg.join();
+    if (!ok) {
+      std::fprintf(stderr, "pdes[%s]: SAP round failed to verify!\n", p.name);
+      return 1;
+    }
+    const sim::ParallelScheduler* eng = psim.engine();
+    const std::uint64_t ev = eng->dispatched();
+    const std::uint64_t cross = eng->cross_shard_posts();
+    const std::uint64_t epochs = eng->epochs();
+    if (p.name == placements[0].name) {
+      pdes_events = ev;
+      pdes_cross = cross;
+      pdes_epochs = epochs;
+      pdes_lane_reallocs = eng->lane_reallocs();
+      eng->export_pdes_metrics(reg);
+    } else if (ev != pdes_events || cross != pdes_cross ||
+               epochs != pdes_epochs) {
+      std::fprintf(stderr,
+                   "pdes[%s]: placement changed the work! events %llu vs "
+                   "%llu, cross %llu vs %llu, epochs %llu vs %llu\n",
+                   p.name, static_cast<unsigned long long>(ev),
+                   static_cast<unsigned long long>(pdes_events),
+                   static_cast<unsigned long long>(cross),
+                   static_cast<unsigned long long>(pdes_cross),
+                   static_cast<unsigned long long>(epochs),
+                   static_cast<unsigned long long>(pdes_epochs));
+      return 1;
+    }
+    reg.gauge(std::string("wall.pdes_") + p.name + "_events_per_sec")
+        .set(per_sec(ev, pdes_sec));
+    std::fprintf(stderr, "wall: pdes[%s] n=%u rounds=2 %.3fs (%.0f events/s)\n",
+                 p.name, devices, pdes_sec,
+                 static_cast<double>(ev) / pdes_sec);
+  }
+
   // ---- Report ----
   Table table({"counter", "value"});
   table.add_row({"mac.iterations", Table::count(kMacIters)});
@@ -212,6 +298,10 @@ int main(int argc, char** argv) {
                  Table::count(sim.network().payload_pool_misses())});
   table.add_row({"sap.pool_bytes",
                  Table::count(sim.network().payload_bytes_pooled())});
+  table.add_row({"pdes.events_dispatched", Table::count(pdes_events)});
+  table.add_row({"pdes.cross_posts", Table::count(pdes_cross)});
+  table.add_row({"pdes.epochs", Table::count(pdes_epochs)});
+  table.add_row({"pdes.lane_reallocs", Table::count(pdes_lane_reallocs)});
 
   std::printf("Perf baseline - deterministic hot-path counters\n");
   std::printf("(wall-clock rates go to stderr and the wall.* gauges; "

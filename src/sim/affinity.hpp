@@ -1,0 +1,51 @@
+// NUMA-aware worker pinning for the sharded engine (no libnuma).
+//
+// Topology comes straight from sysfs: each
+// /sys/devices/system/node/node<N>/cpulist gives one NUMA node's CPUs,
+// intersected with this process's affinity mask (so cgroup/cpuset
+// restrictions are respected — CPUs the container cannot run on are
+// never picked). When sysfs is absent (non-Linux-ish mounts, stripped
+// containers) or lists nothing usable, the plan degrades to a single
+// pseudo-node holding the allowed CPUs; when even the affinity mask is
+// unreadable, pinning becomes a no-op. Every fallback is graceful:
+// `--pin` can always be passed, it just does less on weaker hosts.
+//
+// Placement policy (deterministic, computed identically in every rank):
+// shard processes spread round-robin over nodes, workers within a
+// process round-robin over their node's CPUs. With the engine's
+// first-touch behavior — a shard's queues and rings are faulted in by
+// the pinned worker that owns them (copy-on-write after fork, demand
+// paging for the arena) — a shard's hot state lands on the node its
+// worker runs on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cra::sim {
+
+struct CpuPlan {
+  /// CPUs usable by this process, grouped by NUMA node (empty groups
+  /// dropped). Empty outer vector = pinning unavailable.
+  std::vector<std::vector<int>> nodes;
+
+  bool usable() const noexcept { return !nodes.empty(); }
+  std::size_t cpu_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& g : nodes) n += g.size();
+    return n;
+  }
+};
+
+/// Detect NUMA groups ∩ affinity mask. Never throws.
+CpuPlan detect_cpu_plan() noexcept;
+
+/// CPU for worker `worker` (of `workers`) in process `rank` (of
+/// `nprocs`), or -1 when the plan is unusable.
+int pick_cpu(const CpuPlan& plan, std::uint32_t rank, std::uint32_t nprocs,
+             std::uint32_t worker, std::uint32_t workers) noexcept;
+
+/// Pin the calling thread; false (and no change) on failure or cpu < 0.
+bool pin_current_thread(int cpu) noexcept;
+
+}  // namespace cra::sim

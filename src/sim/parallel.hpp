@@ -15,56 +15,116 @@
 //   [T, T + L) without hearing from anyone.
 //
 // Execution proceeds in epochs. Each epoch has two phases separated by
-// barriers: (A) every shard drains its inbound mailboxes and reports
-// the time of its earliest event; a completion step reduces these to
-// the global minimum T and publishes the horizon T + L; (B) every shard
+// barriers: (A) every shard drains its inbound channel and reports the
+// time of its earliest event; a reduction step folds these to the
+// global minimum T and publishes the horizon T + L; (B) every shard
 // runs run_before(horizon). Events posted across shards during (B) go
-// into per-(source, destination) mailbox lanes — each lane has exactly
-// one writer (the source shard's worker) and one reader (the
-// destination shard's worker), and the phases alternate under a
-// barrier, so the lanes need no locks or atomics at all.
+// through an explicit ChannelTransport (sim/channel.hpp) — each
+// directed (source, destination) lane has exactly one writer and one
+// reader, and the phases alternate under barriers, so the in-process
+// lanes need no locks and the shared-memory rings need only their SPSC
+// ordering.
+//
+// Two transports carry the shard boundary (SimConfig::transport /
+// CRA_SHARD_TRANSPORT):
+//
+//   * inproc — per-lane vectors of closures, zero-copy, one process.
+//   * shm    — per-lane SPSC rings in a MAP_SHARED arena; events are
+//     serialized ShardMessages, shard groups may live in separate
+//     forked processes (SimConfig::processes + sim::ProcessGroup), and
+//     the epoch reduction runs over shared-memory cells with a
+//     seqlock-published horizon instead of a std::barrier.
 //
 // Determinism: each shard is a deterministic Scheduler (FIFO among
-// same-time events), mailbox lanes are drained in fixed source-shard
+// same-time events), channel lanes are drained in fixed source-shard
 // order, and the horizon sequence depends only on event timestamps —
 // so a run is a pure function of (inputs, shard count), independent of
-// the number of worker threads and of OS scheduling. With one shard
-// the engine *is* the classic Scheduler: run() forwards directly, so
-// threads=1 reproduces the single-threaded event order bit-for-bit.
+// the number of worker threads, the transport, and the shard-to-process
+// placement. With one shard the engine *is* the classic Scheduler:
+// run() forwards directly, so threads=1 reproduces the single-threaded
+// event order bit-for-bit.
+//
+// Threading contract for post(): safe from any of THIS engine's shard
+// workers while the engine runs, and from the driver thread while the
+// engine is idle (round setup). Any other thread posting into a running
+// engine throws std::logic_error — the old behavior silently
+// schedule_at()'d into a live shard, a data race.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "sim/channel.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace cra::sim {
 
+class SharedArena;
+struct ShmBarrierCell;
+struct ShmHorizonCell;
+
+/// Which channel implementation carries the shard boundary.
+enum class ShardTransport : std::uint8_t {
+  kAuto = 0,    // CRA_SHARD_TRANSPORT env if set, else inproc (shm when
+                // processes > 1)
+  kInproc = 1,  // in-process lanes (closures; zero-copy)
+  kShm = 2,     // shared-memory SPSC rings (serialized messages)
+};
+
 /// Execution knobs for the simulation engine, carried by protocol
 /// configs (sap::SapConfig::sim, seda::SedaConfig::sim).
 struct SimConfig {
-  /// Worker threads. 1 = run on the calling thread (with shards=0 this
-  /// is exactly the classic single-queue engine).
+  /// Worker threads (per process). 1 = run on the calling thread (with
+  /// shards=0 this is exactly the classic single-queue engine).
   std::uint32_t threads = 1;
   /// Shard count; 0 = one shard per thread. Results are a function of
   /// the shard count, not the thread count: fix `shards` and any
   /// `threads` value reproduces the same run (see docs/simulation.md).
   std::uint32_t shards = 0;
+  /// Shard-boundary transport. kAuto resolves via CRA_SHARD_TRANSPORT
+  /// ("inproc" / "shm") and defaults to inproc (shm when processes > 1).
+  ShardTransport transport = ShardTransport::kAuto;
+  /// Shard processes (shm transport only). Shards split into
+  /// `processes` contiguous groups; rank r of the ProcessGroup owns
+  /// group r. Construct the simulation FIRST (the shared arena must
+  /// predate the fork), then ProcessGroup::spawn(processes), then run.
+  std::uint32_t processes = 1;
+  /// Per-lane ring capacity in 64-byte slots (shm transport; power of
+  /// two). 0 = sized from the entity count, overridable via
+  /// CRA_SHARD_RING_SLOTS.
+  std::uint32_t ring_slots = 0;
+  /// Pin workers to CPUs, NUMA-aware when sysfs exposes node topology
+  /// (see sim/affinity.hpp). Placement-neutral: affects wall clock only.
+  bool pin = false;
 
   std::uint32_t effective_shards() const noexcept {
     return shards != 0 ? shards : threads;
   }
   bool sharded() const noexcept { return effective_shards() > 1; }
+  /// Resolve kAuto against the environment. Stable for a given
+  /// (config, environment) pair.
+  ShardTransport resolved_transport() const noexcept;
 };
 
 class ParallelScheduler {
  public:
   using Callback = Scheduler::Callback;
+  /// Protocol delivery sinks for serialized cross-shard messages (see
+  /// post_message). The owning sink receives messages whose payload
+  /// buffer traveled intact (same-shard and inproc paths, zero-copy);
+  /// the view sink receives borrowed payloads (shm path) and must copy
+  /// what it keeps. Both run on the destination shard's worker at the
+  /// event's time; a protocol must install behavior-identical sinks or
+  /// transports would diverge.
+  using MessageSink = std::function<void(ShardMessage&&)>;
+  using MessageViewSink = std::function<void(const ShardMessageView&)>;
 
   /// Partitions entities 0..entities-1 into contiguous blocks, one per
   /// shard. `lookahead` is the minimum cross-shard event latency and
@@ -79,6 +139,10 @@ class ParallelScheduler {
   std::uint32_t shard_count() const noexcept { return shard_count_; }
   std::uint32_t threads() const noexcept { return threads_; }
   Duration lookahead() const noexcept { return lookahead_; }
+  /// Resolved transport actually in use ("inproc" for 1 shard).
+  ShardTransport transport() const noexcept { return transport_; }
+  const char* transport_name() const noexcept;
+  std::uint32_t processes() const noexcept { return processes_; }
 
   std::uint32_t shard_of(std::uint32_t entity) const noexcept {
     const std::uint32_t s = entity / block_;
@@ -88,22 +152,47 @@ class ParallelScheduler {
   Scheduler& shard_for(std::uint32_t entity) noexcept {
     return shard(shard_of(entity));
   }
+  /// Contiguous shard range owned by process `rank` (all shards when
+  /// single-process).
+  std::pair<std::uint32_t, std::uint32_t> owned_shards(
+      std::uint32_t rank) const noexcept;
 
   /// Global clock: the maximum of the shard clocks. run()/run_until()
-  /// synchronize every shard to this value on completion, so between
-  /// runs all shards agree on the time.
+  /// synchronize every shard to this value on completion — across
+  /// processes too (a shared-memory max-reduction) — so between runs
+  /// all shards in all ranks agree on the time.
   SimTime now() const noexcept;
 
-  /// Schedule `cb` at absolute time `at` on `entity`'s shard. Safe to
-  /// call from any shard's worker while the engine runs: same-shard
-  /// posts schedule directly (preserving local FIFO order); cross-shard
-  /// posts go through the mailbox lanes and must respect the lookahead
-  /// (`at` >= the current epoch horizon), which holds by construction
-  /// for any message of latency >= lookahead. Violations throw
-  /// std::logic_error rather than silently racing.
+  /// Schedule `cb` at absolute time `at` on `entity`'s shard.
+  ///
+  /// Contract: callable (a) from this engine's shard workers while the
+  /// engine runs — same-shard posts schedule directly (preserving local
+  /// FIFO order); cross-shard posts ride the channel and must respect
+  /// the lookahead (`at` >= the current epoch horizon), which holds by
+  /// construction for any message of latency >= lookahead — and (b)
+  /// from any thread while the engine is idle (setup between runs).
+  /// A foreign thread posting into a RUNNING engine throws
+  /// std::logic_error instead of racing a live shard queue. Under the
+  /// shm transport, cross-shard closures also throw (closures don't
+  /// serialize): protocol traffic uses post_message.
   void post(std::uint32_t entity, SimTime at, Callback cb);
 
-  /// Run all shards to global quiescence; returns events dispatched.
+  /// Schedule delivery of a serialized message to `entity`'s shard at
+  /// `at` — the transport-portable sibling of post(), used by the
+  /// protocol network routers. Requires sinks (set_message_sinks).
+  /// Returns the spent payload buffer when the transport serialized it
+  /// out (caller recycles the capacity into its shard-local pool);
+  /// returns an empty buffer when the payload moved onward intact.
+  Bytes post_message(std::uint32_t entity, SimTime at, std::uint32_t src,
+                     std::uint32_t kind, Bytes&& payload);
+
+  /// Install the delivery sinks post_message dispatches to. Call at
+  /// setup, before any run with message traffic.
+  void set_message_sinks(MessageSink deliver, MessageViewSink deliver_view);
+
+  /// Run all shards to global quiescence; returns events dispatched
+  /// (across ALL processes in multi-process mode — every rank returns
+  /// the same total).
   std::size_t run();
 
   /// Run events with time <= `until`; every shard clock advances to
@@ -113,12 +202,25 @@ class ParallelScheduler {
   /// giving up parallelism.
   std::size_t run_until(SimTime until);
 
-  /// Total events dispatched over the engine's lifetime.
+  /// Total events dispatched over the engine's lifetime (global across
+  /// processes in multi-process mode).
   std::uint64_t dispatched() const noexcept;
   /// Barrier windows executed (observability: epochs × 2 barrier waits).
   std::uint64_t epochs() const noexcept { return epochs_; }
-  /// Events that crossed a shard boundary through the mailbox lanes.
+  /// Events that crossed a shard boundary through the channel (global
+  /// across processes in multi-process mode).
   std::uint64_t cross_shard_posts() const noexcept;
+  /// Lane-capacity growth events in the channel (0 for shm rings, and 0
+  /// steady-state for warm inproc lanes — the recycling guarantee).
+  std::uint64_t lane_reallocs() const noexcept;
+
+  /// Write the engine's own counters (pdes.events_dispatched,
+  /// pdes.cross_posts, pdes.lane_reallocs, pdes.epochs) into `reg`.
+  /// Deliberately NOT folded into the per-shard registries: those merge
+  /// into the protocol metrics view, which must stay engine-invariant
+  /// (a serial run and a sharded run export identical registries) —
+  /// benches export these into their own bench-level registry instead.
+  void export_pdes_metrics(obs::MetricsRegistry& reg) const;
 
   /// --- Per-shard metrics (obs layer) ---
   /// Each shard carries its own MetricsRegistry, written only by the
@@ -136,52 +238,80 @@ class ParallelScheduler {
     return shards_[s]->metrics;
   }
   /// Fold every shard registry into `out` in shard order (deterministic;
-  /// see shard_metrics). Call only while the engine is idle.
+  /// see shard_metrics). Call only while the engine is idle. In
+  /// multi-process mode, non-owned shards merge from the binary images
+  /// their owners published to shared memory at the end of the last run
+  /// — every rank reduces the same global view.
   void merge_metrics_into(obs::MetricsRegistry& out) const;
   /// Zero every shard registry's instruments (round boundary).
   void reset_shard_metrics() noexcept;
 
  private:
-  struct Posted {
-    SimTime at;
-    Callback cb;
-  };
-  // Shards and lanes are heap-allocated and cacheline-aligned so that
-  // workers hammering their own shard never share a line.
+  // Shards are heap-allocated and cacheline-aligned so that workers
+  // hammering their own shard never share a line.
   struct alignas(64) Shard {
     Scheduler sched;
     std::optional<SimTime> next;     // written by owner in phase A
     std::size_t dispatched_run = 0;  // events run in the current run()
-    std::uint64_t cross_posts = 0;   // lane posts originated here
+    std::uint64_t cross_posts = 0;   // channel posts originated here
     obs::MetricsRegistry metrics;    // written only by the owning worker
-  };
-  struct alignas(64) Lane {
-    std::vector<Posted> items;  // one writer (src), one reader (dst)
+    std::vector<Bytes> spare;        // recycled shm-delivery buffers
   };
 
-  Lane& lane(std::uint32_t from, std::uint32_t to) noexcept {
-    return *lanes_[from * shard_count_ + to];
-  }
-  /// Move every lane targeting shard `s` into its scheduler, in fixed
-  /// source-shard order (this is what keeps drains deterministic).
+  /// Per-shard shared-memory cell (shm transport): the owner publishes
+  /// its earliest-event time each phase A and its clock/counters/metrics
+  /// image at end of run; peers reduce over all cells.
+  struct alignas(64) ShardCell {
+    std::atomic<std::int64_t> next_ns;
+    std::atomic<std::int64_t> clock_ns;
+    std::atomic<std::uint64_t> dispatched_run;
+    std::atomic<std::uint64_t> dispatched_total;
+    std::atomic<std::uint64_t> cross_posts;
+    std::atomic<std::uint32_t> metrics_len;
+  };
+
+  bool owns_shard(std::uint32_t s) const noexcept;
+  void deliver_view_into(std::uint32_t s, const ShardMessageView& v);
+  /// Move every channel lane targeting shard `s` into its scheduler, in
+  /// fixed source-shard order (this is what keeps drains deterministic).
   void drain_into(std::uint32_t s);
   void sync_clocks();
+  void publish_shard_outputs(std::uint32_t s);
   std::size_t run_serial_epochs(std::optional<SimTime> until);
   std::size_t run_threaded(std::optional<SimTime> until);
+  std::size_t run_shm(std::optional<SimTime> until);
+  void maybe_pin(std::uint32_t worker, std::uint32_t workers) const;
 
   std::uint32_t shard_count_;
   std::uint32_t threads_;
   std::uint32_t block_;
   Duration lookahead_;
+  ShardTransport transport_ = ShardTransport::kInproc;
+  std::uint32_t processes_ = 1;
+  std::uint32_t ring_slots_ = 0;
+  bool pin_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<ChannelTransport> channel_;
+  MessageSink sink_;
+  MessageViewSink view_sink_;
+
+  // Shared-memory control plane (shm transport only). The arena is
+  // created at construction — i.e. before any ProcessGroup::spawn() —
+  // so all ranks map it at the same address.
+  std::unique_ptr<SharedArena> arena_;
+  ShmBarrierCell* barrier_ = nullptr;
+  ShmHorizonCell* control_ = nullptr;
+  std::atomic<std::uint32_t>* shm_abort_ = nullptr;
+  ShardCell* cells_ = nullptr;
+  std::uint8_t* metrics_blobs_ = nullptr;
+  std::uint32_t metrics_blob_cap_ = 0;
 
   // Epoch state: written only while every worker is parked at a barrier
   // (completion step) or by the single thread of the serial path; the
   // barrier provides the happens-before for workers reading them.
   SimTime horizon_;
   bool done_ = false;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
   std::uint64_t epochs_ = 0;
 };
 

@@ -1,0 +1,127 @@
+#include "sim/process_group.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace cra::sim {
+
+SharedArena::SharedArena(std::size_t bytes) {
+  const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  capacity_ = (bytes + page - 1) / page * page;
+  void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    throw std::runtime_error("SharedArena: mmap of " +
+                             std::to_string(capacity_) + " bytes failed");
+  }
+  base_ = p;
+}
+
+SharedArena::~SharedArena() {
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+}
+
+void* SharedArena::alloc(std::size_t n, std::size_t align) {
+  const std::size_t start = (used_ + align - 1) / align * align;
+  if (start + n > capacity_) throw std::bad_alloc();
+  used_ = start + n;
+  return static_cast<std::uint8_t*>(base_) + start;
+}
+
+ProcessGroup& ProcessGroup::instance() {
+  static ProcessGroup group;
+  return group;
+}
+
+std::uint32_t ProcessGroup::spawn(std::uint32_t nprocs) {
+  if (size_ != 1 || rank_ != 0) {
+    throw std::logic_error("ProcessGroup: spawn() from inside a group");
+  }
+  if (nprocs <= 1) return 0;
+  // Children inherit stdio buffers; flush now so nothing is printed
+  // twice when they write (or _exit) later.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t parent = ::getpid();
+  children_.clear();
+  children_.reserve(nprocs - 1);
+  for (std::uint32_t r = 1; r < nprocs; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Undo: reap whoever we already forked, then report.
+      for (Child& c : children_) {
+        ::kill(c.pid, SIGKILL);
+        ::waitpid(c.pid, nullptr, 0);
+      }
+      children_.clear();
+      throw std::runtime_error("ProcessGroup: fork failed at rank " +
+                               std::to_string(r));
+    }
+    if (pid == 0) {
+      rank_ = r;
+      size_ = nprocs;
+      parent_pid_ = parent;
+      children_.clear();
+      return rank_;
+    }
+    children_.push_back(Child{pid, r});
+  }
+  size_ = nprocs;
+  return 0;
+}
+
+void ProcessGroup::child_exit(int code) noexcept {
+  ::_exit(code);
+}
+
+void ProcessGroup::join() {
+  if (rank_ != 0) {
+    throw std::logic_error("ProcessGroup: join() from a child rank");
+  }
+  std::string failure;
+  for (Child& c : children_) {
+    if (!c.reaped) {
+      if (::waitpid(c.pid, &c.status, 0) < 0) c.status = -1;
+      c.reaped = true;
+    }
+    if (failure.empty()) {
+      if (WIFEXITED(c.status) && WEXITSTATUS(c.status) != 0) {
+        failure = "shard process rank " + std::to_string(c.rank) +
+                  " exited with status " + std::to_string(WEXITSTATUS(c.status));
+      } else if (WIFSIGNALED(c.status)) {
+        failure = "shard process rank " + std::to_string(c.rank) +
+                  " killed by signal " + std::to_string(WTERMSIG(c.status));
+      }
+    }
+  }
+  children_.clear();
+  size_ = 1;
+  if (!failure.empty()) throw std::runtime_error("ProcessGroup: " + failure);
+}
+
+bool ProcessGroup::peers_alive() noexcept {
+  if (rank_ != 0) {
+    // Reparented == parent died. (The launch parent is never init.)
+    return ::getppid() == parent_pid_;
+  }
+  for (Child& c : children_) {
+    if (c.reaped) return false;
+    const pid_t r = ::waitpid(c.pid, &c.status, WNOHANG);
+    if (r == c.pid) {
+      // Any early exit is a failure from a barrier's point of view:
+      // SPMD peers only leave after the run completes.
+      c.reaped = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cra::sim

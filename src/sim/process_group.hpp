@@ -1,0 +1,107 @@
+// SPMD process group for multi-process shard placement.
+//
+// The multi-process engine runs the SAME deterministic driver code in
+// every process ("single program, multiple data"): the simulation is
+// constructed once, the group forks, and each rank executes the round
+// driver while owning a contiguous group of shards. Everything the
+// ranks share — SPSC rings, the epoch-control cells, per-shard metrics
+// images — lives in one MAP_SHARED|MAP_ANONYMOUS arena created BEFORE
+// the fork, so every process maps it at the same address; all private
+// simulation state is inherited copy-on-write.
+//
+// Lifecycle (see bench/pdes_scale.cpp for the canonical driver):
+//
+//   auto sim = SapSimulation::balanced(cfg, devices, seed);  // pre-fork
+//   auto& pg = sim::ProcessGroup::instance();
+//   const std::uint32_t rank = pg.spawn(cfg.sim.processes);
+//   auto report = sim.run_round();      // every rank, SPMD
+//   if (rank != 0) pg.child_exit(0);    // children stop here
+//   pg.join();                          // parent reaps, throws on failure
+//
+// Rank 0 is the parent and owns shard 0, so verifier/root state and the
+// RoundReport are authoritative in the parent. Children suppress their
+// output duties and leave through child_exit() (`_exit`, no destructors
+// or atexit hooks — their buffered stdio was flushed before the fork).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cra::sim {
+
+/// Bump allocator over one MAP_SHARED|MAP_ANONYMOUS mapping. Create
+/// before fork; every process then sees the same memory at the same
+/// address. 64-byte aligned allocations, no free (the arena's lifetime
+/// is the engine's).
+class SharedArena {
+ public:
+  explicit SharedArena(std::size_t bytes);
+  ~SharedArena();
+  SharedArena(const SharedArena&) = delete;
+  SharedArena& operator=(const SharedArena&) = delete;
+
+  /// Zero-initialized (fresh anonymous pages). Throws std::bad_alloc
+  /// when the arena is exhausted — sizes are computed up front, so this
+  /// indicates a sizing bug, not load.
+  void* alloc(std::size_t n, std::size_t align = 64);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+class ProcessGroup {
+ public:
+  /// One group per process tree. Not thread-safe: spawn/join from the
+  /// main thread only, with no engine running.
+  static ProcessGroup& instance();
+
+  /// Fork `nprocs - 1` children; returns this process's rank (0 = the
+  /// original parent). stdio is flushed first so children inherit empty
+  /// buffers. Throws std::logic_error on nested spawn and
+  /// std::runtime_error if a fork fails.
+  std::uint32_t spawn(std::uint32_t nprocs);
+
+  std::uint32_t rank() const noexcept { return rank_; }
+  std::uint32_t size() const noexcept { return size_; }
+  bool is_root() const noexcept { return rank_ == 0; }
+
+  /// Child ranks leave through here: flush nothing, run no destructors,
+  /// just _exit. (A child that falls off main instead would re-run
+  /// atexit hooks on inherited state.)
+  [[noreturn]] void child_exit(int code) noexcept;
+
+  /// Parent: reap every child; throws std::runtime_error naming the
+  /// first rank that exited nonzero or died on a signal. Resets the
+  /// group to size 1 so it can spawn again.
+  void join();
+
+  /// Liveness probe for barrier watchdogs. Parent: polls children with
+  /// WNOHANG (an early exit of any kind counts as dead — SPMD peers
+  /// only leave together). Child: checks the parent still exists.
+  bool peers_alive() noexcept;
+
+ private:
+  ProcessGroup() = default;
+
+  struct Child {
+    pid_t pid;
+    std::uint32_t rank;
+    bool reaped = false;
+    int status = 0;
+  };
+
+  std::uint32_t rank_ = 0;
+  std::uint32_t size_ = 1;
+  std::vector<Child> children_;  // parent only
+  pid_t parent_pid_ = 0;         // child only
+};
+
+}  // namespace cra::sim

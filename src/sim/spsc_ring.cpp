@@ -1,0 +1,146 @@
+#include "sim/spsc_ring.hpp"
+
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "sim/shm_sync.hpp"
+
+namespace cra::sim {
+
+SpscRing* SpscRing::create(void* mem, std::uint32_t slot_count) {
+  if (slot_count < 2 || (slot_count & (slot_count - 1)) != 0) {
+    throw std::invalid_argument(
+        "SpscRing: slot_count must be a power of two >= 2");
+  }
+  return ::new (mem) SpscRing(slot_count);
+}
+
+bool SpscRing::try_push2(const void* a, std::uint32_t a_len, const void* b,
+                         std::uint32_t b_len) {
+  const std::uint32_t len = a_len + b_len;
+  if (len > max_record_bytes()) {
+    throw std::invalid_argument(
+        "SpscRing: record of " + std::to_string(len) +
+        " bytes exceeds max_record_bytes() = " +
+        std::to_string(max_record_bytes()));
+  }
+  const std::uint32_t need = slots_for(len);
+  std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint32_t head = head_.load(std::memory_order_acquire);
+  const std::uint32_t free_slots = slot_count_ - (tail - head);
+  std::uint32_t offset = tail & mask_;
+  const std::uint32_t until_wrap = slot_count_ - offset;
+  const std::uint32_t pad = need > until_wrap ? until_wrap : 0;
+  if (need + pad > free_slots) return false;
+  if (pad != 0) {
+    // The record would straddle the wrap point: mark the remainder of
+    // the ring as padding and start over at offset 0. One release store
+    // of tail_ (below) publishes the pad and the record together.
+    const std::uint32_t marker = kPadMarker;
+    std::memcpy(slot_ptr(offset), &marker, sizeof(marker));
+    tail += pad;
+    offset = 0;
+  }
+  std::uint8_t* dst = slot_ptr(offset);
+  std::memcpy(dst, &len, kHeaderBytes);
+  if (a_len != 0) std::memcpy(dst + kHeaderBytes, a, a_len);
+  if (b_len != 0) std::memcpy(dst + kHeaderBytes + a_len, b, b_len);
+  tail_.store(tail + need, std::memory_order_release);
+  if (cons_sleeping_.exchange(0, std::memory_order_acq_rel) != 0) {
+    futex_wake_all(&tail_);
+  }
+  return true;
+}
+
+bool SpscRing::push(const void* data, std::uint32_t len,
+                    std::int64_t timeout_ns) {
+  if (try_push(data, len)) return true;
+  for (int i = 0; i < 256; ++i) {
+    cpu_relax();
+    if (try_push(data, len)) return true;
+  }
+  std::int64_t remaining = timeout_ns;
+  while (remaining > 0) {
+    const std::uint32_t head_seen = head_.load(std::memory_order_acquire);
+    prod_sleeping_.store(1, std::memory_order_seq_cst);
+    if (try_push(data, len)) {
+      prod_sleeping_.store(0, std::memory_order_relaxed);
+      return true;
+    }
+    // Sleep in bounded slices: a wake lost to the flag race above costs
+    // at most one slice, not the whole timeout.
+    const std::int64_t slice = remaining < 10'000'000 ? remaining : 10'000'000;
+    futex_wait(&head_, head_seen, slice);
+    remaining -= slice;
+  }
+  prod_sleeping_.store(0, std::memory_order_relaxed);
+  return try_push(data, len);
+}
+
+const std::uint8_t* SpscRing::peek(std::uint32_t& len) {
+  std::uint32_t head = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint32_t tail = tail_.load(std::memory_order_acquire);
+    if (tail == head) return nullptr;
+    const std::uint8_t* slot = slot_ptr(head & mask_);
+    std::uint32_t l;
+    std::memcpy(&l, slot, sizeof(l));
+    if (l == kPadMarker) {
+      // Wrap padding: release the tail of the ring and retry at 0.
+      const std::uint32_t skip = slot_count_ - (head & mask_);
+      head += skip;
+      head_.store(head, std::memory_order_release);
+      if (prod_sleeping_.exchange(0, std::memory_order_acq_rel) != 0) {
+        futex_wake_all(&head_);
+      }
+      continue;
+    }
+    if (l > max_record_bytes() || slots_for(l) > tail - head) {
+      throw std::runtime_error(
+          "SpscRing: corrupt record length " + std::to_string(l) +
+          " (torn write or trampled slot)");
+    }
+    len = l;
+    pending_pop_slots_ = slots_for(l);
+    return slot + kHeaderBytes;
+  }
+}
+
+void SpscRing::pop() noexcept {
+  head_.store(head_.load(std::memory_order_relaxed) + pending_pop_slots_,
+              std::memory_order_release);
+  pending_pop_slots_ = 0;
+  if (prod_sleeping_.exchange(0, std::memory_order_acq_rel) != 0) {
+    futex_wake_all(&head_);
+  }
+}
+
+bool SpscRing::wait_nonempty(std::int64_t timeout_ns) {
+  if (!empty()) return true;
+  for (int i = 0; i < 256; ++i) {
+    cpu_relax();
+    if (!empty()) return true;
+  }
+  std::int64_t remaining = timeout_ns;
+  while (remaining > 0) {
+    const std::uint32_t tail_seen = tail_.load(std::memory_order_acquire);
+    cons_sleeping_.store(1, std::memory_order_seq_cst);
+    if (!empty()) {
+      cons_sleeping_.store(0, std::memory_order_relaxed);
+      return true;
+    }
+    const std::int64_t slice = remaining < 10'000'000 ? remaining : 10'000'000;
+    futex_wait(&tail_, tail_seen, slice);
+    remaining -= slice;
+  }
+  cons_sleeping_.store(0, std::memory_order_relaxed);
+  return !empty();
+}
+
+void SpscRing::reset_cursors(std::uint32_t v) noexcept {
+  head_.store(v, std::memory_order_relaxed);
+  tail_.store(v, std::memory_order_release);
+}
+
+}  // namespace cra::sim

@@ -1,0 +1,121 @@
+// Lock-free single-producer/single-consumer ring over shared memory.
+//
+// The multi-process shard transport (sim/channel.hpp) moves serialized
+// cross-shard events through one of these per directed (src, dst) shard
+// pair — exactly one writer (the source shard's worker) and one reader
+// (the destination shard's worker), possibly in different processes.
+//
+// Layout: a 128-byte header (producer and consumer cursors on separate
+// cache lines) followed by `slot_count` fixed 64-byte slots. Records are
+// length-prefixed ([u32 len][len bytes of payload]) and always start at
+// a slot boundary; a record that would straddle the wrap point is
+// preceded by a pad marker (len == 0xFFFFFFFF) and written at offset 0
+// instead. Cursors are free-running 32-bit slot counts — `slot_count`
+// is a power of two, so indices reduce with a mask and the cursors wrap
+// naturally at 2^32 (covered by a unit test via reset_cursors()). The
+// 32-bit width is deliberate: a futex word is 32 bits, so a blocked
+// peer can sleep directly on the cursor it is waiting to move.
+//
+// Fast path is wait-free: one acquire load of the peer cursor, memcpy,
+// one release store of the own cursor. The blocking variants spin
+// briefly, then publish a sleeper flag and wait on the peer's cursor
+// futex in bounded slices (a missed wake self-heals at the next slice).
+// The consumer additionally validates every record length before
+// trusting it — a torn or trampled size field throws instead of walking
+// the ring off into the weeds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+namespace cra::sim {
+
+class SpscRing {
+ public:
+  static constexpr std::uint32_t kSlotSize = 64;
+  static constexpr std::uint32_t kPadMarker = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kHeaderBytes = 4;  // u32 length prefix
+
+  /// Bytes of (shared) memory needed for a ring of `slot_count` slots.
+  static std::size_t region_bytes(std::uint32_t slot_count) noexcept {
+    return sizeof(SpscRing) + static_cast<std::size_t>(slot_count) * kSlotSize;
+  }
+
+  /// Placement-construct a ring in `mem` (64-byte aligned, at least
+  /// region_bytes() long). `slot_count` must be a power of two >= 2;
+  /// throws std::invalid_argument otherwise.
+  static SpscRing* create(void* mem, std::uint32_t slot_count);
+
+  std::uint32_t slot_count() const noexcept { return slot_count_; }
+  /// Largest payload one record may carry. Capped at half the ring so a
+  /// maximal record can always be pushed again after a wrap pad.
+  std::size_t max_record_bytes() const noexcept {
+    return static_cast<std::size_t>(slot_count_ / 2) * kSlotSize - kHeaderBytes;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::uint32_t used_slots() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// --- Producer side ---
+  /// Append one record made of two contiguous segments (header +
+  /// payload; either may be empty). Returns false when the ring lacks
+  /// space; throws std::invalid_argument when the record can never fit.
+  bool try_push2(const void* a, std::uint32_t a_len, const void* b,
+                 std::uint32_t b_len);
+  bool try_push(const void* data, std::uint32_t len) {
+    return try_push2(data, len, nullptr, 0);
+  }
+  /// Blocking push: bounded spin, then futex-wait on the consumer
+  /// cursor in slices. Returns false if `timeout_ns` elapses first.
+  bool push(const void* data, std::uint32_t len, std::int64_t timeout_ns);
+
+  /// --- Consumer side ---
+  /// Expose the next record (pointer into the ring, valid until pop()).
+  /// Returns nullptr when the ring is empty. A length field that cannot
+  /// belong to a well-formed record — larger than max_record_bytes() or
+  /// extending past the published tail — throws std::runtime_error.
+  const std::uint8_t* peek(std::uint32_t& len);
+  /// Release the record returned by the last successful peek().
+  void pop() noexcept;
+  /// Wait until the ring is non-empty; false if `timeout_ns` elapses.
+  bool wait_nonempty(std::int64_t timeout_ns);
+
+  /// Test hook: start both cursors at `v` (ring must be empty). Lets
+  /// unit tests exercise the 2^32 cursor wrap without 4 billion pushes.
+  void reset_cursors(std::uint32_t v) noexcept;
+
+ private:
+  SpscRing(std::uint32_t slot_count) noexcept
+      : slot_count_(slot_count), mask_(slot_count - 1) {}
+
+  std::uint8_t* slot_ptr(std::uint32_t index) noexcept {
+    return reinterpret_cast<std::uint8_t*>(this) + sizeof(SpscRing) +
+           static_cast<std::size_t>(index) * kSlotSize;
+  }
+  const std::uint8_t* slot_ptr(std::uint32_t index) const noexcept {
+    return const_cast<SpscRing*>(this)->slot_ptr(index);
+  }
+  static std::uint32_t slots_for(std::uint32_t payload_len) noexcept {
+    return (kHeaderBytes + payload_len + kSlotSize - 1) / kSlotSize;
+  }
+
+  // Cursors on their own cache lines: the producer writes tail_ and
+  // reads head_, the consumer the reverse — no line ping-pongs with the
+  // payload slots.
+  alignas(64) std::atomic<std::uint32_t> head_{0};  // slots consumed
+  std::atomic<std::uint32_t> cons_sleeping_{0};
+  alignas(64) std::atomic<std::uint32_t> tail_{0};  // slots published
+  std::atomic<std::uint32_t> prod_sleeping_{0};
+  alignas(64) std::uint32_t slot_count_;
+  std::uint32_t mask_;
+  std::uint32_t pending_pop_slots_ = 0;  // set by peek, used by pop
+};
+
+}  // namespace cra::sim
